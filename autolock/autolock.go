@@ -1,0 +1,177 @@
+// Package autolock is the public API of this repository: a Go
+// implementation of DB2 9's adaptive lock-memory tuning ("Optimizing
+// Concurrency Through Automated Lock Memory Tuning in DB2", ICDE 2007).
+//
+// Two levels of API are exposed:
+//
+//  1. The tuning algorithm alone — Params, Tuner, QuotaTracker — for
+//     embedding into your own lock manager. The tuner is a pure,
+//     deterministic controller: feed it the lock memory state each tuning
+//     interval and apply the Decision it returns.
+//
+//  2. A complete simulated database engine — Open/Config/DB — with a
+//     multigranularity lock manager, STMM memory controller, buffer pool,
+//     sort heap and transaction manager, used by the examples and by the
+//     benchmark harness that regenerates every figure of the paper.
+//
+// Quick start:
+//
+//	db, err := autolock.Open(autolock.Config{})
+//	if err != nil { ... }
+//	conn := db.Connect()
+//	tx := conn.Begin()
+//	err = tx.LockRow(ctx, tableID, row, autolock.ModeX)
+//	tx.Commit()
+//	report, _ := db.TuneOnce() // run one STMM tuning pass
+package autolock
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/lockmgr"
+	"repro/internal/stmm"
+	"repro/internal/trace"
+	"repro/internal/txn"
+)
+
+// ---- Level 1: the tuning algorithm ----
+
+// Params holds the algorithm's modelling parameters (the paper's Table 1).
+type Params = core.Params
+
+// DefaultParams returns the published Table 1 values: minFree 50%, maxFree
+// 60%, δreduce 5%, C1 0.65, maxLockMemory 20% of database memory,
+// sqlCompilerLockMem 10%, MAXLOCKS curve 98(1−(x/100)³), refresh period
+// 0x80.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Tuner computes lock-memory targets from interval-sampled state.
+type Tuner = core.Tuner
+
+// NewTuner creates a tuner; it panics if params are invalid.
+func NewTuner(p Params) *Tuner { return core.NewTuner(p) }
+
+// Inputs is the lock-manager state sampled at a tuning interval.
+type Inputs = core.Inputs
+
+// Decision is the tuner's output for one interval.
+type Decision = core.Decision
+
+// Action classifies a Decision.
+type Action = core.Action
+
+// Tuning actions.
+const (
+	ActionNone   = core.ActionNone
+	ActionGrow   = core.ActionGrow
+	ActionShrink = core.ActionShrink
+)
+
+// QuotaTracker maintains the adaptive lockPercentPerApplication value.
+type QuotaTracker = core.QuotaTracker
+
+// NewQuotaTracker creates a tracker starting at the unconstrained quota.
+func NewQuotaTracker(p Params) *QuotaTracker { return core.NewQuotaTracker(p) }
+
+// ---- Level 2: the engine ----
+
+// Config configures a database; the zero value gives a 512 MB self-tuning
+// engine with the combined TPCC/TPCH catalog.
+type Config = engine.Config
+
+// DB is an assembled database engine.
+type DB = engine.Database
+
+// Conn is a database connection (one application).
+type Conn = engine.Conn
+
+// Policy selects the lock-memory management policy.
+type Policy = engine.Policy
+
+// Available policies: the paper's adaptive tuning, the static pre-DB2 9
+// configuration, and the SQL Server 2005 model from the paper's related
+// work comparison.
+const (
+	PolicyAdaptive  = engine.PolicyAdaptive
+	PolicyStatic    = engine.PolicyStatic
+	PolicySQLServer = engine.PolicySQLServer
+)
+
+// WithPreferEscalation opts a connection into the escalation-preferred
+// application policy (paper section 6.1 future work).
+func WithPreferEscalation() engine.ConnOption { return engine.WithPreferEscalation() }
+
+// Open builds a database engine.
+func Open(cfg Config) (*DB, error) { return engine.Open(cfg) }
+
+// Report summarizes one STMM tuning pass.
+type Report = stmm.Report
+
+// Txn is a strict two-phase-locking transaction.
+type Txn = txn.Txn
+
+// Isolation selects DB2's isolation levels; the level controls how long
+// read locks are held — and therefore the lock memory demand the tuner sees.
+type Isolation = txn.Isolation
+
+// Isolation levels.
+const (
+	RepeatableRead  = txn.RepeatableRead
+	ReadStability   = txn.ReadStability
+	CursorStability = txn.CursorStability
+	UncommittedRead = txn.UncommittedRead
+)
+
+// Lock modes (multigranularity: intent modes for tables, S/U/X for rows).
+type Mode = lockmgr.Mode
+
+// Lock modes.
+const (
+	ModeIS  = lockmgr.ModeIS
+	ModeIX  = lockmgr.ModeIX
+	ModeS   = lockmgr.ModeS
+	ModeSIX = lockmgr.ModeSIX
+	ModeU   = lockmgr.ModeU
+	ModeX   = lockmgr.ModeX
+)
+
+// Lock request failures surfaced to applications.
+var (
+	ErrTimeout       = lockmgr.ErrTimeout
+	ErrDeadlock      = lockmgr.ErrDeadlock
+	ErrLockMemory    = lockmgr.ErrLockMemory
+	ErrQuotaExceeded = lockmgr.ErrQuotaExceeded
+)
+
+// ---- Reproduction harness ----
+
+// Outcome is an experiment result: findings comparing a published claim
+// with the measured value.
+type Outcome = experiments.Outcome
+
+// Finding is one paper-vs-measured comparison.
+type Finding = experiments.Finding
+
+// RunExperiment executes one of the paper's experiments by id ("table1",
+// "fig3", "fig6" … "fig12", "vendor", "overprovision"). The second result
+// is false for unknown ids.
+func RunExperiment(id string) (*Outcome, bool) {
+	r, ok := experiments.Registry()[id]
+	if !ok {
+		return nil, false
+	}
+	return r(), true
+}
+
+// ExperimentIDs lists the available experiment ids in stable order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ---- Diagnostics ----
+
+// TraceEvent is one entry of the engine's diagnostic event ring
+// (escalations, synchronous growth, tuning passes, deadlocks, timeouts).
+type TraceEvent = trace.Event
+
+// TraceRing is the fixed-capacity diagnostic event log, via DB.Events().
+type TraceRing = trace.Ring

@@ -1,0 +1,122 @@
+package autolock_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/autolock"
+	"repro/internal/clock"
+)
+
+// TestTunerLevelAPI drives the algorithm alone, as an adopter embedding it
+// into their own lock manager would.
+func TestTunerLevelAPI(t *testing.T) {
+	p := autolock.DefaultParams()
+	tu := autolock.NewTuner(p)
+
+	d := tu.Decide(autolock.Inputs{
+		DatabasePages:   131072,
+		LockPages:       2048,
+		UsedStructs:     2048 * 64 * 8 / 10, // 80% used
+		CapacityStructs: 2048 * 64,
+		NumApplications: 20,
+	})
+	if d.Action != autolock.ActionGrow {
+		t.Fatalf("action = %v, want grow", d.Action)
+	}
+	if d.TargetPages <= 2048 {
+		t.Fatalf("target = %d", d.TargetPages)
+	}
+
+	q := autolock.NewQuotaTracker(p)
+	if got := q.Current(); got != 98 {
+		t.Fatalf("quota = %g", got)
+	}
+}
+
+// TestEngineLevelAPI runs the quickstart flow end to end.
+func TestEngineLevelAPI(t *testing.T) {
+	db, err := autolock.Open(autolock.Config{
+		Clock:       clock.NewSim(),
+		LockTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := db.Connect()
+	tx := conn.Begin()
+	table := db.Catalog().ByName("customer")
+	for row := uint64(0); row < 100; row++ {
+		if err := tx.LockRow(context.Background(), table.ID, row, autolock.ModeX); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, ok := db.TuneOnce()
+	if !ok {
+		t.Fatal("adaptive engine must tune")
+	}
+	if rep.Decision.TargetPages == 0 {
+		t.Fatal("empty decision")
+	}
+	tx.Commit()
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicySelection opens each policy through the public API.
+func TestPolicySelection(t *testing.T) {
+	for _, pol := range []autolock.Policy{
+		autolock.PolicyAdaptive, autolock.PolicyStatic, autolock.PolicySQLServer,
+	} {
+		db, err := autolock.Open(autolock.Config{Policy: pol})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if db.Policy() != pol {
+			t.Fatalf("policy = %v, want %v", db.Policy(), pol)
+		}
+	}
+}
+
+// TestErrorsExported ensures failure modes are distinguishable by callers.
+func TestErrorsExported(t *testing.T) {
+	for _, err := range []error{
+		autolock.ErrTimeout, autolock.ErrDeadlock,
+		autolock.ErrLockMemory, autolock.ErrQuotaExceeded,
+	} {
+		if err == nil || err.Error() == "" {
+			t.Fatal("exported error unset")
+		}
+	}
+}
+
+// TestRunExperiment runs the cheapest reproduction through the public API.
+func TestRunExperiment(t *testing.T) {
+	o, ok := autolock.RunExperiment("table1")
+	if !ok || o == nil {
+		t.Fatal("table1 not found")
+	}
+	if !o.Passed() {
+		t.Fatalf("table1 failed:\n%s", o)
+	}
+	if _, ok := autolock.RunExperiment("nope"); ok {
+		t.Fatal("unknown id accepted")
+	}
+	if len(autolock.ExperimentIDs()) < 10 {
+		t.Fatal("experiment list too short")
+	}
+}
+
+// TestTraceThroughPublicAPI checks the diagnostics surface.
+func TestTraceThroughPublicAPI(t *testing.T) {
+	db, err := autolock.Open(autolock.Config{Clock: clock.NewSim()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.TuneOnce()
+	if db.Events().Total() == 0 {
+		t.Fatal("no events recorded")
+	}
+}

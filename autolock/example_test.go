@@ -1,0 +1,63 @@
+package autolock_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/autolock"
+	"repro/internal/clock"
+)
+
+// ExampleOpen shows the engine-level API: connect, lock rows inside a
+// transaction, run a tuning interval.
+func ExampleOpen() {
+	db, err := autolock.Open(autolock.Config{Clock: clock.NewSim()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn := db.Connect()
+	tx := conn.Begin()
+	table := db.Catalog().ByName("customer")
+	for row := uint64(0); row < 1000; row++ {
+		if err := tx.LockRow(context.Background(), table.ID, row, autolock.ModeX); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("locks held: %d structures\n", db.Locks().UsedStructs())
+	tx.Commit()
+	fmt.Printf("after commit: %d structures\n", db.Locks().UsedStructs())
+	// Output:
+	// locks held: 1001 structures
+	// after commit: 0 structures
+}
+
+// ExampleNewTuner shows the algorithm-level API: one tuning decision from
+// sampled lock manager state.
+func ExampleNewTuner() {
+	tuner := autolock.NewTuner(autolock.DefaultParams())
+	dec := tuner.Decide(autolock.Inputs{
+		DatabasePages:   131072,    // 512 MB database memory
+		LockPages:       2048,      // current allocation
+		UsedStructs:     104_858,   // 80% of 131072 structures used
+		CapacityStructs: 2048 * 64, // what the allocation holds
+		NumApplications: 40,
+	})
+	fmt.Printf("action: %v to %d pages\n", dec.Action, dec.TargetPages)
+	// Output:
+	// action: grow to 3296 pages
+}
+
+// ExampleParams_AppPercent evaluates the adaptive MAXLOCKS curve of
+// Table 1.
+func ExampleParams_AppPercent() {
+	p := autolock.DefaultParams()
+	for _, x := range []float64{0, 50, 75, 100} {
+		fmt.Printf("x=%3.0f%% -> lockPercentPerApplication %.1f%%\n", x, p.AppPercent(x))
+	}
+	// Output:
+	// x=  0% -> lockPercentPerApplication 98.0%
+	// x= 50% -> lockPercentPerApplication 85.8%
+	// x= 75% -> lockPercentPerApplication 56.7%
+	// x=100% -> lockPercentPerApplication 1.0%
+}

@@ -1,0 +1,567 @@
+// Package repro holds the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (run with `go test -bench=. -benchmem`),
+// plus ablation benches for the design choices DESIGN.md calls out and
+// micro-benchmarks of the hot paths.
+//
+// Figure benches execute the full experiment per iteration and report the
+// headline quantities via b.ReportMetric, so the shapes the paper plots are
+// visible straight from the bench output:
+//
+//	BenchmarkFig9RampAdaptation-8  1  2.1s/op  10.7 growth-x  0 escalations
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/lockmgr"
+	"repro/internal/memblock"
+	"repro/internal/sim"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// reportFindings turns an experiment's numeric findings into bench metrics.
+func reportOutcome(b *testing.B, o *experiments.Outcome) {
+	b.Helper()
+	if !o.Passed() {
+		b.Fatalf("experiment %s outside published bands:\n%s", o.ID, o)
+	}
+	if o.Result != nil {
+		b.ReportMetric(float64(o.Result.Final.LockStats.Escalations), "escalations")
+		b.ReportMetric(o.Result.Series.Get("lock memory").Max(), "peak-lock-pages")
+	}
+}
+
+// --- One benchmark per table and figure ---
+
+func BenchmarkTable1Parameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportOutcome(b, experiments.Table1())
+	}
+}
+
+func BenchmarkFig3LockQueuing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportOutcome(b, experiments.Fig3LockQueuing())
+	}
+}
+
+func BenchmarkFig6WorkedExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportOutcome(b, experiments.Fig6WorkedExample())
+	}
+}
+
+func BenchmarkFig7EscalationLockMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportOutcome(b, experiments.Fig7EscalationLockMemory())
+	}
+}
+
+func BenchmarkFig8EscalationThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := experiments.Fig8EscalationThroughput()
+		reportOutcome(b, o)
+		tp := o.Result.Series.Get("throughput")
+		b.ReportMetric(tp.Max(), "peak-tx/s")
+		b.ReportMetric(tp.MeanAfter(480), "collapsed-tx/s")
+	}
+}
+
+func BenchmarkFig9RampAdaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := experiments.Fig9RampAdaptation()
+		reportOutcome(b, o)
+		lock := o.Result.Series.Get("lock memory")
+		b.ReportMetric(lock.Last().Value/96, "growth-x")
+	}
+}
+
+func BenchmarkFig10WorkloadSurge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := experiments.Fig10WorkloadSurge()
+		reportOutcome(b, o)
+		lock := o.Result.Series.Get("lock memory")
+		b.ReportMetric(lock.MeanAfter(1620)/lock.MeanBetween(600, 1500), "surge-ratio")
+	}
+}
+
+func BenchmarkFig11DSSInjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := experiments.Fig11DSSInjection()
+		reportOutcome(b, o)
+		lock := o.Result.Series.Get("lock memory")
+		b.ReportMetric(lock.Max()/lock.MeanBetween(120, 330), "growth-x")
+		b.ReportMetric(100*lock.Max()/1310720, "peak-%db")
+	}
+}
+
+func BenchmarkFig12GradualReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := experiments.Fig12GradualReduction()
+		reportOutcome(b, o)
+		lock := o.Result.Series.Get("lock memory")
+		b.ReportMetric(lock.Last().Value/lock.MeanBetween(900, 1500), "settle-ratio")
+	}
+}
+
+func BenchmarkVendorComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportOutcome(b, experiments.VendorComparison())
+	}
+}
+
+// --- Ablations: the design choices section 3 argues for ---
+
+// bandAblationRun drives a demand-dominated, oscillating workload: very
+// heavy transactions so the demand-driven target far exceeds the
+// per-application floor (otherwise the free band never matters), with the
+// client count flapping between 20 and 40 so usage keeps crossing band
+// edges.
+func bandAblationRun(b *testing.B, params core.Params) *sim.Result {
+	b.Helper()
+	clk := clock.NewSim()
+	db, err := engine.Open(engine.Config{
+		Params:      params,
+		Clock:       clk,
+		LockTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := workload.DefaultOLTPProfile(db.Catalog())
+	prof.RowsMin, prof.RowsMax = 2000, 3000
+	prof.RowsPerTick = 500
+	prof.HotRows = 0
+	clients := make([]sim.Client, 40)
+	for i := range clients {
+		clients[i] = workload.NewOLTP(db, prof, int64(i+1))
+	}
+	return sim.Run(sim.Config{
+		DB:      db,
+		Clock:   clk,
+		Ticks:   600,
+		Clients: clients,
+		Schedule: func(s float64) int {
+			if int(s/120)%2 == 0 {
+				return 40
+			}
+			return 20
+		},
+	})
+}
+
+// shedAblationRun is the Figure 12 shape (steady then 130→30 shed) used to
+// compare shrink rates.
+func shedAblationRun(b *testing.B, params core.Params) *sim.Result {
+	b.Helper()
+	clk := clock.NewSim()
+	db, err := engine.Open(engine.Config{
+		Params:      params,
+		Clock:       clk,
+		LockTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := workload.DefaultOLTPProfile(db.Catalog())
+	clients := make([]sim.Client, 130)
+	for i := range clients {
+		clients[i] = workload.NewOLTP(db, prof, int64(i+1))
+	}
+	return sim.Run(sim.Config{
+		DB:       db,
+		Clock:    clk,
+		Ticks:    1500,
+		Clients:  clients,
+		Schedule: workload.Step(130, 30, 600),
+	})
+}
+
+// resizeCount counts lock-memory size changes across the run — the
+// stability measure the 50–60% spread is designed to minimize.
+func resizeCount(r *sim.Result) (n int) {
+	samples := r.Series.Get("lock memory").Samples()
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Value != samples[i-1].Value {
+			n++
+		}
+	}
+	return n
+}
+
+// BenchmarkAblationFreeBand compares the paper's 50–60% free band against a
+// zero-width band (constant adjustment) and a narrow low band (little
+// headroom). The spread exists to "avoid constant modification of the lock
+// memory" while keeping room to absorb 100% growth.
+func BenchmarkAblationFreeBand(b *testing.B) {
+	cases := []struct {
+		name     string
+		min, max float64
+	}{
+		{"paper-50-60", 0.50, 0.60},
+		{"narrow-50-51", 0.50, 0.51},
+		{"low-10-20", 0.10, 0.20},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := core.DefaultParams()
+				p.MinFreeFrac, p.MaxFreeFrac = tc.min, tc.max
+				res := bandAblationRun(b, p)
+				b.ReportMetric(float64(resizeCount(res)), "resizes")
+				b.ReportMetric(float64(res.Final.LockStats.SyncGrowths), "sync-growths")
+				b.ReportMetric(res.Series.Get("lock memory").Mean(), "mean-lock-pages")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDeltaReduce compares the damped 5% shrink against
+// aggressive and glacial variants: fast decay reclaims memory sooner but
+// oscillates when demand returns; slow decay wastes memory.
+func BenchmarkAblationDeltaReduce(b *testing.B) {
+	for _, delta := range []float64{0.02, 0.05, 0.25} {
+		b.Run(fmt.Sprintf("delta-%.0f%%", delta*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := core.DefaultParams()
+				p.DeltaReduce = delta
+				res := shedAblationRun(b, p)
+				lock := res.Series.Get("lock memory")
+				// Mean allocation after the shed at t=600: lower means
+				// a faster reclaim of the unused memory.
+				b.ReportMetric(lock.MeanAfter(600), "mean-pages-after-shed")
+				b.ReportMetric(float64(resizeCount(res)), "resizes")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationC1 varies the overflow cap: a tiny C1 starves synchronous
+// growth (escalations return); C1 near 1 risks the whole reserve. The bench
+// reuses the DSS-burst shape of Figure 11 at reduced scale.
+func BenchmarkAblationC1(b *testing.B) {
+	run := func(b *testing.B, c1 float64) (*sim.Result, *workload.DSS) {
+		p := core.DefaultParams()
+		p.C1 = c1
+		clk := clock.NewSim()
+		db, err := engine.Open(engine.Config{
+			Params:           p,
+			OverflowGoalFrac: 0.05,
+			BufferPoolFrac:   0.80, // little slack outside overflow
+			Clock:            clk,
+			LockTimeout:      60 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof := workload.DefaultOLTPProfile(db.Catalog())
+		clients := make([]sim.Client, 50)
+		for i := range clients {
+			clients[i] = workload.NewOLTP(db, prof, int64(i+1))
+		}
+		dss := workload.NewDSS(db, workload.DSSProfile{
+			Table:         db.Catalog().ByName("lineitem"),
+			ChunkRows:     64,
+			Chunks:        8192,
+			ChunksPerTick: 800,
+			HoldTicks:     60,
+		})
+		res := sim.Run(sim.Config{
+			DB:         db,
+			Clock:      clk,
+			Ticks:      300,
+			Clients:    clients,
+			Schedule:   workload.Constant(50),
+			Standalone: []sim.Client{dss},
+			Events:     []sim.Event{{AtTick: 100, Fire: func() { dss.SetActive(true) }}},
+		})
+		return res, dss
+	}
+	for _, c1 := range []float64{0.10, 0.65, 0.95} {
+		b.Run(fmt.Sprintf("c1-%.2f", c1), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, dss := run(b, c1)
+				b.ReportMetric(float64(res.Final.LockStats.Escalations), "escalations")
+				b.ReportMetric(float64(res.Final.LockStats.SyncGrowthPages), "sync-pages")
+				b.ReportMetric(boolMetric(dss.Done()), "dss-done")
+			}
+		})
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkAblationMaxlocksCurve compares the adaptive 98(1−x³) quota with
+// the pre-DB2 9 fixed MAXLOCKS=10 on the single-heavy-consumer workload: the
+// fixed quota escalates the reporting query even though memory is plentiful.
+func BenchmarkAblationMaxlocksCurve(b *testing.B) {
+	run := func(b *testing.B, adaptiveQuota bool) *engine.Database {
+		clk := clock.NewSim()
+		pol := engine.PolicyAdaptive
+		cfg := engine.Config{Policy: pol, Clock: clk, LockTimeout: time.Minute}
+		if !adaptiveQuota {
+			cfg.Policy = engine.PolicyStatic
+			cfg.StaticQuotaPct = 10
+			cfg.InitialLockPages = 4096 // generous fixed LOCKLIST: memory is NOT the problem
+		}
+		db, err := engine.Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn := db.Connect()
+		tx := conn.Begin()
+		fact := db.Catalog().ByName("lineitem")
+		for i := uint64(0); i < 1500; i++ {
+			op := tx.AcquireRow(fact.ID, i*64, lockmgr.ModeS, 64)
+			op.Poll()
+		}
+		tx.Commit()
+		return db
+	}
+	b.Run("adaptive-curve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := run(b, true)
+			b.ReportMetric(float64(db.Locks().Stats().Escalations), "escalations")
+		}
+	})
+	b.Run("fixed-maxlocks-10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := run(b, false)
+			b.ReportMetric(float64(db.Locks().Stats().Escalations), "escalations")
+		}
+	})
+}
+
+// BenchmarkAblationEscalationDoubling compares escalation recovery with the
+// paper's doubling rule against plain minFree-driven growth when overflow is
+// constrained: doubling converges in fewer intervals.
+func BenchmarkAblationEscalationDoubling(b *testing.B) {
+	// The key dynamic: while escalations continue, the *observed* usage is
+	// LOW — row locks have been traded for a handful of table locks — so
+	// the minFree growth rule sees an over-provisioned heap. Only the
+	// escalation signal tells the tuner that demand was amputated.
+	recover := func(b *testing.B, doubling bool) float64 {
+		p := core.DefaultParams()
+		tuner := core.NewTuner(p)
+		lockPages := 512
+		demand := 200_000 // structs wanted; memory far too small
+		intervals := 0
+		for ; intervals < 60; intervals++ {
+			capacity := lockPages * memblock.StructsPerPage
+			if capacity >= demand*2 {
+				break // headroom restored; escalations stop
+			}
+			// Saturated interval: escalations fire and leave usage at
+			// a fraction of capacity (table locks in place of rows).
+			used := capacity / 10
+			esc := int64(1)
+			if !doubling {
+				esc = 0 // ablated: tuner never sees the signal
+			}
+			dec := tuner.Decide(core.Inputs{
+				DatabasePages:   1310720,
+				LockPages:       lockPages,
+				UsedStructs:     used,
+				CapacityStructs: capacity,
+				NumApplications: 10,
+				Escalations:     esc,
+			})
+			lockPages = dec.TargetPages
+		}
+		return float64(intervals)
+	}
+	b.Run("with-doubling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(recover(b, true), "intervals-to-recover")
+		}
+	})
+	b.Run("without-doubling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(recover(b, false), "intervals-to-recover")
+		}
+	})
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+func BenchmarkLockAcquireRelease(b *testing.B) {
+	m := lockmgr.New(lockmgr.Config{InitialPages: 32 * 64})
+	o := m.NewOwner(m.RegisterApp())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := lockmgr.RowName(1, uint64(i%10000))
+		p := m.AcquireAsync(o, name, lockmgr.ModeS, 1)
+		if st, err := p.Status(); st != lockmgr.StatusGranted {
+			b.Fatal(err)
+		}
+		if err := m.Release(o, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLockConflictWait(b *testing.B) {
+	m := lockmgr.New(lockmgr.Config{InitialPages: 32 * 64})
+	holder := m.NewOwner(m.RegisterApp())
+	waiterApp := m.RegisterApp()
+	row := lockmgr.RowName(1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AcquireAsync(holder, row, lockmgr.ModeX, 1)
+		o := m.NewOwner(waiterApp)
+		m.AcquireAsync(o, row, lockmgr.ModeS, 1)
+		m.ReleaseAll(holder)
+		m.ReleaseAll(o)
+		holder = m.NewOwner(holder.App())
+	}
+}
+
+func BenchmarkBlockChainAllocFree(b *testing.B) {
+	c := memblock.New(32 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := c.Alloc(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Free(h)
+	}
+}
+
+func BenchmarkTunerDecide(b *testing.B) {
+	tuner := core.NewTuner(core.DefaultParams())
+	in := core.Inputs{
+		DatabasePages:   1310720,
+		LockPages:       8192,
+		UsedStructs:     300_000,
+		CapacityStructs: 8192 * 64,
+		NumApplications: 130,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tuner.Decide(in)
+	}
+}
+
+func BenchmarkQuotaCurve(b *testing.B) {
+	p := core.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.AppPercent(float64(i % 101))
+	}
+}
+
+func BenchmarkEndToEndTransaction(b *testing.B) {
+	db, err := engine.Open(engine.Config{Clock: clock.NewSim()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn := db.Connect()
+	table := db.Catalog().ByName("customer")
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := conn.Begin()
+		for r := 0; r < 10; r++ {
+			if err := tx.LockRow(ctx, table.ID, uint64(i*10+r), lockmgr.ModeX); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tx.Commit()
+	}
+}
+
+// BenchmarkAblationIsolation quantifies how the isolation level shapes lock
+// memory demand — the workload-side variability the introduction cites
+// ("lock memory requirements vary widely by application"). The same scan of
+// 5000 rows is read under RR, CS and UR.
+func BenchmarkAblationIsolation(b *testing.B) {
+	run := func(b *testing.B, iso txn.Isolation) (peakStructs int) {
+		db, err := engine.Open(engine.Config{Clock: clock.NewSim()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn := db.Connect()
+		tx := conn.Begin()
+		if err := tx.SetIsolation(iso); err != nil {
+			b.Fatal(err)
+		}
+		table := db.Catalog().ByName("order_line")
+		ctx := context.Background()
+		for row := uint64(0); row < 5000; row++ {
+			if err := tx.LockRow(ctx, table.ID, row, lockmgr.ModeS); err != nil {
+				b.Fatal(err)
+			}
+			if used := db.Locks().UsedStructs(); used > peakStructs {
+				peakStructs = used
+			}
+		}
+		tx.Commit()
+		return peakStructs
+	}
+	for _, tc := range []struct {
+		name string
+		iso  txn.Isolation
+	}{
+		{"repeatable-read", txn.RepeatableRead},
+		{"cursor-stability", txn.CursorStability},
+		{"uncommitted-read", txn.UncommittedRead},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(float64(run(b, tc.iso)), "peak-structs")
+			}
+		})
+	}
+}
+
+// BenchmarkOverprovision regenerates the section 1 motivation experiment.
+func BenchmarkOverprovision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportOutcome(b, experiments.Overprovision())
+	}
+}
+
+// BenchmarkTPCCThroughput is the macro benchmark: 100 TPC-C terminals for
+// 300 virtual seconds under the self-tuning engine, reporting committed
+// transactions per virtual second and the tuned lock memory.
+func BenchmarkTPCCThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clk := clock.NewSim()
+		db, err := engine.Open(engine.Config{Clock: clk, LockTimeout: 30 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients := make([]sim.Client, 100)
+		for j := range clients {
+			tc, err := workload.NewTPCC(db, workload.DefaultTPCCProfile(), int64(j+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients[j] = tc
+		}
+		res := sim.Run(sim.Config{
+			DB:       db,
+			Clock:    clk,
+			Ticks:    300,
+			Clients:  clients,
+			Schedule: workload.Constant(100),
+		})
+		b.ReportMetric(float64(res.TotalCommits)/300, "tx/virtual-s")
+		b.ReportMetric(float64(res.Final.LockPages), "lock-pages")
+		b.ReportMetric(float64(res.Final.LockStats.Escalations), "escalations")
+	}
+}

@@ -1,0 +1,91 @@
+// Command lockmemsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lockmemsim -list
+//	lockmemsim -experiment fig9
+//	lockmemsim -experiment all -csv out/ -chart
+//
+// Each experiment prints a findings table (paper claim vs measured value).
+// With -csv the captured time series are written as CSV files; with -chart
+// the headline series are rendered as ASCII charts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		expID  = flag.String("experiment", "all", "experiment id (see -list) or \"all\"")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir = flag.String("csv", "", "directory to write per-experiment CSV series")
+		chart  = flag.Bool("chart", false, "render headline series as ASCII charts")
+		md     = flag.Bool("markdown", false, "emit findings as markdown tables")
+	)
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *expID == "all" {
+		ids = experiments.IDs()
+	} else {
+		if reg[*expID] == nil {
+			fmt.Fprintf(os.Stderr, "lockmemsim: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		ids = []string{*expID}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		outcome := reg[id]()
+		if *md {
+			fmt.Println(outcome.Markdown())
+		} else {
+			fmt.Println(outcome)
+		}
+		if !outcome.Passed() {
+			failed++
+		}
+		if outcome.Result != nil {
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "lockmemsim: %v\n", err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*csvDir, id+".csv")
+				if err := os.WriteFile(path, []byte(outcome.Result.Series.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "lockmemsim: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+			if *chart {
+				for _, name := range []string{"lock memory", "throughput"} {
+					if s := outcome.Result.Series.Get(name); s != nil {
+						fmt.Println(metrics.Chart(s, 72, 14))
+					}
+				}
+			}
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "lockmemsim: %d experiment(s) had findings outside the published bands\n", failed)
+		os.Exit(1)
+	}
+}

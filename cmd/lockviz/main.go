@@ -1,0 +1,55 @@
+// Command lockviz renders a column of a lockmemsim CSV file as an ASCII
+// chart.
+//
+//	lockmemsim -experiment fig11 -csv out/
+//	lockviz -file out/fig11.csv -column "lock memory"
+//	lockviz -file out/fig11.csv -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		file   = flag.String("file", "", "CSV file written by lockmemsim -csv")
+		column = flag.String("column", "", "series name to plot (without the unit suffix)")
+		list   = flag.Bool("list", false, "list series names and exit")
+		width  = flag.Int("width", 72, "chart width")
+		height = flag.Int("height", 16, "chart height")
+	)
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "lockviz: -file is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lockviz: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	set, err := metrics.ParseCSV(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lockviz: %v\n", err)
+		os.Exit(1)
+	}
+	if *list {
+		for _, name := range set.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	s := set.Get(*column)
+	if s == nil {
+		fmt.Fprintf(os.Stderr, "lockviz: series %q not found (use -list)\n", *column)
+		os.Exit(2)
+	}
+	fmt.Println(metrics.Chart(s, *width, *height))
+}

@@ -1,0 +1,131 @@
+// Command workbench runs a custom workload against a chosen lock-memory
+// policy and prints the resulting behaviour — a sandbox for exploring the
+// tuning algorithm beyond the paper's fixed experiments.
+//
+// Example: a 60-client OLTP load with a mid-run surge to 200 clients under
+// the SQL Server 2005 policy:
+//
+//	workbench -policy sqlserver -clients 60 -surge-to 200 -surge-at 300 -ticks 900
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "adaptive", "lock memory policy: adaptive | static | sqlserver")
+		dbMB     = flag.Int("db-mb", 512, "database memory in MB")
+		lockKB   = flag.Int("locklist-kb", 0, "initial LOCKLIST in KB (0 = algorithm minimum)")
+		maxlocks = flag.Float64("maxlocks", 10, "static MAXLOCKS percent (static policy only)")
+		clients  = flag.Int("clients", 50, "OLTP clients")
+		surgeTo  = flag.Int("surge-to", 0, "client count after the surge (0 = no surge)")
+		surgeAt  = flag.Int("surge-at", 0, "surge time in seconds")
+		ticks    = flag.Int("ticks", 600, "run length in virtual seconds")
+		rows     = flag.Int("rows", 65, "average row locks per transaction")
+		writes   = flag.Float64("writes", 0.3, "fraction of X-mode row locks")
+		chart    = flag.Bool("chart", true, "render ASCII charts")
+		events   = flag.Int("events", 10, "print the last N diagnostic events (0 = none)")
+		locks    = flag.Int("locks", 0, "dump up to N lock-table entries at the end")
+	)
+	flag.Parse()
+
+	var pol engine.Policy
+	switch *policy {
+	case "adaptive":
+		pol = engine.PolicyAdaptive
+	case "static":
+		pol = engine.PolicyStatic
+	case "sqlserver":
+		pol = engine.PolicySQLServer
+	default:
+		fmt.Fprintf(os.Stderr, "workbench: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	clk := clock.NewSim()
+	db, err := engine.Open(engine.Config{
+		DatabasePages:    *dbMB * 256, // 256 pages per MB
+		InitialLockPages: *lockKB / 4,
+		Policy:           pol,
+		StaticQuotaPct:   *maxlocks,
+		Clock:            clk,
+		LockTimeout:      60 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	prof := workload.DefaultOLTPProfile(db.Catalog())
+	prof.RowsMin = *rows * 6 / 10
+	prof.RowsMax = *rows * 14 / 10
+	prof.WriteFrac = *writes
+
+	maxClients := *clients
+	if *surgeTo > maxClients {
+		maxClients = *surgeTo
+	}
+	pool := make([]sim.Client, maxClients)
+	for i := range pool {
+		pool[i] = workload.NewOLTP(db, prof, int64(i+1))
+	}
+	schedule := workload.Constant(*clients)
+	if *surgeTo > 0 {
+		schedule = workload.Step(*clients, *surgeTo, float64(*surgeAt))
+	}
+
+	res := sim.Run(sim.Config{
+		DB:       db,
+		Clock:    clk,
+		Ticks:    *ticks,
+		Clients:  pool,
+		Schedule: schedule,
+	})
+
+	snap := res.Final
+	fmt.Printf("policy            %s\n", pol)
+	fmt.Printf("duration          %d virtual seconds\n", *ticks)
+	fmt.Printf("commits           %d (%.1f tx/s mean)\n", res.TotalCommits, float64(res.TotalCommits)/float64(*ticks))
+	fmt.Printf("lock memory       %d pages (%.1f MB), peak %g pages\n",
+		snap.LockPages, float64(snap.LockPages)/256, res.Series.Get("lock memory").Max())
+	fmt.Printf("lock escalations  %d (exclusive %d)\n", snap.LockStats.Escalations, snap.LockStats.ExclusiveEscalations)
+	fmt.Printf("lock waits        %d (timeouts %d, deadlocks %d)\n",
+		snap.LockStats.Waits, snap.LockStats.Timeouts, snap.LockStats.Deadlocks)
+	fmt.Printf("sync growths      %d (%d pages)\n", snap.LockStats.SyncGrowths, snap.LockStats.SyncGrowthPages)
+	fmt.Printf("MAXLOCKS quota    %.1f%%\n", snap.QuotaPercent)
+
+	if *events > 0 {
+		tail := db.Events().Tail(*events)
+		if len(tail) > 0 {
+			fmt.Printf("\nlast %d events:\n", len(tail))
+			for _, e := range tail {
+				fmt.Printf("  %s\n", e)
+			}
+		}
+	}
+	if *locks > 0 {
+		dump := db.Locks().DumpLocks()
+		if len(dump) > *locks {
+			dump = dump[:*locks]
+		}
+		fmt.Printf("\nlock table (%d entries shown):\n", len(dump))
+		for _, li := range dump {
+			fmt.Printf("  %s\n", li)
+		}
+	}
+	if *chart {
+		fmt.Println()
+		fmt.Println(metrics.Chart(res.Series.Get("lock memory"), 72, 12))
+		fmt.Println(metrics.Chart(res.Series.Get("throughput"), 72, 12))
+	}
+}

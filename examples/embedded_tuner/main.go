@@ -1,0 +1,53 @@
+// Embedded tuner: use the tuning algorithm alone (the paper's contribution)
+// against your own lock manager. The "lock manager" here is a toy counter;
+// the point is the control loop: sample state → Decide → apply target.
+package main
+
+import (
+	"fmt"
+
+	"repro/autolock"
+)
+
+// toyLockManager tracks only what the tuner needs.
+type toyLockManager struct {
+	pages int // allocated lock memory, 4 KB pages
+	used  int // lock structures in use (64 B each, 64 per page)
+}
+
+func (t *toyLockManager) capacityStructs() int { return t.pages * 64 }
+
+func main() {
+	const databasePages = 131072 // 512 MB
+	params := autolock.DefaultParams()
+	tuner := autolock.NewTuner(params)
+	quota := autolock.NewQuotaTracker(params)
+
+	lm := &toyLockManager{pages: 512}
+
+	// A synthetic day: demand ramps, spikes, then collapses.
+	demand := []int{2_000, 8_000, 20_000, 60_000, 140_000, 150_000,
+		150_000, 30_000, 5_000, 5_000, 5_000, 5_000, 5_000, 5_000}
+
+	fmt.Println("interval   demand(structs)   alloc(pages)   action   quota%")
+	for i, used := range demand {
+		lm.used = used
+		dec := tuner.Decide(autolock.Inputs{
+			DatabasePages:   databasePages,
+			LockPages:       lm.pages,
+			UsedStructs:     lm.used,
+			CapacityStructs: lm.capacityStructs(),
+			NumApplications: 40,
+		})
+		// Apply the decision to "our" lock manager.
+		lm.pages = dec.TargetPages
+
+		usedPct := 100 * float64(used/64) / float64(params.MaxLockPages(databasePages))
+		q := quota.OnResize(usedPct)
+		fmt.Printf("%8d   %15d   %12d   %-6s   %5.1f\n",
+			i, used, lm.pages, dec.Action, q)
+	}
+
+	fmt.Println("\nnote the asymmetry: growth restores 50% free immediately;")
+	fmt.Println("shrinking gives back only 5% per interval (δreduce).")
+}

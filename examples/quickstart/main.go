@@ -1,0 +1,58 @@
+// Quickstart: open a self-tuning database, run transactions that lock rows,
+// and watch the STMM controller size the lock memory.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/autolock"
+)
+
+func main() {
+	// A 512 MB database with the paper's Table 1 parameters.
+	db, err := autolock.Open(autolock.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("opened database: %d pages of memory, policy %s\n",
+		db.Set().TotalPages(), db.Policy())
+	fmt.Printf("initial lock memory: %d pages (%d KB)\n\n", db.Locks().Pages(), db.Locks().Pages()*4)
+
+	// A connection runs strict-2PL transactions.
+	conn := db.Connect()
+	customer := db.Catalog().ByName("customer")
+
+	ctx := context.Background()
+	for batch := 0; batch < 3; batch++ {
+		tx := conn.Begin()
+		base := uint64(batch) * 50_000
+		for row := base; row < base+40_000; row++ {
+			if err := tx.LockRow(ctx, customer.ID, row, autolock.ModeX); err != nil {
+				log.Fatalf("row %d: %v", row, err)
+			}
+		}
+		snap := db.Snapshot()
+		fmt.Printf("batch %d: %6d lock structures in use, lock memory %5d pages, escalations %d\n",
+			batch, snap.UsedStructs, snap.LockPages, snap.LockStats.Escalations)
+
+		// An STMM tuning interval elapses.
+		rep, _ := db.TuneOnce()
+		fmt.Printf("         tuner: %-6s → %d pages (%s)\n",
+			rep.Decision.Action, rep.Decision.TargetPages, rep.Decision.Reason)
+		tx.Commit()
+	}
+
+	// Demand is gone; the tuner relaxes the allocation by δreduce per
+	// interval.
+	fmt.Println("\nafter commit, δreduce shrinking:")
+	for i := 0; i < 6; i++ {
+		rep, _ := db.TuneOnce()
+		fmt.Printf("  interval %d: %5d pages (%s)\n", i+1, rep.LockPagesAfter, rep.Decision.Action)
+	}
+
+	if err := conn.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

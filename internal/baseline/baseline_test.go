@@ -1,0 +1,215 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/lockmgr"
+	"repro/internal/memblock"
+)
+
+// --- SQL Server 2005 model ---
+
+func TestSQLServerInitialPages(t *testing.T) {
+	// 2500 locks → 2 blocks → 64 pages.
+	if got := SQLServerInitialPages(); got != 64 {
+		t.Fatalf("initial pages = %d, want 64", got)
+	}
+}
+
+func newSQLServer(t *testing.T, dbPages int) (*SQLServerPolicy, *lockmgr.Manager) {
+	t.Helper()
+	p := NewSQLServerPolicy(dbPages)
+	m := lockmgr.New(lockmgr.Config{
+		InitialPages: SQLServerInitialPages(),
+		GrowSync:     p.GrowSync,
+		Quota:        p,
+	})
+	p.Bind(m)
+	return p, m
+}
+
+func TestSQLServerGrowsOnDemand(t *testing.T) {
+	_, m := newSQLServer(t, 100000)
+	app := m.RegisterApp()
+	o := m.NewOwner(app)
+	if st, _ := m.AcquireAsync(o, lockmgr.TableName(1), lockmgr.ModeIS, 1).Status(); st != lockmgr.StatusGranted {
+		t.Fatal("intent failed")
+	}
+	// 4500 locks exceed the initial allocation (2 blocks = 4096 structs)
+	// but stay under
+	// the 5000-per-app trigger: growth, no escalation.
+	for i := 0; i < 4500; i++ {
+		p := m.AcquireAsync(o, lockmgr.RowName(1, uint64(i)), lockmgr.ModeS, 1)
+		if st, err := p.Status(); st != lockmgr.StatusGranted {
+			t.Fatalf("row %d: %v %v", i, st, err)
+		}
+	}
+	if m.Stats().Escalations != 0 {
+		t.Fatalf("escalated below 5000 locks: %+v", m.Stats())
+	}
+	if m.Pages() <= SQLServerInitialPages() {
+		t.Fatal("lock memory did not grow")
+	}
+}
+
+func TestSQLServer5000LockTrigger(t *testing.T) {
+	_, m := newSQLServer(t, 10_000_000) // memory is ample; the count triggers
+	app := m.RegisterApp()
+	o := m.NewOwner(app)
+	if st, _ := m.AcquireAsync(o, lockmgr.TableName(1), lockmgr.ModeIS, 1).Status(); st != lockmgr.StatusGranted {
+		t.Fatal("intent failed")
+	}
+	for i := 0; m.Stats().Escalations == 0; i++ {
+		p := m.AcquireAsync(o, lockmgr.RowName(1, uint64(i)), lockmgr.ModeS, 1)
+		if st, err := p.Status(); st != lockmgr.StatusGranted {
+			t.Fatalf("row %d: %v %v", i, st, err)
+		}
+		if i > SQLServerLocksPerApp+100 {
+			t.Fatal("no escalation at 5000 locks")
+		}
+	}
+	// The escalation fired near the 5000-lock mark, NOT from memory
+	// pressure ("a single reporting query can easily result in lock
+	// escalation").
+	if held := m.AppStructs(app); held > 10 {
+		t.Fatalf("structs after escalation = %d", held)
+	}
+}
+
+func TestSQLServerGrowthCeiling60Percent(t *testing.T) {
+	p, m := newSQLServer(t, 1000) // tiny database: ceiling = 600 pages
+	if got := p.GrowSync(10_000); got > 600-m.Pages() {
+		t.Fatalf("grant %d exceeds 60%% ceiling", got)
+	}
+	m.GrowPages(p.GrowSync(10_000))
+	if m.Pages() > 600 {
+		t.Fatalf("lock memory %d above ceiling 600", m.Pages())
+	}
+	if got := p.GrowSync(32); got != 0 {
+		t.Fatalf("growth above ceiling granted %d", got)
+	}
+}
+
+func TestSQLServer40PercentGlobalTrigger(t *testing.T) {
+	p, _ := newSQLServer(t, 1000)
+	// 40% of 1000 pages = 400 pages = 25600 structs used.
+	if got := p.QuotaPercent(1, 0, 400*memblock.StructsPerPage); got != 0 {
+		t.Fatalf("quota at 40%% used = %g, want 0 (forced escalation)", got)
+	}
+	if got := p.QuotaPercent(1, 0, 100); got <= 0 {
+		t.Fatalf("quota below 40%% = %g", got)
+	}
+}
+
+func TestSQLServerUnboundBehaviour(t *testing.T) {
+	p := NewSQLServerPolicy(1000)
+	if got := p.QuotaPercent(1, 0, 0); got != 100 {
+		t.Fatalf("unbound quota = %g", got)
+	}
+	if got := p.GrowSync(100); got != 0 {
+		t.Fatalf("unbound grow = %d", got)
+	}
+}
+
+// --- Oracle ITL model ---
+
+func TestOracleBasicLockAndRelease(t *testing.T) {
+	o := NewOracleDB(2, 4)
+	if got := o.TryLockRow(1, 10, 5, 100); got != OracleGranted {
+		t.Fatalf("lock = %v", got)
+	}
+	// Same txn re-locks its row freely.
+	if got := o.TryLockRow(1, 10, 5, 100); got != OracleGranted {
+		t.Fatalf("relock = %v", got)
+	}
+	// Another txn must wait on the lock byte.
+	if got := o.TryLockRow(2, 10, 5, 100); got != OracleRowWait {
+		t.Fatalf("conflict = %v", got)
+	}
+	o.ReleaseAll(1, func(uint32, uint64) uint64 { return 100 })
+	if got := o.TryLockRow(2, 10, 5, 100); got != OracleGranted {
+		t.Fatalf("after release = %v", got)
+	}
+}
+
+func TestOracleITLExhaustionBlocksFreeRows(t *testing.T) {
+	o := NewOracleDB(1, 2) // at most two interested transactions per page
+	if o.TryLockRow(1, 1, 0, 7) != OracleGranted {
+		t.Fatal("txn1")
+	}
+	if o.TryLockRow(2, 1, 1, 7) != OracleGranted {
+		t.Fatal("txn2 (ITL grows to 2)")
+	}
+	// Row 2 is entirely unlocked, but txn3 cannot register interest:
+	// "this is true even if the row ... is not locked by any other
+	// application".
+	if got := o.TryLockRow(3, 1, 2, 7); got != OracleITLWait {
+		t.Fatalf("txn3 = %v, want ITL wait", got)
+	}
+	st := o.Stats()
+	if st.ITLWaits != 1 || st.ITLGrowths != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOracleITLSpaceIsPermanent(t *testing.T) {
+	o := NewOracleDB(1, 8)
+	pageOf := func(uint32, uint64) uint64 { return 3 }
+	for txn := uint64(1); txn <= 4; txn++ {
+		if o.TryLockRow(txn, 1, txn, 3) != OracleGranted {
+			t.Fatalf("txn %d", txn)
+		}
+	}
+	grown := o.PermanentITLSlots()
+	for txn := uint64(1); txn <= 4; txn++ {
+		o.ReleaseAll(txn, pageOf)
+	}
+	// Slots in use return, capacity does not.
+	if got := o.PermanentITLSlots(); got != grown {
+		t.Fatalf("ITL capacity changed after release: %d != %d", got, grown)
+	}
+	if grown != 4 { // initial 1 + three growths
+		t.Fatalf("permanent slots = %d, want 4", grown)
+	}
+}
+
+func TestOracleQueueJumping(t *testing.T) {
+	o := NewOracleDB(4, 8)
+	if o.TryLockRow(1, 1, 0, 9) != OracleGranted {
+		t.Fatal("txn1")
+	}
+	// txn2 polls and fails (it would now sleep).
+	if o.TryLockRow(2, 1, 0, 9) != OracleRowWait {
+		t.Fatal("txn2 should wait")
+	}
+	o.ReleaseAll(1, func(uint32, uint64) uint64 { return 9 })
+	// txn3 arrives after txn2 but grabs the row while txn2 sleeps — the
+	// queue jump the paper contrasts with DB2's FIFO post.
+	if o.TryLockRow(3, 1, 0, 9) != OracleGranted {
+		t.Fatal("txn3 should jump the queue")
+	}
+	if o.TryLockRow(2, 1, 0, 9) != OracleRowWait {
+		t.Fatal("txn2 still waits")
+	}
+}
+
+func TestOracleLocksHeld(t *testing.T) {
+	o := NewOracleDB(2, 4)
+	for r := uint64(0); r < 5; r++ {
+		o.TryLockRow(1, 1, r, r/2)
+	}
+	if got := o.LocksHeld(1); got != 5 {
+		t.Fatalf("locks held = %d", got)
+	}
+	o.ReleaseAll(1, func(_ uint32, row uint64) uint64 { return row / 2 })
+	if got := o.LocksHeld(1); got != 0 {
+		t.Fatalf("locks held after release = %d", got)
+	}
+}
+
+func TestOracleWaitStrings(t *testing.T) {
+	if OracleGranted.String() != "granted" || OracleRowWait.String() != "row-wait" ||
+		OracleITLWait.String() != "itl-wait" || OracleWait(9).String() != "OracleWait(9)" {
+		t.Fatal("strings wrong")
+	}
+}

@@ -1,0 +1,199 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The Oracle model (section 2.3, Figure 4): locks live on the data pages.
+// Every row has a lock byte; every page has an interested transaction list
+// (ITL) in which a transaction must hold a slot before locking any row on
+// that page. Consequences the paper calls out, all modelled here:
+//
+//   - no dynamic lock memory at all — "pre-allocated" as page space;
+//   - the ITL grows as transactions register concurrent interest and "is
+//     not decreased until the table is reorganized" — permanent space;
+//   - ITL exhaustion blocks new transactions from locking any row of the
+//     page, even unlocked rows — effectively page-level locking;
+//   - waiters poll (sleep-wake-check) rather than queue, so a later
+//     transaction can "jump the queue".
+
+// OracleWait classifies why an Oracle-model lock attempt did not succeed.
+type OracleWait uint8
+
+const (
+	// OracleGranted — the row lock was taken.
+	OracleGranted OracleWait = iota
+	// OracleRowWait — the row's lock byte is set by another transaction.
+	OracleRowWait
+	// OracleITLWait — no ITL slot is available on the page and the ITL
+	// cannot grow further.
+	OracleITLWait
+)
+
+func (w OracleWait) String() string {
+	switch w {
+	case OracleGranted:
+		return "granted"
+	case OracleRowWait:
+		return "row-wait"
+	case OracleITLWait:
+		return "itl-wait"
+	default:
+		return fmt.Sprintf("OracleWait(%d)", uint8(w))
+	}
+}
+
+type oraclePage struct {
+	slots   map[uint64]int // txn -> locked row count on this page
+	itlCap  int            // slots ever allocated (never shrinks)
+	itlSize int            // slots in use
+}
+
+// OracleStats counts the model's events.
+type OracleStats struct {
+	Grants      int64
+	RowWaits    int64
+	ITLWaits    int64
+	ITLGrowths  int64
+	ITLSlotsCap int64 // permanent space: slots ever allocated
+}
+
+// OracleDB is the on-page lock model. Lock attempts are try-style: the
+// caller retries on a wait (polling, as Oracle's sleeping waiters do). It is
+// safe for concurrent use.
+type OracleDB struct {
+	mu    sync.Mutex
+	pages map[uint64]*oraclePage
+	rows  map[rowKey]uint64 // lock byte: row -> holding txn
+	byTxn map[uint64][]rowKey
+
+	initialITL int
+	maxITL     int
+	stats      OracleStats
+}
+
+type rowKey struct {
+	table uint32
+	row   uint64
+}
+
+// NewOracleDB creates the model. initialITL is the ITL slots preallocated
+// per page (Oracle's INITRANS, default 2 for tables); maxITL caps growth
+// (MAXTRANS, bounded by free space in the page).
+func NewOracleDB(initialITL, maxITL int) *OracleDB {
+	if initialITL < 1 {
+		initialITL = 1
+	}
+	if maxITL < initialITL {
+		maxITL = initialITL
+	}
+	return &OracleDB{
+		pages:      make(map[uint64]*oraclePage),
+		rows:       make(map[rowKey]uint64),
+		byTxn:      make(map[uint64][]rowKey),
+		initialITL: initialITL,
+		maxITL:     maxITL,
+	}
+}
+
+func (o *OracleDB) page(id uint64) *oraclePage {
+	p, ok := o.pages[id]
+	if !ok {
+		p = &oraclePage{slots: make(map[uint64]int), itlCap: o.initialITL}
+		o.pages[id] = p
+		o.stats.ITLSlotsCap += int64(o.initialITL)
+	}
+	return p
+}
+
+// TryLockRow attempts to set the lock byte of (table, row) for txn. page is
+// the data page holding the row (storage.Table.PageOf). On OracleRowWait or
+// OracleITLWait the caller should retry later — there is no queue.
+func (o *OracleDB) TryLockRow(txn uint64, table uint32, row, page uint64) OracleWait {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	k := rowKey{table: table, row: row}
+	if holder, locked := o.rows[k]; locked {
+		if holder == txn {
+			o.stats.Grants++
+			return OracleGranted // already ours
+		}
+		o.stats.RowWaits++
+		return OracleRowWait
+	}
+	pg := o.page(page)
+	if _, has := pg.slots[txn]; !has {
+		if pg.itlSize >= pg.itlCap {
+			if pg.itlCap >= o.maxITL {
+				// "the exhaustion of ITL space results in page
+				// level locking": the row itself is free, but we
+				// cannot register interest.
+				o.stats.ITLWaits++
+				return OracleITLWait
+			}
+			pg.itlCap++ // permanent growth; never reclaimed
+			o.stats.ITLGrowths++
+			o.stats.ITLSlotsCap++
+		}
+		pg.slots[txn] = 0
+		pg.itlSize++
+	}
+	pg.slots[txn]++
+	o.rows[k] = txn
+	o.byTxn[txn] = append(o.byTxn[txn], k)
+	o.stats.Grants++
+	return OracleGranted
+}
+
+// pageOfFn maps a row key back to its page; the caller supplies it to
+// Release since the model does not retain the mapping.
+type pageOfFn func(table uint32, row uint64) uint64
+
+// ReleaseAll clears every lock byte held by txn and releases its ITL slots.
+// The ITL *capacity* of each page remains at its high-water mark.
+func (o *OracleDB) ReleaseAll(txn uint64, pageOf pageOfFn) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, k := range o.byTxn[txn] {
+		if o.rows[k] == txn {
+			delete(o.rows, k)
+		}
+		pg := o.pages[pageOf(k.table, k.row)]
+		if pg == nil {
+			continue
+		}
+		if n, ok := pg.slots[txn]; ok {
+			if n <= 1 {
+				delete(pg.slots, txn)
+				pg.itlSize--
+			} else {
+				pg.slots[txn] = n - 1
+			}
+		}
+	}
+	delete(o.byTxn, txn)
+}
+
+// LocksHeld returns the number of lock bytes txn has set.
+func (o *OracleDB) LocksHeld(txn uint64) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.byTxn[txn])
+}
+
+// PermanentITLPagesOverhead reports the cumulative ITL slots ever allocated:
+// the permanent disk-space cost the paper criticises (24 bytes per slot in
+// Oracle; we report slots and let callers convert).
+func (o *OracleDB) PermanentITLSlots() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats.ITLSlotsCap
+}
+
+// Stats returns a snapshot of the model's counters.
+func (o *OracleDB) Stats() OracleStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}

@@ -1,0 +1,115 @@
+// Package baseline implements the alternative lock-management policies the
+// paper compares against in section 2.3:
+//
+//   - the static pre-DB2 9 configuration (a fixed LOCKLIST with
+//     MAXLOCKS = 10, modelled with lockmgr's fixed quota — see the engine's
+//     PolicyStatic);
+//   - Microsoft SQL Server 2005: lock memory starts at 2500 locks, grows
+//     dynamically up to 60% of database server memory, never shrinks;
+//     escalation triggers when lock memory reaches 40% of engine memory or
+//     when a single application acquires 5000 row locks — neither threshold
+//     is configurable;
+//   - Oracle: no lock memory at all — a lock byte per row on the data page
+//     plus an interested transaction list (ITL) per page, whose exhaustion
+//     degrades to page-level blocking and whose growth permanently consumes
+//     page space.
+package baseline
+
+import (
+	"sync"
+
+	"repro/internal/lockmgr"
+	"repro/internal/memblock"
+)
+
+// SQLServerLocksPerApp is the fixed, non-configurable per-application
+// escalation trigger: "if a single application acquires 5000 row level locks
+// an automatic lock escalation is triggered regardless of the amount of
+// memory available for locks".
+const SQLServerLocksPerApp = 5000
+
+// SQLServerInitialLocks is the initial allocation: "SQL Server 2005 will
+// initially allocate enough memory for 2500 locks".
+const SQLServerInitialLocks = 2500
+
+// SQLServerInitialPages returns the initial lock memory in pages (whole
+// blocks covering 2500 lock structures).
+func SQLServerInitialPages() int {
+	blocks := (SQLServerInitialLocks + memblock.StructsPerBlock - 1) / memblock.StructsPerBlock
+	return blocks * memblock.BlockPages
+}
+
+// SQLServerPolicy implements the SQL Server 2005 rules as a lockmgr quota
+// provider and synchronous-growth hook. It performs no asynchronous tuning:
+// lock memory only ever grows.
+type SQLServerPolicy struct {
+	mu            sync.Mutex
+	databasePages int
+	mgr           *lockmgr.Manager
+}
+
+// NewSQLServerPolicy creates the policy for a database of the given size.
+func NewSQLServerPolicy(databasePages int) *SQLServerPolicy {
+	return &SQLServerPolicy{databasePages: databasePages}
+}
+
+// Bind attaches the lock manager (two-step wiring, as the manager is
+// constructed with the policy's hooks).
+func (p *SQLServerPolicy) Bind(m *lockmgr.Manager) {
+	p.mu.Lock()
+	p.mgr = m
+	p.mu.Unlock()
+}
+
+// escalationFloorPages is 40% of database memory: once lock memory usage
+// reaches it, escalations begin regardless of per-application counts.
+func (p *SQLServerPolicy) escalationFloorPages() int {
+	return p.databasePages * 40 / 100
+}
+
+// growthCeilingPages is 60% of database memory: the hard cap on lock memory.
+func (p *SQLServerPolicy) growthCeilingPages() int {
+	return p.databasePages * 60 / 100
+}
+
+// QuotaPercent implements lockmgr.QuotaProvider with the two fixed triggers.
+func (p *SQLServerPolicy) QuotaPercent(appID int, structRequests int64, usedStructs int) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mgr == nil {
+		return 100
+	}
+	capacity := p.mgr.CapacityStructs()
+	if capacity == 0 {
+		return 100
+	}
+	usedPages := (usedStructs + memblock.StructsPerPage - 1) / memblock.StructsPerPage
+	if usedPages >= p.escalationFloorPages() {
+		// Global 40% trigger: the next allocation escalates.
+		return 0
+	}
+	pct := float64(SQLServerLocksPerApp) / float64(capacity) * 100
+	if pct > 100 {
+		pct = 100
+	}
+	return pct
+}
+
+// GrowSync implements the dynamic growth rule: grant while lock memory is
+// below 60% of database memory. Grants are whole blocks.
+func (p *SQLServerPolicy) GrowSync(needPages int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mgr == nil {
+		return 0
+	}
+	room := p.growthCeilingPages() - p.mgr.Pages()
+	if needPages > room {
+		needPages = room
+	}
+	needPages = needPages / memblock.BlockPages * memblock.BlockPages
+	if needPages < 0 {
+		needPages = 0
+	}
+	return needPages
+}

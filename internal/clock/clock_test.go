@@ -1,0 +1,78 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowAdvances(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestSimStartsAtEpoch(t *testing.T) {
+	s := NewSim()
+	if got := s.Elapsed(); got != 0 {
+		t.Fatalf("Elapsed at start = %v, want 0", got)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	s := NewSim()
+	start := s.Now()
+	s.Advance(30 * time.Second)
+	if got := s.Now().Sub(start); got != 30*time.Second {
+		t.Fatalf("advanced %v, want 30s", got)
+	}
+	if got := s.Elapsed(); got != 30*time.Second {
+		t.Fatalf("Elapsed = %v, want 30s", got)
+	}
+}
+
+func TestSimAdvanceAccumulates(t *testing.T) {
+	s := NewSim()
+	for i := 0; i < 10; i++ {
+		s.Advance(time.Second)
+	}
+	if got := s.Elapsed(); got != 10*time.Second {
+		t.Fatalf("Elapsed = %v, want 10s", got)
+	}
+}
+
+func TestSimIgnoresNonPositiveAdvance(t *testing.T) {
+	s := NewSim()
+	s.Advance(0)
+	s.Advance(-time.Hour)
+	if got := s.Elapsed(); got != 0 {
+		t.Fatalf("Elapsed = %v, want 0 after non-positive advances", got)
+	}
+}
+
+func TestSimConcurrentAccess(t *testing.T) {
+	s := NewSim()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Advance(time.Millisecond)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				_ = s.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := s.Elapsed(), 8*1000*time.Millisecond; got != want {
+		t.Fatalf("Elapsed = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,461 @@
+// Package core implements the paper's primary contribution: the adaptive
+// lock-memory tuning algorithm of DB2 9's Self-Tuning Memory Manager (STMM),
+// sections 3.1–3.7 of the paper.
+//
+// The algorithm is deliberately deterministic ("lock memory will be tuned as
+// a deterministic heap") — no cost-benefit model. At each tuning interval it
+// computes a target size for lock memory such that a set fraction of all
+// lock structures is allocated but unused:
+//
+//   - below minFreeLockMemory (50%) free → grow so that minFree is restored;
+//   - above maxFreeLockMemory (60%) free → shrink, but slowly, by
+//     δreduce = 5% of the current size per interval;
+//   - in between → leave the allocation alone (the 50–60% spread prevents
+//     constant resizing);
+//   - escalations occurred during the interval (overflow memory was
+//     constrained) → double the lock memory each interval while they
+//     continue;
+//   - always clamp to [minLockMemory, maxLockMemory] and round to whole
+//     128 KB blocks.
+//
+// Sudden spikes that exceed the free structures *within* an interval are
+// handled synchronously by the lock manager growing into database overflow
+// memory; core provides the admission bound for that path
+// (LMOmax = C1 × available overflow).
+//
+// The per-application quota lockPercentPerApplication (DB2's MAXLOCKS) is
+// adapted on a cubic curve P·(1−(x/100)³) of the fraction x of
+// maxLockMemory currently in use, recomputed on every resize and every
+// refreshPeriodForAppPercent lock-structure requests.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/memblock"
+)
+
+// Params holds the modelling parameters of Table 1. The zero value is not
+// usable; start from DefaultParams.
+type Params struct {
+	// MinFreeFrac is minFreeLockMemory: the minimum fraction of lock
+	// structures that must be free before asynchronous growth is
+	// required. Paper value: 0.50.
+	MinFreeFrac float64
+
+	// MaxFreeFrac is maxFreeLockMemory: the maximum fraction of lock
+	// structures that may be free before asynchronous shrinking starts.
+	// Paper value: 0.60.
+	MaxFreeFrac float64
+
+	// DeltaReduce is δreduce: the fraction of the current lock memory
+	// released per tuning interval while shrinking. Paper value: 0.05.
+	DeltaReduce float64
+
+	// C1 caps how much of the database overflow memory the lock memory
+	// may consume synchronously. Paper value: 0.65.
+	C1 float64
+
+	// MaxLockFrac defines maxLockMemory as a fraction of databaseMemory.
+	// Paper value: 0.20.
+	MaxLockFrac float64
+
+	// CompilerFrac defines sqlCompilerLockMem as a fraction of
+	// databaseMemory. Paper value: 0.10.
+	CompilerFrac float64
+
+	// MinLockBytes is the absolute floor of minLockMemory. Paper: 2 MB.
+	MinLockBytes int
+
+	// MinStructsPerApp scales minLockMemory with connected applications:
+	// minLockMemory = MAX(MinLockBytes, MinStructsPerApp·locksize·apps).
+	// Paper value: 500.
+	MinStructsPerApp int
+
+	// LockSizeBytes is the size of one lock structure. 64 bytes gives the
+	// paper's ≈2000 structures per 128 KB block.
+	LockSizeBytes int
+
+	// MaxAppPercent is P: the per-application quota when lock memory is
+	// far from its maximum. Paper value: 98 (percent).
+	MaxAppPercent float64
+
+	// CurveExponent is the exponent of the attenuation curve. Paper: 3.
+	CurveExponent float64
+
+	// RefreshPeriod is refreshPeriodForAppPercent: lock-structure
+	// requests between recomputations of lockPercentPerApplication.
+	// Paper value: 0x80 (128).
+	RefreshPeriod int64
+}
+
+// DefaultParams returns the paper's Table 1 values.
+func DefaultParams() Params {
+	return Params{
+		MinFreeFrac:      0.50,
+		MaxFreeFrac:      0.60,
+		DeltaReduce:      0.05,
+		C1:               0.65,
+		MaxLockFrac:      0.20,
+		CompilerFrac:     0.10,
+		MinLockBytes:     2 * 1024 * 1024,
+		MinStructsPerApp: 500,
+		LockSizeBytes:    memblock.LockSize,
+		MaxAppPercent:    98,
+		CurveExponent:    3,
+		RefreshPeriod:    0x80,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (p Params) Validate() error {
+	switch {
+	case p.MinFreeFrac <= 0 || p.MinFreeFrac >= 1:
+		return fmt.Errorf("core: MinFreeFrac %g outside (0,1)", p.MinFreeFrac)
+	case p.MaxFreeFrac <= p.MinFreeFrac || p.MaxFreeFrac >= 1:
+		return fmt.Errorf("core: MaxFreeFrac %g must be in (MinFreeFrac,1)", p.MaxFreeFrac)
+	case p.DeltaReduce <= 0 || p.DeltaReduce >= 1:
+		return fmt.Errorf("core: DeltaReduce %g outside (0,1)", p.DeltaReduce)
+	case p.C1 <= 0 || p.C1 >= 1:
+		return fmt.Errorf("core: C1 %g outside (0,1)", p.C1)
+	case p.MaxLockFrac <= 0 || p.MaxLockFrac > 1:
+		return fmt.Errorf("core: MaxLockFrac %g outside (0,1]", p.MaxLockFrac)
+	case p.CompilerFrac <= 0 || p.CompilerFrac > 1:
+		return fmt.Errorf("core: CompilerFrac %g outside (0,1]", p.CompilerFrac)
+	case p.MinLockBytes < memblock.BlockBytes:
+		return fmt.Errorf("core: MinLockBytes %d below one block", p.MinLockBytes)
+	case p.MinStructsPerApp < 0:
+		return fmt.Errorf("core: MinStructsPerApp %d negative", p.MinStructsPerApp)
+	case p.LockSizeBytes <= 0:
+		return fmt.Errorf("core: LockSizeBytes %d non-positive", p.LockSizeBytes)
+	case p.MaxAppPercent <= 0 || p.MaxAppPercent > 100:
+		return fmt.Errorf("core: MaxAppPercent %g outside (0,100]", p.MaxAppPercent)
+	case p.CurveExponent <= 0:
+		return fmt.Errorf("core: CurveExponent %g non-positive", p.CurveExponent)
+	case p.RefreshPeriod <= 0:
+		return fmt.Errorf("core: RefreshPeriod %d non-positive", p.RefreshPeriod)
+	}
+	return nil
+}
+
+// roundUpBlocks rounds pages up to whole 128 KB blocks — "all increments and
+// decrements to the lock memory are performed in integral units of lock
+// memory blocks".
+func roundUpBlocks(pages int) int {
+	if pages <= 0 {
+		return 0
+	}
+	return (pages + memblock.BlockPages - 1) / memblock.BlockPages * memblock.BlockPages
+}
+
+// roundNearestBlocks converts pages to the nearest whole number of blocks,
+// never less than one.
+func roundNearestBlocks(pages float64) int {
+	blocks := int(math.Round(pages / memblock.BlockPages))
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks * memblock.BlockPages
+}
+
+// MinLockPages returns minLockMemory in pages for the given number of
+// connected applications: MAX(2 MB, 500·locksize·num_applications), rounded
+// up to whole blocks.
+func (p Params) MinLockPages(numApplications int) int {
+	if numApplications < 0 {
+		numApplications = 0
+	}
+	byApps := p.MinStructsPerApp * p.LockSizeBytes * numApplications
+	bytes := p.MinLockBytes
+	if byApps > bytes {
+		bytes = byApps
+	}
+	return roundUpBlocks((bytes + memblock.PageSize - 1) / memblock.PageSize)
+}
+
+// MaxLockPages returns maxLockMemory in pages: 0.20 × databaseMemory,
+// rounded down to whole blocks so the cap is never exceeded.
+func (p Params) MaxLockPages(databasePages int) int {
+	pages := int(p.MaxLockFrac * float64(databasePages))
+	return pages / memblock.BlockPages * memblock.BlockPages
+}
+
+// CompilerLockPages returns sqlCompilerLockMem in pages: the stable,
+// generous estimate of available lock memory exposed to the SQL query
+// compiler (section 3.6), decoupled from the instantaneous allocation.
+func (p Params) CompilerLockPages(databasePages int) int {
+	return int(p.CompilerFrac * float64(databasePages))
+}
+
+// LMOMaxPages returns LMOmax: the most lock memory that may be held out of
+// database overflow memory, C1 × (databaseMemory − Σ heapsizes + LMO).
+// sumHeapPages is the total of all heap allocations (including the lock
+// heap); lmoPages is the lock memory currently allocated from overflow.
+func (p Params) LMOMaxPages(databasePages, sumHeapPages, lmoPages int) int {
+	avail := databasePages - sumHeapPages + lmoPages
+	if avail < 0 {
+		avail = 0
+	}
+	return int(p.C1 * float64(avail))
+}
+
+// AllowedSyncGrowthPages returns how many more pages the lock memory may
+// take synchronously from overflow right now, honouring both LMOmax and the
+// physically available overflow.
+func (p Params) AllowedSyncGrowthPages(databasePages, sumHeapPages, lmoPages, overflowPages int) int {
+	room := p.LMOMaxPages(databasePages, sumHeapPages, lmoPages) - lmoPages
+	if room > overflowPages {
+		room = overflowPages
+	}
+	if room < 0 {
+		room = 0
+	}
+	return room
+}
+
+// AppPercent evaluates the adaptive lockPercentPerApplication curve
+// P·(1−(x/100)^CurveExponent) where x is the percentage of maxLockMemory
+// currently used. The result is clamped to [1, P]: the paper specifies the
+// quota "dropping down to 1 when lock memory is 100% of its maximum size".
+func (p Params) AppPercent(usedPct float64) float64 {
+	if usedPct < 0 {
+		usedPct = 0
+	}
+	if usedPct > 100 {
+		usedPct = 100
+	}
+	v := p.MaxAppPercent * (1 - math.Pow(usedPct/100, p.CurveExponent))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Action classifies a tuning decision.
+type Action int
+
+const (
+	// ActionNone leaves the allocation unchanged.
+	ActionNone Action = iota
+	// ActionGrow raises the lock memory to Decision.TargetPages.
+	ActionGrow
+	// ActionShrink lowers the lock memory to Decision.TargetPages.
+	ActionShrink
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionGrow:
+		return "grow"
+	case ActionShrink:
+		return "shrink"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Inputs is the lock manager state sampled at a tuning interval.
+type Inputs struct {
+	// DatabasePages is total databaseMemory in pages.
+	DatabasePages int
+	// LockPages is the lock memory currently allocated (pages).
+	LockPages int
+	// UsedStructs is the number of lock structures in use.
+	UsedStructs int
+	// CapacityStructs is the number of lock structures the current
+	// allocation can hold.
+	CapacityStructs int
+	// NumApplications is the number of connected applications.
+	NumApplications int
+	// Escalations counts lock escalations since the previous interval.
+	Escalations int64
+}
+
+// Decision is the outcome of one asynchronous tuning step.
+type Decision struct {
+	// TargetPages is the new lock memory size (whole blocks).
+	TargetPages int
+	// Action summarizes the direction of the change.
+	Action Action
+	// MinPages/MaxPages are the bounds that applied.
+	MinPages, MaxPages int
+	// Doubled reports that the escalation-recovery doubling fired.
+	Doubled bool
+	// Reason is a human-readable explanation for logs and tests.
+	Reason string
+}
+
+// Tuner carries the small amount of state the asynchronous algorithm needs
+// between intervals (the previous target, for the no-change band). It is not
+// safe for concurrent use; the STMM controller serializes tuning.
+type Tuner struct {
+	params     Params
+	prevTarget int
+}
+
+// NewTuner creates a tuner. It panics on invalid params — a configuration
+// bug that should fail fast at startup.
+func NewTuner(p Params) *Tuner {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Tuner{params: p}
+}
+
+// Params returns the tuner's parameters.
+func (t *Tuner) Params() Params { return t.params }
+
+// structsToPages converts a structure count to pages, rounding up.
+func structsToPages(structs int) int {
+	if structs <= 0 {
+		return 0
+	}
+	return (structs + memblock.StructsPerPage - 1) / memblock.StructsPerPage
+}
+
+// Decide computes the lock-memory target for this tuning interval.
+//
+// The order of the rules mirrors section 3: escalation doubling first (the
+// system is in distress), then the free-band growth and δreduce shrink
+// rules, then the min/max clamps, then block rounding.
+func (t *Tuner) Decide(in Inputs) Decision {
+	p := t.params
+	min := p.MinLockPages(in.NumApplications)
+	max := p.MaxLockPages(in.DatabasePages)
+	if max < min {
+		// Tiny databases: the floor wins; the cap is advisory.
+		max = min
+	}
+
+	usedPages := structsToPages(in.UsedStructs)
+	// Pages needed so that MinFreeFrac of structures are free.
+	growTarget := roundUpBlocks(int(math.Ceil(float64(usedPages) / (1 - p.MinFreeFrac))))
+	// Pages at which exactly MaxFreeFrac of structures are free — the
+	// shrink path never goes below this in a single step.
+	shrinkFloor := roundUpBlocks(int(math.Ceil(float64(usedPages) / (1 - p.MaxFreeFrac))))
+
+	var freeFrac float64
+	if in.CapacityStructs > 0 {
+		freeFrac = float64(in.CapacityStructs-in.UsedStructs) / float64(in.CapacityStructs)
+	}
+
+	target := in.LockPages
+	action := ActionNone
+	doubled := false
+	reason := "free fraction within [minFree,maxFree] band"
+
+	switch {
+	case in.Escalations > 0:
+		// Escalations mean overflow was constrained and demand was cut
+		// off: double each interval while they continue, but never
+		// below what the free-band rule would ask for.
+		target = in.LockPages * 2
+		if target < growTarget {
+			target = growTarget
+		}
+		doubled = true
+		action = ActionGrow
+		reason = fmt.Sprintf("%d escalations during interval: doubling", in.Escalations)
+	case in.CapacityStructs == 0:
+		target = min
+		action = ActionGrow
+		reason = "no lock memory allocated: raising to minimum"
+	case freeFrac < p.MinFreeFrac:
+		target = growTarget
+		action = ActionGrow
+		reason = fmt.Sprintf("free fraction %.2f below minFree %.2f", freeFrac, p.MinFreeFrac)
+	case freeFrac > p.MaxFreeFrac:
+		// δreduce is "rounded to the nearest number of 128KB blocks";
+		// at least one block so the shrink always makes progress.
+		step := roundNearestBlocks(p.DeltaReduce * float64(in.LockPages))
+		target = in.LockPages - step
+		if target < shrinkFloor {
+			target = shrinkFloor
+		}
+		action = ActionShrink
+		reason = fmt.Sprintf("free fraction %.2f above maxFree %.2f: δreduce step %d pages", freeFrac, p.MaxFreeFrac, step)
+	default:
+		// Within the band: keep the previous target so that the
+		// allocation is not adjusted ("avoids constant modification").
+		if t.prevTarget != 0 {
+			target = t.prevTarget
+		}
+	}
+
+	// Bounds apply to every path, including the doubling path.
+	if target < min {
+		if action == ActionNone || target < in.LockPages {
+			reason = fmt.Sprintf("raised to minLockMemory %d pages (apps=%d)", min, in.NumApplications)
+		}
+		target = min
+	}
+	if target > max {
+		target = max
+		reason += fmt.Sprintf("; clamped to maxLockMemory %d pages", max)
+	}
+	target = roundUpBlocks(target)
+
+	// Derive the action from the final relationship to the current size.
+	switch {
+	case target > in.LockPages:
+		action = ActionGrow
+	case target < in.LockPages:
+		action = ActionShrink
+	default:
+		action = ActionNone
+	}
+
+	t.prevTarget = target
+	return Decision{
+		TargetPages: target,
+		Action:      action,
+		MinPages:    min,
+		MaxPages:    max,
+		Doubled:     doubled,
+		Reason:      reason,
+	}
+}
+
+// QuotaTracker maintains the live lockPercentPerApplication value,
+// recomputing it on every lock-memory resize and after every RefreshPeriod
+// lock-structure requests (section 3.5). It is safe for use under the lock
+// manager's latch; it performs no locking of its own.
+type QuotaTracker struct {
+	params       Params
+	lastRequests int64
+	current      float64
+	initialized  bool
+}
+
+// NewQuotaTracker returns a tracker that starts at the unconstrained value P.
+func NewQuotaTracker(p Params) *QuotaTracker {
+	return &QuotaTracker{params: p, current: p.MaxAppPercent}
+}
+
+// Current returns the quota (percent of lock memory a single application may
+// hold) as of the last recomputation.
+func (q *QuotaTracker) Current() float64 { return q.current }
+
+// OnResize recomputes the quota immediately; usedPct is the percentage of
+// maxLockMemory currently in use.
+func (q *QuotaTracker) OnResize(usedPct float64) float64 {
+	q.current = q.params.AppPercent(usedPct)
+	q.initialized = true
+	return q.current
+}
+
+// MaybeRefresh recomputes the quota if at least RefreshPeriod lock-structure
+// requests have occurred since the last recomputation. It returns the
+// (possibly updated) quota and whether a recomputation happened.
+func (q *QuotaTracker) MaybeRefresh(totalRequests int64, usedPct float64) (float64, bool) {
+	if q.initialized && totalRequests-q.lastRequests < q.params.RefreshPeriod {
+		return q.current, false
+	}
+	q.lastRequests = totalRequests
+	q.current = q.params.AppPercent(usedPct)
+	q.initialized = true
+	return q.current, true
+}

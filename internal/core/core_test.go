@@ -1,0 +1,540 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memblock"
+)
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.MinFreeFrac != 0.50 {
+		t.Errorf("minFreeLockMemory = %g, want 0.50", p.MinFreeFrac)
+	}
+	if p.MaxFreeFrac != 0.60 {
+		t.Errorf("maxFreeLockMemory = %g, want 0.60", p.MaxFreeFrac)
+	}
+	if p.DeltaReduce != 0.05 {
+		t.Errorf("δreduce = %g, want 0.05", p.DeltaReduce)
+	}
+	if p.C1 != 0.65 {
+		t.Errorf("C1 = %g, want 0.65", p.C1)
+	}
+	if p.MaxLockFrac != 0.20 {
+		t.Errorf("maxLockMemory fraction = %g, want 0.20", p.MaxLockFrac)
+	}
+	if p.CompilerFrac != 0.10 {
+		t.Errorf("sqlCompilerLockMem fraction = %g, want 0.10", p.CompilerFrac)
+	}
+	if p.MinLockBytes != 2*1024*1024 {
+		t.Errorf("min lock bytes = %d, want 2 MB", p.MinLockBytes)
+	}
+	if p.MinStructsPerApp != 500 {
+		t.Errorf("structs per app = %d, want 500", p.MinStructsPerApp)
+	}
+	if p.MaxAppPercent != 98 {
+		t.Errorf("P = %g, want 98", p.MaxAppPercent)
+	}
+	if p.CurveExponent != 3 {
+		t.Errorf("curve exponent = %g, want 3", p.CurveExponent)
+	}
+	if p.RefreshPeriod != 0x80 {
+		t.Errorf("refreshPeriodForAppPercent = %d, want 0x80", p.RefreshPeriod)
+	}
+}
+
+func TestValidateCatchesEachField(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"MinFreeFrac", func(p *Params) { p.MinFreeFrac = 0 }},
+		{"MaxFreeFrac below min", func(p *Params) { p.MaxFreeFrac = 0.4 }},
+		{"MaxFreeFrac=1", func(p *Params) { p.MaxFreeFrac = 1 }},
+		{"DeltaReduce", func(p *Params) { p.DeltaReduce = 0 }},
+		{"C1", func(p *Params) { p.C1 = 1.5 }},
+		{"MaxLockFrac", func(p *Params) { p.MaxLockFrac = 0 }},
+		{"CompilerFrac", func(p *Params) { p.CompilerFrac = -0.1 }},
+		{"MinLockBytes", func(p *Params) { p.MinLockBytes = 1024 }},
+		{"MinStructsPerApp", func(p *Params) { p.MinStructsPerApp = -1 }},
+		{"LockSizeBytes", func(p *Params) { p.LockSizeBytes = 0 }},
+		{"MaxAppPercent", func(p *Params) { p.MaxAppPercent = 101 }},
+		{"CurveExponent", func(p *Params) { p.CurveExponent = 0 }},
+		{"RefreshPeriod", func(p *Params) { p.RefreshPeriod = 0 }},
+	}
+	for _, m := range mutations {
+		p := DefaultParams()
+		m.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted bad %s", m.name)
+		}
+	}
+}
+
+func TestNewTunerPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTuner must panic on invalid params")
+		}
+	}()
+	NewTuner(Params{})
+}
+
+func TestMinLockPages(t *testing.T) {
+	p := DefaultParams()
+	// 2 MB floor = 512 pages, already block aligned.
+	if got := p.MinLockPages(0); got != 512 {
+		t.Errorf("MinLockPages(0) = %d, want 512", got)
+	}
+	if got := p.MinLockPages(1); got != 512 {
+		t.Errorf("MinLockPages(1) = %d, want 512", got)
+	}
+	if got := p.MinLockPages(-3); got != 512 {
+		t.Errorf("MinLockPages(-3) = %d, want 512", got)
+	}
+	// 500·64 B = 32 KB per application; 2 MB covers 64 applications.
+	if got := p.MinLockPages(64); got != 512 {
+		t.Errorf("MinLockPages(64) = %d, want 512 (still at 2 MB floor)", got)
+	}
+	// 130 applications: 500·64·130 = 4.16 MB = 1016 pages → 32 blocks = 1024.
+	if got := p.MinLockPages(130); got != 1024 {
+		t.Errorf("MinLockPages(130) = %d, want 1024", got)
+	}
+	// Result is always whole blocks.
+	for apps := 0; apps < 300; apps += 7 {
+		if got := p.MinLockPages(apps); got%memblock.BlockPages != 0 {
+			t.Fatalf("MinLockPages(%d) = %d not block aligned", apps, got)
+		}
+	}
+}
+
+func TestMaxLockPages(t *testing.T) {
+	p := DefaultParams()
+	// 512 MB database = 131072 pages; 20% = 26214.4 → block-floor 26208.
+	if got := p.MaxLockPages(131072); got != 26208 {
+		t.Errorf("MaxLockPages(131072) = %d, want 26208", got)
+	}
+	if got := p.MaxLockPages(0); got != 0 {
+		t.Errorf("MaxLockPages(0) = %d, want 0", got)
+	}
+	if got := p.MaxLockPages(131072); float64(got) > 0.20*131072 {
+		t.Errorf("cap exceeded: %d", got)
+	}
+}
+
+func TestCompilerLockPages(t *testing.T) {
+	p := DefaultParams()
+	if got := p.CompilerLockPages(131072); got != 13107 {
+		t.Errorf("CompilerLockPages = %d, want 13107", got)
+	}
+}
+
+func TestLMOMaxPages(t *testing.T) {
+	p := DefaultParams()
+	// db=10000, heaps sum 9000 (of which 500 is LMO): avail = 1500, C1 = 975.
+	if got := p.LMOMaxPages(10000, 9000, 500); got != 975 {
+		t.Errorf("LMOMaxPages = %d, want 975", got)
+	}
+	if got := p.LMOMaxPages(100, 500, 0); got != 0 {
+		t.Errorf("LMOMaxPages negative avail = %d, want 0", got)
+	}
+}
+
+func TestAllowedSyncGrowthPages(t *testing.T) {
+	p := DefaultParams()
+	// LMOmax = 975, LMO = 500 → room 475, overflow 1000 → 475.
+	if got := p.AllowedSyncGrowthPages(10000, 9000, 500, 1000); got != 475 {
+		t.Errorf("AllowedSyncGrowth = %d, want 475", got)
+	}
+	// Overflow is the binding constraint.
+	if got := p.AllowedSyncGrowthPages(10000, 9000, 500, 100); got != 100 {
+		t.Errorf("AllowedSyncGrowth = %d, want 100", got)
+	}
+	// Already above LMOmax (LMOmax = 0.65·(1000+2000) = 1950 < 2000):
+	// no further growth.
+	if got := p.AllowedSyncGrowthPages(10000, 9000, 2000, 1000); got != 0 {
+		t.Errorf("AllowedSyncGrowth = %d, want 0", got)
+	}
+}
+
+// TestAppPercentCurve checks the Table 1 formula 98·(1−(x/100)³) at
+// representative points.
+func TestAppPercentCurve(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct{ x, want float64 }{
+		{0, 98},
+		{25, 98 * (1 - 0.015625)},
+		{50, 98 * (1 - 0.125)},
+		{75, 98 * (1 - 0.421875)},
+		{90, 98 * (1 - 0.729)},
+		{100, 1}, // curve hits 0, clamped to 1
+	}
+	for _, tc := range cases {
+		if got := p.AppPercent(tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("AppPercent(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+	if got := p.AppPercent(-10); got != 98 {
+		t.Errorf("AppPercent(-10) = %g, want 98", got)
+	}
+	if got := p.AppPercent(250); got != 1 {
+		t.Errorf("AppPercent(250) = %g, want 1", got)
+	}
+}
+
+// Property: the quota curve is monotonically non-increasing and bounded.
+func TestQuickAppPercentMonotone(t *testing.T) {
+	p := DefaultParams()
+	f := func(a, b uint8) bool {
+		x, y := float64(a%101), float64(b%101)
+		if x > y {
+			x, y = y, x
+		}
+		px, py := p.AppPercent(x), p.AppPercent(y)
+		return px >= py && px <= 98 && py >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Decide ---
+
+const testDBPages = 131072 // 512 MB database memory
+
+func steadyInputs() Inputs {
+	// 2048 pages allocated, 45% free: inside the [40%,50%] ... no: with
+	// default params the band is [50%,60%] free. 45% free is below
+	// minFree. Use 55% free for "steady".
+	capacity := 2048 * memblock.StructsPerPage
+	return Inputs{
+		DatabasePages:   testDBPages,
+		LockPages:       2048,
+		UsedStructs:     int(0.45 * float64(capacity)), // 55% free
+		CapacityStructs: capacity,
+		NumApplications: 10,
+	}
+}
+
+func TestDecideSteadyStateNoChange(t *testing.T) {
+	tu := NewTuner(DefaultParams())
+	d := tu.Decide(steadyInputs())
+	if d.Action != ActionNone {
+		t.Fatalf("action = %v (%s), want none", d.Action, d.Reason)
+	}
+	if d.TargetPages != 2048 {
+		t.Fatalf("target = %d, want 2048", d.TargetPages)
+	}
+}
+
+func TestDecideGrowsWhenBelowMinFree(t *testing.T) {
+	tu := NewTuner(DefaultParams())
+	in := steadyInputs()
+	in.UsedStructs = int(0.70 * float64(in.CapacityStructs)) // only 30% free
+	d := tu.Decide(in)
+	if d.Action != ActionGrow {
+		t.Fatalf("action = %v (%s), want grow", d.Action, d.Reason)
+	}
+	// Target should make used ≈ 50%: usedPages = 0.7·2048 = 1434 (rounded
+	// up), target = ceil(1434/0.5) = 2868 → block-rounded 2880.
+	if d.TargetPages != 2880 {
+		t.Fatalf("target = %d, want 2880", d.TargetPages)
+	}
+}
+
+func TestDecideShrinksSlowlyWhenAboveMaxFree(t *testing.T) {
+	tu := NewTuner(DefaultParams())
+	in := steadyInputs()
+	in.UsedStructs = int(0.10 * float64(in.CapacityStructs)) // 90% free
+	d := tu.Decide(in)
+	if d.Action != ActionShrink {
+		t.Fatalf("action = %v (%s), want shrink", d.Action, d.Reason)
+	}
+	// δreduce = 5% of 2048 = 102.4 pages → nearest blocks = 3 → 96 pages.
+	if got := in.LockPages - d.TargetPages; got != 96 {
+		t.Fatalf("shrink step = %d pages, want 96", got)
+	}
+}
+
+func TestDecideShrinkStopsAtMaxFreeFloor(t *testing.T) {
+	tu := NewTuner(DefaultParams())
+	// 544 pages allocated, used 208 pages of structs (≈38% used, 62% free:
+	// just above maxFree). The shrink floor is ceil(208/0.4)=520→544;
+	// a 5% step would go to 512, but the floor holds at 544.
+	capacity := 544 * memblock.StructsPerPage
+	in := Inputs{
+		DatabasePages:   testDBPages,
+		LockPages:       544,
+		UsedStructs:     208 * memblock.StructsPerPage,
+		CapacityStructs: capacity,
+		NumApplications: 1,
+	}
+	d := tu.Decide(in)
+	if d.TargetPages != 544 || d.Action != ActionNone {
+		t.Fatalf("target = %d action=%v (%s), want hold at 544", d.TargetPages, d.Action, d.Reason)
+	}
+}
+
+func TestDecideDoublesOnEscalations(t *testing.T) {
+	tu := NewTuner(DefaultParams())
+	in := steadyInputs()
+	in.Escalations = 3
+	d := tu.Decide(in)
+	if !d.Doubled {
+		t.Fatalf("doubling did not fire: %s", d.Reason)
+	}
+	if d.TargetPages != 4096 {
+		t.Fatalf("target = %d, want 4096 (double)", d.TargetPages)
+	}
+	if !strings.Contains(d.Reason, "escalations") {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+}
+
+func TestDecideDoublingRespectsMax(t *testing.T) {
+	tu := NewTuner(DefaultParams())
+	in := steadyInputs()
+	in.LockPages = 20000
+	in.CapacityStructs = 20000 * memblock.StructsPerPage
+	in.UsedStructs = in.CapacityStructs / 2
+	in.Escalations = 1
+	d := tu.Decide(in)
+	max := DefaultParams().MaxLockPages(testDBPages)
+	if d.TargetPages != max {
+		t.Fatalf("target = %d, want clamp at max %d", d.TargetPages, max)
+	}
+}
+
+func TestDecideRaisesToMinimumWithApplications(t *testing.T) {
+	tu := NewTuner(DefaultParams())
+	// 130 applications connected, small allocation with plenty free:
+	// the per-application floor (1024 pages) must still lift it.
+	capacity := 512 * memblock.StructsPerPage
+	in := Inputs{
+		DatabasePages:   testDBPages,
+		LockPages:       512,
+		UsedStructs:     capacity / 2, // in-band free fraction
+		CapacityStructs: capacity,
+		NumApplications: 130,
+	}
+	d := tu.Decide(in)
+	if d.TargetPages != 1024 || d.Action != ActionGrow {
+		t.Fatalf("target = %d action=%v, want grow to 1024", d.TargetPages, d.Action)
+	}
+	if d.MinPages != 1024 {
+		t.Fatalf("MinPages = %d, want 1024", d.MinPages)
+	}
+}
+
+func TestDecideZeroCapacityBootstrap(t *testing.T) {
+	tu := NewTuner(DefaultParams())
+	d := tu.Decide(Inputs{DatabasePages: testDBPages, NumApplications: 1})
+	if d.TargetPages != 512 || d.Action != ActionGrow {
+		t.Fatalf("bootstrap target = %d action=%v, want grow to 512", d.TargetPages, d.Action)
+	}
+}
+
+func TestDecideBandKeepsPreviousTarget(t *testing.T) {
+	tu := NewTuner(DefaultParams())
+	// First interval: grow decision to 2880 (from the grow test setup).
+	in := steadyInputs()
+	in.UsedStructs = int(0.70 * float64(in.CapacityStructs))
+	d1 := tu.Decide(in)
+	if d1.TargetPages != 2880 {
+		t.Fatalf("setup failed: %d", d1.TargetPages)
+	}
+	// Second interval: suppose STMM could not apply the full growth (lock
+	// memory still 2048) but usage fell back into the band. The target
+	// stays at the previous target rather than snapping to current.
+	in2 := steadyInputs() // 55% free at 2048 pages
+	d2 := tu.Decide(in2)
+	if d2.TargetPages != 2880 {
+		t.Fatalf("band target = %d, want previous target 2880", d2.TargetPages)
+	}
+}
+
+func TestDecideMaxNeverBelowMin(t *testing.T) {
+	tu := NewTuner(DefaultParams())
+	// A 4 MB database: max (20%) would be below the 2 MB floor.
+	d := tu.Decide(Inputs{DatabasePages: 1024, NumApplications: 1})
+	if d.TargetPages != 512 {
+		t.Fatalf("target = %d, want 512 (floor beats cap)", d.TargetPages)
+	}
+	if d.MaxPages < d.MinPages {
+		t.Fatalf("max %d < min %d", d.MaxPages, d.MinPages)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionNone.String() != "none" || ActionGrow.String() != "grow" || ActionShrink.String() != "shrink" {
+		t.Fatal("Action strings wrong")
+	}
+	if Action(9).String() != "Action(9)" {
+		t.Fatalf("unknown action string = %q", Action(9).String())
+	}
+}
+
+// Property: for any inputs the decision is block-aligned and within bounds,
+// and a shrink decision never cuts more than δreduce (rounded up to one
+// block) in a single step.
+func TestQuickDecideInvariants(t *testing.T) {
+	p := DefaultParams()
+	f := func(lockBlocks uint16, usedFracByte, apps uint8, esc bool) bool {
+		tu := NewTuner(p)
+		lockPages := int(lockBlocks%2048) * memblock.BlockPages
+		capacity := lockPages * memblock.StructsPerPage
+		used := int(float64(capacity) * float64(usedFracByte) / 255)
+		in := Inputs{
+			DatabasePages:   testDBPages,
+			LockPages:       lockPages,
+			UsedStructs:     used,
+			CapacityStructs: capacity,
+			NumApplications: int(apps),
+		}
+		if esc {
+			in.Escalations = 1
+		}
+		d := tu.Decide(in)
+		if d.TargetPages%memblock.BlockPages != 0 {
+			return false
+		}
+		if d.TargetPages < d.MinPages || d.TargetPages > d.MaxPages {
+			return false
+		}
+		// The δreduce damping bounds shrink steps — except when the
+		// starting size violates maxLockMemory, where the clamp cuts
+		// straight to the cap.
+		if d.Action == ActionShrink && lockPages <= d.MaxPages {
+			maxStep := int(math.Ceil(p.DeltaReduce*float64(lockPages))) + memblock.BlockPages
+			if lockPages-d.TargetPages > maxStep {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: repeated shrink decisions converge (geometric decay) to the
+// shrink floor without oscillating.
+func TestShrinkConvergesWithoutOscillation(t *testing.T) {
+	p := DefaultParams()
+	tu := NewTuner(p)
+	lockPages := 10240
+	used := 100 * memblock.StructsPerPage // far below allocation
+	var sizes []int
+	for i := 0; i < 100; i++ {
+		in := Inputs{
+			DatabasePages:   testDBPages,
+			LockPages:       lockPages,
+			UsedStructs:     used,
+			CapacityStructs: lockPages * memblock.StructsPerPage,
+			NumApplications: 1,
+		}
+		d := tu.Decide(in)
+		if d.TargetPages > lockPages {
+			t.Fatalf("iteration %d: shrink phase grew from %d to %d", i, lockPages, d.TargetPages)
+		}
+		lockPages = d.TargetPages
+		sizes = append(sizes, lockPages)
+		if d.Action == ActionNone {
+			break
+		}
+	}
+	last := sizes[len(sizes)-1]
+	// Floor: used=100 pages → ceil(100/0.4)=250 → 256 pages; min is 512.
+	if last != 512 {
+		t.Fatalf("converged at %d pages, want 512 (min); trajectory %v", last, sizes)
+	}
+}
+
+// --- QuotaTracker ---
+
+func TestQuotaTrackerStartsUnconstrained(t *testing.T) {
+	q := NewQuotaTracker(DefaultParams())
+	if got := q.Current(); got != 98 {
+		t.Fatalf("initial quota = %g, want 98", got)
+	}
+}
+
+func TestQuotaTrackerRefreshPeriod(t *testing.T) {
+	q := NewQuotaTracker(DefaultParams())
+	// First call always computes (tracker not yet initialized).
+	v, refreshed := q.MaybeRefresh(10, 50)
+	if !refreshed {
+		t.Fatal("first MaybeRefresh must compute")
+	}
+	if want := 98 * (1 - 0.125); math.Abs(v-want) > 1e-9 {
+		t.Fatalf("quota = %g, want %g", v, want)
+	}
+	// 127 more requests: below the 128-request period, no refresh.
+	if _, refreshed := q.MaybeRefresh(10+127, 99); refreshed {
+		t.Fatal("refresh before period elapsed")
+	}
+	// 128 requests: refresh fires.
+	v, refreshed = q.MaybeRefresh(10+128, 100)
+	if !refreshed || v != 1 {
+		t.Fatalf("refresh at period: v=%g refreshed=%v", v, refreshed)
+	}
+}
+
+func TestQuotaTrackerOnResize(t *testing.T) {
+	q := NewQuotaTracker(DefaultParams())
+	if got := q.OnResize(75); math.Abs(got-98*(1-0.421875)) > 1e-9 {
+		t.Fatalf("OnResize(75) = %g", got)
+	}
+	// A resize resets the baseline value immediately even mid-period.
+	if got := q.Current(); math.Abs(got-98*(1-0.421875)) > 1e-9 {
+		t.Fatalf("Current = %g", got)
+	}
+}
+
+// Property: applying an unclamped grow decision restores at least
+// minFreeLockMemory free — the growth rule's entire purpose.
+func TestQuickGrowRestoresMinFree(t *testing.T) {
+	p := DefaultParams()
+	f := func(usedPagesRaw uint16) bool {
+		usedPages := int(usedPagesRaw%8000) + 1
+		used := usedPages * memblock.StructsPerPage
+		cap := used + used/10 // only ~9% free: growth required
+		tu := NewTuner(p)
+		d := tu.Decide(Inputs{
+			DatabasePages:   1 << 22, // large db: max clamp never binds
+			LockPages:       (cap + memblock.StructsPerPage - 1) / memblock.StructsPerPage,
+			UsedStructs:     used,
+			CapacityStructs: cap,
+			NumApplications: 1,
+		})
+		if d.Action != ActionGrow && d.TargetPages < usedPages*2 {
+			// The floor may already satisfy minFree.
+			return d.TargetPages >= usedPages*2 || d.TargetPages == d.MinPages
+		}
+		newFree := float64(d.TargetPages-usedPages) / float64(d.TargetPages)
+		return newFree >= p.MinFreeFrac-0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecideReasonStrings: decisions explain themselves.
+func TestDecideReasonStrings(t *testing.T) {
+	tu := NewTuner(DefaultParams())
+	in := steadyInputs()
+	in.UsedStructs = int(0.7 * float64(in.CapacityStructs))
+	if d := tu.Decide(in); !strings.Contains(d.Reason, "below minFree") {
+		t.Fatalf("grow reason = %q", d.Reason)
+	}
+	in.UsedStructs = int(0.1 * float64(in.CapacityStructs))
+	if d := tu.Decide(in); !strings.Contains(d.Reason, "δreduce") {
+		t.Fatalf("shrink reason = %q", d.Reason)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memblock"
+)
+
+// FuzzDecide hammers the tuner with arbitrary inputs and checks the safety
+// properties every decision must satisfy: block alignment, bound clamping,
+// and bounded shrink steps. Run with `go test -fuzz=FuzzDecide ./internal/core`;
+// the seed corpus also runs under plain `go test`.
+func FuzzDecide(f *testing.F) {
+	f.Add(131072, 2048, 50_000, 131072, 10, int64(0))
+	f.Add(1310720, 512, 0, 32768, 130, int64(3))
+	f.Add(1024, 0, 0, 0, 0, int64(0))
+	f.Add(1<<30, 1<<20, 1<<24, 1<<26, 10_000, int64(100))
+
+	f.Fuzz(func(t *testing.T, dbPages, lockPages, used, capacity, apps int, esc int64) {
+		// Clamp to sane, non-negative shapes (the tuner's contract).
+		if dbPages < 1 || dbPages > 1<<30 || lockPages < 0 || lockPages > 1<<28 {
+			t.Skip()
+		}
+		if capacity < 0 || capacity > 1<<30 || used < 0 || used > capacity {
+			t.Skip()
+		}
+		if apps < 0 || apps > 1<<20 || esc < 0 {
+			t.Skip()
+		}
+		tu := NewTuner(DefaultParams())
+		d := tu.Decide(Inputs{
+			DatabasePages:   dbPages,
+			LockPages:       lockPages,
+			UsedStructs:     used,
+			CapacityStructs: capacity,
+			NumApplications: apps,
+			Escalations:     esc,
+		})
+		if d.TargetPages%memblock.BlockPages != 0 {
+			t.Fatalf("unaligned target %d", d.TargetPages)
+		}
+		if d.TargetPages < d.MinPages || d.TargetPages > d.MaxPages {
+			t.Fatalf("target %d outside [%d,%d]", d.TargetPages, d.MinPages, d.MaxPages)
+		}
+		if d.MaxPages < d.MinPages {
+			t.Fatalf("max %d < min %d", d.MaxPages, d.MinPages)
+		}
+		if d.Action == ActionShrink && lockPages <= d.MaxPages {
+			maxStep := int(0.05*float64(lockPages)) + memblock.BlockPages
+			if lockPages-d.TargetPages > maxStep {
+				t.Fatalf("shrink step %d exceeds δreduce bound %d", lockPages-d.TargetPages, maxStep)
+			}
+		}
+	})
+}
+
+// FuzzAppPercent checks the quota curve's range and monotonicity for
+// arbitrary usage percentages.
+func FuzzAppPercent(f *testing.F) {
+	f.Add(0.0, 50.0)
+	f.Add(75.0, 100.0)
+	f.Fuzz(func(t *testing.T, x, y float64) {
+		if x != x || y != y { // NaN
+			t.Skip()
+		}
+		p := DefaultParams()
+		vx, vy := p.AppPercent(x), p.AppPercent(y)
+		if vx < 1 || vx > 98 || vy < 1 || vy > 98 {
+			t.Fatalf("curve out of range: f(%g)=%g f(%g)=%g", x, vx, y, vy)
+		}
+		// Monotone non-increasing over the clamped domain.
+		cx, cy := clampPct(x), clampPct(y)
+		if cx <= cy && vx < vy {
+			t.Fatalf("curve not monotone: f(%g)=%g < f(%g)=%g", cx, vx, cy, vy)
+		}
+	})
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"sync"
+)
+
+// Compiler is the SQL plan-choice stub of section 3.6. The query optimizer
+// only needs a *stable, generous* estimate of available lock memory —
+// sqlCompilerLockMem = 10% of database memory — so that plans keep choosing
+// row locking and leave the runtime tuner room to avoid escalation. Exposing
+// the instantaneous allocation instead would bake table locking into plans
+// compiled at a low-memory moment.
+//
+// With learning enabled (the section 6.1 future-work extension) the compiler
+// also tracks the actual lock footprint per statement class and uses an
+// exponentially weighted average of observations instead of the optimizer's
+// a-priori estimate.
+type Compiler struct {
+	mu        sync.Mutex
+	viewPages int
+	learning  bool
+	learned   map[string]float64 // statement class -> EWMA of actual rows
+}
+
+// ewmaAlpha weights recent observations in the learning extension.
+const ewmaAlpha = 0.3
+
+// NewCompiler creates the stub with the given stable lock-memory view.
+func NewCompiler(viewPages int, learning bool) *Compiler {
+	return &Compiler{
+		viewPages: viewPages,
+		learning:  learning,
+		learned:   make(map[string]float64),
+	}
+}
+
+// ViewPages returns sqlCompilerLockMem in pages.
+func (c *Compiler) ViewPages() int { return c.viewPages }
+
+// structsPerPage mirrors memblock.StructsPerPage without the import.
+const structsPerPage = 64
+
+// ChooseRowLocking decides the locking granularity for a statement class
+// with the optimizer's estimated row footprint: row locking when the
+// footprint fits the compiler's lock-memory view, table locking otherwise.
+func (c *Compiler) ChooseRowLocking(class string, estimatedRows int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	est := float64(estimatedRows)
+	if c.learning {
+		if v, ok := c.learned[class]; ok {
+			est = v
+		}
+	}
+	return est <= float64(c.viewPages*structsPerPage)
+}
+
+// Observe records a statement's actual lock footprint for the learning
+// extension; a no-op when learning is disabled.
+func (c *Compiler) Observe(class string, actualRows int) {
+	if !c.learning {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.learned[class]; ok {
+		c.learned[class] = (1-ewmaAlpha)*v + ewmaAlpha*float64(actualRows)
+	} else {
+		c.learned[class] = float64(actualRows)
+	}
+}
+
+// Learned returns the learned footprint for a class and whether one exists.
+func (c *Compiler) Learned(class string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.learned[class]
+	return v, ok
+}
+
+// syncSet is a tiny concurrent set of application ids.
+type syncSet struct {
+	mu sync.Mutex
+	m  map[int]struct{}
+}
+
+func (s *syncSet) add(id int) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[int]struct{})
+	}
+	s.m[id] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *syncSet) remove(id int) {
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+func (s *syncSet) has(id int) bool {
+	s.mu.Lock()
+	_, ok := s.m[id]
+	s.mu.Unlock()
+	return ok
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lockmgr"
+)
+
+// TestCompilerStabilityPreventsPlanFlip demonstrates section 3.6: a
+// compiler that looked at the *instantaneous* lock memory at a low-memory
+// moment would bake table locking into the plan, pre-empting the runtime
+// tuner; the stable sqlCompilerLockMem view keeps the plan on row locking,
+// and the runtime then grows to accommodate it without escalation.
+func TestCompilerStabilityPreventsPlanFlip(t *testing.T) {
+	db := openAdaptive(t)
+	const stmtRows = 200_000 // the statement's lock footprint
+
+	// Naive alternative: a compiler seeded with the instantaneous
+	// allocation (512 pages = 32768 structures) would reject row locking.
+	naive := NewCompiler(db.Locks().Pages(), false)
+	if naive.ChooseRowLocking("report", stmtRows) {
+		t.Fatal("naive compiler should have chosen table locking")
+	}
+
+	// The stable 10% view (13107 pages = 838k structures) chooses row
+	// locking.
+	if !db.Compiler().ChooseRowLocking("report", stmtRows) {
+		t.Fatal("stable compiler should choose row locking")
+	}
+
+	// And the runtime honours that plan: the tuner grows lock memory
+	// synchronously, no escalation occurs.
+	conn := db.Connect()
+	tx := conn.Begin()
+	fact := db.Catalog().ByName("lineitem")
+	for i := 0; i < stmtRows/64; i++ {
+		if err := tx.LockRow(context.Background(), fact.ID, uint64(i*64), lockmgr.ModeS); err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+	}
+	if got := db.Locks().Stats().Escalations; got != 0 {
+		t.Fatalf("escalations = %d; the stable view should leave runtime room", got)
+	}
+	db.Compiler().Observe("report", stmtRows)
+	tx.Commit()
+}
+
+// TestRealTimeSoak runs goroutine-per-connection clients against the wall
+// clock with the STMM controller's Run loop — the deployment mode, as
+// opposed to the discrete simulation.
+func TestRealTimeSoak(t *testing.T) {
+	db, err := Open(Config{
+		TuningInterval: 30 * time.Second, // Run's first pass fires after this; TuneOnce is also called inline below
+		LockTimeout:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	go db.Controller().Run(ctx)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			conn := db.Connect()
+			table := db.Catalog().ByName("stock")
+			for i := 0; i < 300; i++ {
+				tx := conn.Begin()
+				for r := 0; r < 20; r++ {
+					row := uint64((seed*31 + i*20 + r) % 100000)
+					if err := tx.LockRow(ctx, table.ID, row, lockmgr.ModeX); err != nil {
+						break
+					}
+				}
+				tx.Commit()
+			}
+		}(g)
+	}
+	// Tuning passes interleave with the running clients.
+	for i := 0; i < 5; i++ {
+		db.TuneOnce()
+		time.Sleep(10 * time.Millisecond)
+	}
+	wg.Wait()
+	<-ctx.Done()
+
+	if err := db.Locks().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Set().CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Locks().UsedStructs(); got != 0 {
+		t.Fatalf("structs leaked: %d", got)
+	}
+	commits, _, _ := db.Txns().Stats()
+	if commits == 0 {
+		t.Fatal("no transactions committed")
+	}
+}

@@ -1,0 +1,303 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lockmgr"
+	"repro/internal/memblock"
+)
+
+func openAdaptive(t *testing.T) *Database {
+	t.Helper()
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenDefaults(t *testing.T) {
+	db := openAdaptive(t)
+	if db.Policy() != PolicyAdaptive {
+		t.Fatalf("policy = %v", db.Policy())
+	}
+	if db.Locks().Pages() != 512 { // 2 MB minimum, block aligned
+		t.Fatalf("initial lock pages = %d, want 512", db.Locks().Pages())
+	}
+	if db.Set().TotalPages() != 131072 {
+		t.Fatalf("db pages = %d", db.Set().TotalPages())
+	}
+	if db.Catalog().Len() == 0 {
+		t.Fatal("no catalog")
+	}
+	if err := db.Set().CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// Heap and chain agree.
+	if db.lockHeap.Pages() != db.Locks().Pages() {
+		t.Fatalf("heap %d != chain %d", db.lockHeap.Pages(), db.Locks().Pages())
+	}
+}
+
+func TestOpenRejectsBadParams(t *testing.T) {
+	cfg := Config{}
+	cfg.Params.MinFreeFrac = 0.9 // incomplete params: invalid
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestConnectAndClose(t *testing.T) {
+	db := openAdaptive(t)
+	c := db.Connect()
+	if got := db.Locks().NumApps(); got != 1 {
+		t.Fatalf("apps = %d", got)
+	}
+	tx := c.Begin()
+	if err := tx.LockRow(context.Background(), 1, 1, lockmgr.ModeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err == nil {
+		t.Fatal("close with held locks must fail")
+	}
+	tx.Commit()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Locks().NumApps(); got != 0 {
+		t.Fatalf("apps after close = %d", got)
+	}
+}
+
+func TestEndToEndTransactionAndTuning(t *testing.T) {
+	db := openAdaptive(t)
+	conn := db.Connect()
+	lineitem := db.Catalog().ByName("lineitem")
+
+	tx := conn.Begin()
+	for i := uint64(0); i < 50_000; i++ {
+		if err := tx.LockRow(context.Background(), lineitem.ID, i, lockmgr.ModeS); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		db.TouchRow(lineitem, i)
+	}
+	snap := db.Snapshot()
+	if snap.LockStats.Escalations != 0 {
+		t.Fatalf("escalations = %d (sync growth should cover)", snap.LockStats.Escalations)
+	}
+	if snap.LockPages <= 512 {
+		t.Fatal("lock memory did not grow synchronously")
+	}
+	rep, ok := db.TuneOnce()
+	if !ok {
+		t.Fatal("adaptive policy must tune")
+	}
+	if rep.LockPagesAfter < rep.Decision.MinPages {
+		t.Fatalf("tuned below min: %+v", rep)
+	}
+	if err := db.Set().CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if got := db.Locks().UsedStructs(); got != 0 {
+		t.Fatalf("structs after commit = %d", got)
+	}
+}
+
+func TestStaticPolicyEscalates(t *testing.T) {
+	db, err := Open(Config{
+		Policy:           PolicyStatic,
+		InitialLockPages: 96, // ≈ 0.4 MB, the Figure 7 configuration
+		StaticQuotaPct:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.TuneOnce(); ok {
+		t.Fatal("static policy must not tune")
+	}
+	conn := db.Connect()
+	tx := conn.Begin()
+	// 10% of 96 pages = 614 structs: escalation at the quota.
+	for i := uint64(0); i < 1000; i++ {
+		if err := tx.LockRow(context.Background(), 3, i, lockmgr.ModeX); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+	}
+	if got := db.Snapshot().LockStats.Escalations; got == 0 {
+		t.Fatal("static policy did not escalate")
+	}
+	if got := db.Locks().Pages(); got != 96 {
+		t.Fatalf("static LOCKLIST moved: %d", got)
+	}
+	tx.Commit()
+}
+
+func TestSQLServerPolicyGrowsAndTriggersAt5000(t *testing.T) {
+	db, err := Open(Config{Policy: PolicySQLServer, InitialLockPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := db.Connect()
+	tx := conn.Begin()
+	for i := uint64(0); i < 6000; i++ {
+		if err := tx.LockRow(context.Background(), 3, i, lockmgr.ModeS); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+	}
+	snap := db.Snapshot()
+	if snap.LockStats.Escalations == 0 {
+		t.Fatal("no escalation at 5000 locks")
+	}
+	if snap.LockPages <= 64 {
+		t.Fatal("SQL Server model did not grow")
+	}
+	if err := db.Set().CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+}
+
+func TestPreferEscalationConnection(t *testing.T) {
+	db := openAdaptive(t)
+	normal := db.Connect()
+	biased := db.Connect(WithPreferEscalation())
+
+	// The biased connection escalates at ~2% of lock memory (512 pages →
+	// 32768 structs → ~655 structs) instead of growing.
+	tx := biased.Begin()
+	for i := uint64(0); i < 2000; i++ {
+		if err := tx.LockRow(context.Background(), 5, i, lockmgr.ModeS); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+	}
+	if got := db.Snapshot().LockStats.Escalations; got == 0 {
+		t.Fatal("escalation-preferred connection did not escalate")
+	}
+	tx.Commit()
+
+	// A normal connection with the same footprint grows instead.
+	before := db.Snapshot().LockStats.Escalations
+	tx2 := normal.Begin()
+	for i := uint64(0); i < 2000; i++ {
+		if err := tx2.LockRow(context.Background(), 6, i, lockmgr.ModeS); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+	}
+	if got := db.Snapshot().LockStats.Escalations; got != before {
+		t.Fatal("normal connection escalated")
+	}
+	tx2.Commit()
+}
+
+func TestSnapshotFields(t *testing.T) {
+	db := openAdaptive(t)
+	conn := db.Connect()
+	tx := conn.Begin()
+	if err := tx.LockRow(context.Background(), 1, 1, lockmgr.ModeS); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Snapshot()
+	if s.UsedStructs != 2 || s.NumApps != 1 || s.ActiveTxns != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.QuotaPercent <= 0 || s.QuotaPercent > 98 {
+		t.Fatalf("quota = %g", s.QuotaPercent)
+	}
+	if s.BufferPoolPages == 0 || s.Overflow == 0 {
+		t.Fatalf("memory fields empty: %+v", s)
+	}
+	tx.Commit()
+	s2 := db.Snapshot()
+	if s2.Commits != 1 || s2.ActiveTxns != 0 {
+		t.Fatalf("post-commit snapshot = %+v", s2)
+	}
+}
+
+func TestTickRunsSweeps(t *testing.T) {
+	db := openAdaptive(t)
+	db.Tick() // must not panic with nothing waiting
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyAdaptive.String() != "adaptive" || PolicyStatic.String() != "static" ||
+		PolicySQLServer.String() != "sqlserver" || Policy(9).String() != "Policy(9)" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+func TestOpenUnknownPolicy(t *testing.T) {
+	if _, err := Open(Config{Policy: Policy(42)}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// --- Compiler stub ---
+
+func TestCompilerStableView(t *testing.T) {
+	db := openAdaptive(t)
+	want := 13107 // 10% of 131072
+	if got := db.Compiler().ViewPages(); got != want {
+		t.Fatalf("view = %d, want %d", got, want)
+	}
+	// Small statements choose row locking; outrageous ones do not.
+	if !db.Compiler().ChooseRowLocking("oltp", 100) {
+		t.Fatal("small statement must row-lock")
+	}
+	if db.Compiler().ChooseRowLocking("scan-all", want*structsPerPage+1) {
+		t.Fatal("oversized statement must table-lock")
+	}
+}
+
+func TestCompilerLearning(t *testing.T) {
+	c := NewCompiler(100, true) // view = 6400 structs
+	// Optimizer estimate says tiny, reality says huge: after observing,
+	// the learned footprint flips the choice.
+	if !c.ChooseRowLocking("report", 10) {
+		t.Fatal("initial choice should trust the estimate")
+	}
+	c.Observe("report", 1_000_000)
+	if c.ChooseRowLocking("report", 10) {
+		t.Fatal("learned footprint must override the estimate")
+	}
+	if v, ok := c.Learned("report"); !ok || v != 1_000_000 {
+		t.Fatalf("learned = %g %v", v, ok)
+	}
+	// EWMA moves toward newer observations.
+	c.Observe("report", 0)
+	if v, _ := c.Learned("report"); v >= 1_000_000 {
+		t.Fatalf("EWMA did not move: %g", v)
+	}
+}
+
+func TestCompilerLearningDisabled(t *testing.T) {
+	c := NewCompiler(100, false)
+	c.Observe("x", 1_000_000)
+	if _, ok := c.Learned("x"); ok {
+		t.Fatal("learning disabled but observation stored")
+	}
+}
+
+func TestConfigBlockAlignsInitialLockPages(t *testing.T) {
+	db, err := Open(Config{InitialLockPages: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Locks().Pages(); got != 128 {
+		t.Fatalf("lock pages = %d, want 128 (block rounded)", got)
+	}
+	if db.lockHeap.Pages() != 128 {
+		t.Fatalf("heap = %d", db.lockHeap.Pages())
+	}
+}
+
+func TestQuotaProviderWiring(t *testing.T) {
+	db := openAdaptive(t)
+	// The adaptive quota is near 98 when memory is ample.
+	q := db.quota.QuotaPercent(1, 0, 0)
+	if q < 90 || q > 98 {
+		t.Fatalf("quota = %g", q)
+	}
+	_ = memblock.BlockPages
+}

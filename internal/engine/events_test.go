@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/lockmgr"
+	"repro/internal/trace"
+)
+
+// TestEventsFlowToRing verifies the diagnostic pipeline: escalations, sync
+// growth and tuning passes all land in the engine's event ring.
+func TestEventsFlowToRing(t *testing.T) {
+	db := openAdaptive(t)
+	conn := db.Connect()
+
+	// Heavy demand: sync growth events.
+	tx := conn.Begin()
+	for i := uint64(0); i < 40_000; i++ {
+		if err := tx.LockRow(context.Background(), 2, i, lockmgr.ModeS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.TuneOnce() // tuning-pass event
+	tx.Commit()
+
+	counts := db.Events().CountByKind()
+	if counts[trace.KindSyncGrowth] == 0 {
+		t.Fatalf("no sync-growth events: %v", counts)
+	}
+	if counts[trace.KindTuningPass] == 0 {
+		t.Fatalf("no tuning-pass events: %v", counts)
+	}
+	if db.Events().Total() == 0 {
+		t.Fatal("ring empty")
+	}
+}
+
+func TestEscalationEventsRecorded(t *testing.T) {
+	db, err := Open(Config{
+		Policy:           PolicyStatic,
+		InitialLockPages: 96,
+		StaticQuotaPct:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := db.Connect()
+	tx := conn.Begin()
+	for i := uint64(0); i < 1000; i++ {
+		if err := tx.LockRow(context.Background(), 3, i, lockmgr.ModeX); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Commit()
+	if got := db.Events().CountByKind()[trace.KindEscalation]; got == 0 {
+		t.Fatal("escalation events missing")
+	}
+}
+
+// TestEscalationRecoveryEndToEnd drives the paper's rare-but-real scenario
+// through the whole stack: overflow memory is constrained, a massive spike
+// forces escalations, and the tuner's doubling rule grows the lock memory
+// across intervals until the demand fits and escalations stop.
+func TestEscalationRecoveryEndToEnd(t *testing.T) {
+	clk := clock.NewSim()
+	db, err := Open(Config{
+		DatabasePages:    131072,
+		OverflowGoalFrac: 0.02, // almost no reserve
+		BufferPoolFrac:   0.93, // and the PMCs hold nearly everything
+		SortHeapFrac:     0.02, // → free overflow ≈ 6000 pages, LMOmax ≈ 3900
+		Clock:            clk,
+		LockTimeout:      30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := db.Connect()
+	fact := db.Catalog().ByName("lineitem")
+
+	// The spike: far more than the starved overflow can fund at once.
+	// LMOmax ≈ 0.65 × ~2800 free pages, while demand is ~10000 pages of
+	// structures. Each transaction retries after an escalation denial.
+	var escalationsSeen int64
+	demandChunks := 10000
+	acquired := 0
+	tx := conn.Begin()
+	for round := 0; round < 40 && acquired < demandChunks; round++ {
+		for acquired < demandChunks {
+			op := tx.AcquireRow(fact.ID, uint64(acquired)*64, lockmgr.ModeS, 64)
+			st := op.Poll()
+			if st == 2 { // txn.OpDenied
+				break
+			}
+			if st == 0 { // waiting (escalation in flight)
+				break
+			}
+			acquired++
+		}
+		escalationsSeen = db.Locks().Stats().Escalations
+		// An STMM interval passes: doubling should kick in while
+		// escalations continue.
+		clk.Advance(30 * time.Second)
+		db.Locks().SweepTimeouts()
+		db.TuneOnce()
+	}
+	if escalationsSeen == 0 {
+		t.Fatal("setup failed: constrained overflow never escalated")
+	}
+	if acquired < demandChunks {
+		t.Fatalf("demand never accommodated: %d/%d chunks (lock pages %d)",
+			acquired, demandChunks, db.Locks().Pages())
+	}
+	// The doubling rule grew the allocation well beyond what overflow
+	// alone could fund (LMOmax ≈ 3900 pages), taking pages from the PMCs.
+	if got := db.Locks().Pages(); got <= 4096 {
+		t.Fatalf("doubling did not grow lock memory: %d pages", got)
+	}
+	tx.Commit()
+
+	// With the recovered allocation, a comparable fresh demand now runs
+	// without any further escalation.
+	before := db.Locks().Stats().Escalations
+	tx2 := conn.Begin()
+	refit := db.Locks().CapacityStructs() / 64 / 4 // quarter of capacity, in chunks
+	for i := 0; i < refit; i++ {
+		op := tx2.AcquireRow(fact.ID, uint64(i)*64, lockmgr.ModeS, 64)
+		if op.Poll() != 1 { // txn.OpGranted
+			t.Fatalf("chunk %d failed after recovery: %v", i, op.Err())
+		}
+	}
+	if got := db.Locks().Stats().Escalations; got != before {
+		t.Fatalf("escalations continued after recovery: %d new", got-before)
+	}
+	tx2.Commit()
+	if err := db.Set().CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DiskConfig is the externalized database configuration — the counterpart
+// of DB2's on-disk config that STMM writes at tuning intervals (the paper's
+// LMOC, "Lock Memory On-disk Configuration", plus the externalized
+// MAXLOCKS). Restarting a database from its DiskConfig resumes at the tuned
+// allocation instead of re-converging from scratch.
+type DiskConfig struct {
+	// LockListPages is the tuned LOCKLIST size (LMOC).
+	LockListPages int `json:"locklist_pages"`
+	// MaxLocksPercent is the externalized lockPercentPerApplication.
+	MaxLocksPercent float64 `json:"maxlocks_percent"`
+	// DatabasePages records the memory set size the values were tuned
+	// for.
+	DatabasePages int `json:"database_pages"`
+	// Policy names the lock-memory policy.
+	Policy string `json:"policy"`
+}
+
+// DiskConfig returns the current externalized configuration.
+func (db *Database) DiskConfig() DiskConfig {
+	snap := db.Snapshot()
+	return DiskConfig{
+		LockListPages:   snap.LMOC,
+		MaxLocksPercent: snap.QuotaPercent,
+		DatabasePages:   db.cfg.DatabasePages,
+		Policy:          db.cfg.Policy.String(),
+	}
+}
+
+// SaveConfig writes the externalized configuration as JSON.
+func (db *Database) SaveConfig(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(db.DiskConfig())
+}
+
+// LoadDiskConfig reads a configuration written by SaveConfig.
+func LoadDiskConfig(r io.Reader) (DiskConfig, error) {
+	var dc DiskConfig
+	if err := json.NewDecoder(r).Decode(&dc); err != nil {
+		return DiskConfig{}, fmt.Errorf("engine: decoding disk config: %w", err)
+	}
+	if dc.LockListPages < 0 || dc.DatabasePages < 0 {
+		return DiskConfig{}, fmt.Errorf("engine: disk config has negative sizes: %+v", dc)
+	}
+	return dc, nil
+}
+
+// ApplyTo seeds an engine Config from the externalized values, so a restart
+// begins at the tuned allocation. The database size is only adopted when
+// the target config has none.
+func (dc DiskConfig) ApplyTo(cfg *Config) {
+	cfg.InitialLockPages = dc.LockListPages
+	if cfg.DatabasePages == 0 {
+		cfg.DatabasePages = dc.DatabasePages
+	}
+	switch dc.Policy {
+	case "static":
+		cfg.Policy = PolicyStatic
+	case "sqlserver":
+		cfg.Policy = PolicySQLServer
+	case "adaptive", "":
+		cfg.Policy = PolicyAdaptive
+	}
+}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/lockmgr"
+)
+
+func TestSaveAndLoadConfigRoundTrip(t *testing.T) {
+	db := openAdaptive(t)
+
+	// Drive demand up and tune so the externalized LOCKLIST reflects it.
+	conn := db.Connect()
+	tx := conn.Begin()
+	for i := uint64(0); i < 60_000; i++ {
+		if err := tx.LockRow(context.Background(), 2, i, lockmgr.ModeS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, _ := db.TuneOnce()
+	tx.Commit()
+
+	var buf bytes.Buffer
+	if err := db.SaveConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "locklist_pages") {
+		t.Fatalf("serialized config = %q", buf.String())
+	}
+
+	dc, err := LoadDiskConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.LockListPages != rep.LMOC {
+		t.Fatalf("saved LOCKLIST = %d, want LMOC %d", dc.LockListPages, rep.LMOC)
+	}
+	if dc.Policy != "adaptive" || dc.DatabasePages != 131072 {
+		t.Fatalf("disk config = %+v", dc)
+	}
+
+	// Restart continuity: a new engine seeded from the disk config starts
+	// at the tuned allocation instead of the 2 MB minimum.
+	var cfg Config
+	dc.ApplyTo(&cfg)
+	db2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Locks().Pages(); got != dc.LockListPages {
+		t.Fatalf("restarted LOCKLIST = %d, want %d", got, dc.LockListPages)
+	}
+}
+
+func TestLoadDiskConfigErrors(t *testing.T) {
+	if _, err := LoadDiskConfig(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadDiskConfig(strings.NewReader(`{"locklist_pages":-5}`)); err == nil {
+		t.Fatal("negative sizes accepted")
+	}
+}
+
+func TestApplyToPolicyMapping(t *testing.T) {
+	for name, pol := range map[string]Policy{
+		"adaptive": PolicyAdaptive, "static": PolicyStatic, "sqlserver": PolicySQLServer, "": PolicyAdaptive,
+	} {
+		var cfg Config
+		DiskConfig{Policy: name, LockListPages: 128}.ApplyTo(&cfg)
+		if cfg.Policy != pol {
+			t.Fatalf("policy %q mapped to %v", name, cfg.Policy)
+		}
+	}
+	// Existing database size is preserved.
+	cfg := Config{DatabasePages: 999}
+	DiskConfig{DatabasePages: 555}.ApplyTo(&cfg)
+	if cfg.DatabasePages != 999 {
+		t.Fatal("ApplyTo overwrote database size")
+	}
+}

@@ -1,0 +1,112 @@
+package engine_test
+
+// The kitchen-sink integration soak: a day-in-the-life mix driven directly
+// against the engine — OLTP churn at three isolation levels, TPC-C
+// terminals, a reporting scan, a batch rollout, and a load shed — with the
+// full cross-component consistency check (Database.SelfCheck) at every
+// tuning interval. It lives in an external test package so it can use the
+// workload clients without an import cycle.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/engine"
+	"repro/internal/lockmgr"
+	"repro/internal/sim"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+func TestMixedWorkloadSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	clk := clock.NewSim()
+	db, err := engine.Open(engine.Config{Clock: clk, LockTimeout: 45 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog()
+
+	var clients []sim.Client
+
+	// 30 plain OLTP clients (repeatable read).
+	rr := workload.DefaultOLTPProfile(cat)
+	for i := 0; i < 30; i++ {
+		clients = append(clients, workload.NewOLTP(db, rr, int64(100+i)))
+	}
+	// 20 cursor-stability readers and 10 dirty readers.
+	cs := workload.DefaultOLTPProfile(cat)
+	cs.WriteFrac = 0
+	cs.Isolation = txn.CursorStability
+	for i := 0; i < 20; i++ {
+		clients = append(clients, workload.NewOLTP(db, cs, int64(200+i)))
+	}
+	ur := cs
+	ur.Isolation = txn.UncommittedRead
+	for i := 0; i < 10; i++ {
+		clients = append(clients, workload.NewOLTP(db, ur, int64(300+i)))
+	}
+	// 20 TPC-C terminals.
+	for i := 0; i < 20; i++ {
+		tc, err := workload.NewTPCC(db, workload.DefaultTPCCProfile(), int64(400+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, tc)
+	}
+
+	// A reporting scan at t=600 and a batch rollout at t=1100.
+	report := workload.NewDSS(db, workload.DSSProfile{
+		Table: cat.ByName("lineitem"), ChunkRows: 64,
+		Chunks: 4000, ChunksPerTick: 200, HoldTicks: 90, SortPages: 1024,
+	})
+	rollout := workload.NewDSS(db, workload.DSSProfile{
+		Table: cat.ByName("history"), Mode: lockmgr.ModeX,
+		Chunks: 1500, ChunkRows: 32, ChunksPerTick: 100, HoldTicks: 60,
+	})
+
+	res := sim.Run(sim.Config{
+		DB:    db,
+		Clock: clk,
+		Ticks: 1800,
+		// Ramp in, full strength, then shed to a third.
+		Clients: clients,
+		Schedule: func(s float64) int {
+			switch {
+			case s < 120:
+				return 1 + int(s/120*float64(len(clients)-1))
+			case s < 1400:
+				return len(clients)
+			default:
+				return len(clients) / 3
+			}
+		},
+		Standalone: []sim.Client{report, rollout},
+		Events: []sim.Event{
+			{AtTick: 600, Fire: func() { report.SetActive(true) }},
+			{AtTick: 1100, Fire: func() { rollout.SetActive(true) }},
+		},
+	})
+
+	// The sim ran; now the deep checks.
+	if err := db.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if !report.Done() || !rollout.Done() {
+		t.Fatalf("bulk jobs incomplete: report=%v rollout=%v", report.Done(), rollout.Done())
+	}
+	if res.TotalCommits < 1000 {
+		t.Fatalf("commits = %d", res.TotalCommits)
+	}
+	if res.Final.LockStats.Escalations != 0 {
+		t.Fatalf("escalations = %d under adaptive tuning", res.Final.LockStats.Escalations)
+	}
+	// The shed must eventually relax the allocation below its peak.
+	lock := res.Series.Get("lock memory")
+	if lock.Last().Value >= lock.Max() {
+		t.Fatalf("no relaxation after shed: last=%g peak=%g", lock.Last().Value, lock.Max())
+	}
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lockmgr"
+)
+
+func TestExecPointReadsRowLock(t *testing.T) {
+	db := openAdaptive(t)
+	conn := db.Connect()
+	tx := conn.Begin()
+	customer := db.Catalog().ByName("customer")
+
+	rowLocking, err := db.Exec(context.Background(), tx, Stmt{
+		Class: "oltp.read",
+		Table: customer,
+		Rows:  []uint64{1, 2, 3},
+	})
+	if err != nil || !rowLocking {
+		t.Fatalf("rowLocking=%v err=%v", rowLocking, err)
+	}
+	// 3 rows + IS intent.
+	if got := db.Locks().UsedStructs(); got != 4 {
+		t.Fatalf("structs = %d, want 4", got)
+	}
+	tx.Commit()
+}
+
+func TestExecUpdateUsesXLocks(t *testing.T) {
+	db := openAdaptive(t)
+	conn := db.Connect()
+	tx := conn.Begin()
+	stock := db.Catalog().ByName("stock")
+	if _, err := db.Exec(context.Background(), tx, Stmt{
+		Class: "oltp.update", Table: stock, Rows: []uint64{7}, Update: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Locks().HeldMode(tx.Owner(), lockmgr.RowName(uint32(stock.ID), 7)); got != lockmgr.ModeX {
+		t.Fatalf("mode = %v, want X", got)
+	}
+	tx.Commit()
+}
+
+func TestExecScanLocksChunks(t *testing.T) {
+	db := openAdaptive(t)
+	conn := db.Connect()
+	tx := conn.Begin()
+	lineitem := db.Catalog().ByName("lineitem")
+	rowLocking, err := db.Exec(context.Background(), tx, Stmt{
+		Class: "report.scan",
+		Table: lineitem,
+		Scan:  &ScanRange{Start: 0, Count: 1000, ChunkRows: 64},
+	})
+	if err != nil || !rowLocking {
+		t.Fatalf("rowLocking=%v err=%v", rowLocking, err)
+	}
+	// 1000 structures of rows (chunked) + intent.
+	if got := db.Locks().UsedStructs(); got != 1001 {
+		t.Fatalf("structs = %d, want 1001", got)
+	}
+	tx.Commit()
+}
+
+func TestExecHugeFootprintTableLocks(t *testing.T) {
+	db := openAdaptive(t)
+	conn := db.Connect()
+	tx := conn.Begin()
+	lineitem := db.Catalog().ByName("lineitem")
+	// Footprint beyond sqlCompilerLockMem (13107 pages × 64 = 838848
+	// structures): the plan goes to table granularity.
+	rowLocking, err := db.Exec(context.Background(), tx, Stmt{
+		Class: "report.everything",
+		Table: lineitem,
+		Scan:  &ScanRange{Start: 0, Count: 2_000_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowLocking {
+		t.Fatal("oversized statement must table-lock")
+	}
+	if got := db.Locks().HeldMode(tx.Owner(), lockmgr.TableName(uint32(lineitem.ID))); got != lockmgr.ModeS {
+		t.Fatalf("table mode = %v, want S", got)
+	}
+	// One table lock only.
+	if got := db.Locks().UsedStructs(); got != 1 {
+		t.Fatalf("structs = %d, want 1", got)
+	}
+	tx.Commit()
+}
+
+func TestExecLearningFlipsPlan(t *testing.T) {
+	db, err := Open(Config{CompilerLearning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := db.Connect()
+	lineitem := db.Catalog().ByName("lineitem")
+
+	// First execution: the optimizer estimate (tiny) picks row locking,
+	// but the statement actually locks a large range — execution observes
+	// the real footprint. (Stmt carries the actual rows; the estimate is
+	// what Exec's ChooseRowLocking sees, which for learning-enabled
+	// compilers is the learned value once one exists.)
+	tx := conn.Begin()
+	if _, err := db.Exec(context.Background(), tx, Stmt{
+		Class: "report.learned",
+		Table: lineitem,
+		Scan:  &ScanRange{Start: 0, Count: 1_000_000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	// The learned footprint (1M rows > compiler view) now forces table
+	// locking regardless of any optimistic estimate.
+	if db.Compiler().ChooseRowLocking("report.learned", 10) {
+		t.Fatal("learning did not flip the plan to table locking")
+	}
+}
+
+func TestExecValidation(t *testing.T) {
+	db := openAdaptive(t)
+	conn := db.Connect()
+	tx := conn.Begin()
+	if _, err := db.Exec(context.Background(), tx, Stmt{Class: "x"}); err == nil {
+		t.Fatal("statement without table accepted")
+	}
+	tx.Commit()
+}

@@ -1,0 +1,124 @@
+// Package experiments defines one runnable reproduction per table and
+// figure of the paper's evaluation (section 5), plus the worked example of
+// section 4 and the vendor comparison of section 2.3. Each experiment builds
+// a simulated engine, drives the published workload shape through it, and
+// reports findings — paper claim vs measured value — that EXPERIMENTS.md and
+// the benchmark harness consume.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Finding compares one published claim with the measured value.
+type Finding struct {
+	Label    string
+	Paper    string
+	Measured string
+	Pass     bool
+}
+
+// Outcome is the result of one experiment.
+type Outcome struct {
+	ID       string // "fig9", "table1", ...
+	Title    string
+	Result   *sim.Result // nil for non-simulation outcomes (Table 1)
+	Findings []Finding
+}
+
+// Passed reports whether every finding matched.
+func (o *Outcome) Passed() bool {
+	for _, f := range o.Findings {
+		if !f.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the outcome as a fixed-width findings table.
+func (o *Outcome) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", o.ID, o.Title)
+	w1, w2, w3 := len("finding"), len("paper"), len("measured")
+	for _, f := range o.Findings {
+		w1, w2, w3 = max(w1, len(f.Label)), max(w2, len(f.Paper)), max(w3, len(f.Measured))
+	}
+	fmt.Fprintf(&b, "%-*s  %-*s  %-*s  ok\n", w1, "finding", w2, "paper", w3, "measured")
+	for _, f := range o.Findings {
+		mark := "PASS"
+		if !f.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-*s  %-*s  %-*s  %s\n", w1, f.Label, w2, f.Paper, w3, f.Measured, mark)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Markdown renders the outcome as a GitHub-flavoured markdown table, for
+// regenerating the EXPERIMENTS.md summaries.
+func (o *Outcome) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", o.ID, o.Title)
+	b.WriteString("| Finding | Paper | Measured | OK |\n|---|---|---|---|\n")
+	for _, f := range o.Findings {
+		mark := "✅"
+		if !f.Pass {
+			mark = "❌"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", f.Label, f.Paper, f.Measured, mark)
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func() *Outcome
+
+// Registry returns every experiment keyed by id.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1":        Table1,
+		"fig3":          Fig3LockQueuing,
+		"fig6":          Fig6WorkedExample,
+		"fig7":          Fig7EscalationLockMemory,
+		"fig8":          Fig8EscalationThroughput,
+		"fig9":          Fig9RampAdaptation,
+		"fig10":         Fig10WorkloadSurge,
+		"fig11":         Fig11DSSInjection,
+		"fig12":         Fig12GradualReduction,
+		"vendor":        VendorComparison,
+		"overprovision": Overprovision,
+	}
+}
+
+// IDs returns the experiment ids in a stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// check builds a Finding from a numeric measurement and an inclusive range.
+func check(label, paper string, measured, lo, hi float64, format string) Finding {
+	return Finding{
+		Label:    label,
+		Paper:    paper,
+		Measured: fmt.Sprintf(format, measured),
+		Pass:     measured >= lo && measured <= hi,
+	}
+}

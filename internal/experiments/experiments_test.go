@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// assertPassed fails the test with the rendered findings table when any
+// finding missed its band.
+func assertPassed(t *testing.T, o *Outcome) {
+	t.Helper()
+	if !o.Passed() {
+		t.Fatalf("experiment %s failed:\n%s", o.ID, o)
+	}
+	t.Logf("\n%s", o)
+}
+
+func TestTable1(t *testing.T) { assertPassed(t, Table1()) }
+func TestFig3(t *testing.T)   { assertPassed(t, Fig3LockQueuing()) }
+func TestFig6(t *testing.T)   { assertPassed(t, Fig6WorkedExample()) }
+func TestFig7(t *testing.T)   { assertPassed(t, Fig7EscalationLockMemory()) }
+func TestFig8(t *testing.T)   { assertPassed(t, Fig8EscalationThroughput()) }
+func TestFig9(t *testing.T)   { assertPassed(t, Fig9RampAdaptation()) }
+func TestFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	assertPassed(t, Fig10WorkloadSurge())
+}
+func TestFig11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	assertPassed(t, Fig11DSSInjection())
+}
+func TestFig12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	assertPassed(t, Fig12GradualReduction())
+}
+func TestOverprovision(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	assertPassed(t, Overprovision())
+}
+func TestVendor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	assertPassed(t, VendorComparison())
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"table1", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "vendor", "overprovision"} {
+		if reg[id] == nil {
+			t.Fatalf("registry missing %s", id)
+		}
+	}
+	if len(IDs()) != len(reg) {
+		t.Fatal("IDs() incomplete")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	o := &Outcome{ID: "x", Title: "t", Findings: []Finding{
+		{Label: "a", Paper: "p", Measured: "m", Pass: true},
+		{Label: "b", Paper: "p", Measured: "m", Pass: false},
+	}}
+	s := o.String()
+	if !strings.Contains(s, "PASS") || !strings.Contains(s, "FAIL") {
+		t.Fatalf("rendering wrong:\n%s", s)
+	}
+	if o.Passed() {
+		t.Fatal("outcome with a failed finding must not pass")
+	}
+}
+
+func TestOutcomeMarkdown(t *testing.T) {
+	o := &Outcome{ID: "x", Title: "t", Findings: []Finding{
+		{Label: "a", Paper: "p", Measured: "m", Pass: true},
+		{Label: "b", Paper: "q", Measured: "n", Pass: false},
+	}}
+	md := o.Markdown()
+	for _, want := range []string{"### x — t", "| a | p | m | ✅ |", "| b | q | n | ❌ |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

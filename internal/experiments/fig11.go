@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// dbPages5GB is the paper's experimental scale (5.11 GB of database memory,
+// rounded to 5 GB of 4 KB pages). The Figure 11 ratios — steady lock memory
+// at 0.15% of database memory, a 60× surge, a peak near 10% — only fit
+// between the 2 MB minimum and the 20% maximum at this scale, so this one
+// experiment runs at it. Memory is accounted virtually; the process
+// footprint stays modest because the DSS scan locks contiguous 64-row
+// chunks, each accounted as 64 lock structures (DESIGN.md §5).
+const dbPages5GB = 1310720
+
+// Fig11DSSInjection reproduces Figure 11: a reporting query with massive
+// row-locking requirements is injected into a steady 130-client OLTP system
+// after 5.5 minutes. The paper reports ≈60× lock memory growth within the
+// first ~25 seconds (synchronously, out of overflow memory), a peak over
+// 500 MB ≈ 10% of database memory, and no exclusive lock escalations; the
+// adaptive lockPercentPerApplication lets the single query dominate lock
+// memory.
+func Fig11DSSInjection() *Outcome {
+	db, clk := newAdaptiveDB(dbPages5GB, 0)
+	cat := db.Catalog()
+
+	// A heavier OLTP mix than the other figures: the paper's fig-11 OLTP
+	// steady state used ≈8 MB (2048 pages) of lock memory, i.e. ≈500
+	// locks held per client.
+	prof := workload.DefaultOLTPProfile(cat)
+	prof.RowsMin, prof.RowsMax = 900, 1100
+	prof.RowsPerTick = 200
+	prof.ThinkTicks = 2
+	prof.HoldTicks = 2
+	// The paper's fig-11 OLTP sustains high throughput alongside the DSS
+	// query: its transactions rarely collide. Locking ~1000 rows from a
+	// 4000-row hot set would serialize all 130 clients instead, so this
+	// profile spreads accesses uniformly over the full tables.
+	prof.HotRows = 0
+
+	const injectAt = 330 // 5.5 minutes of steady state
+
+	// The reporting query: ~4.2M row locks in 64-row chunks, acquired
+	// fast enough that most growth lands inside one tuning interval.
+	dss := workload.NewDSS(db, workload.DSSProfile{
+		Table:         cat.ByName("lineitem"),
+		ChunkRows:     64,
+		Chunks:        65536, // 65536 × 64 structs = 65536 pages used
+		ChunksPerTick: 2600,  // ≈ full scan in ~25 virtual seconds
+		HoldTicks:     120,   // aggregation phase before commit
+		SortPages:     4096,
+	})
+
+	clients := makeOLTPPool(db, prof, 130)
+	oltp := make([]*workload.OLTP, len(clients))
+	for i, c := range clients {
+		oltp[i] = c.(*workload.OLTP)
+	}
+
+	res := sim.Run(sim.Config{
+		DB:         db,
+		Clock:      clk,
+		Ticks:      900,
+		Clients:    clients,
+		Schedule:   workload.Constant(130),
+		Standalone: []sim.Client{dss},
+		Events: []sim.Event{
+			{AtTick: injectAt, Fire: func() {
+				dss.SetActive(true)
+				// CPU and disk-controller competition from the new
+				// work slows the OLTP side (the paper attributes the
+				// OLTP dip entirely to this, not to locking).
+				for _, c := range oltp {
+					c.SetSlowdown(2)
+				}
+			}},
+		},
+	})
+
+	lock := res.Series.Get("lock memory")
+	steady := lock.MeanBetween(120, injectAt)
+	peak := lock.Max()
+	at25s := lock.ValueAt(injectAt + 25)
+	growth25 := at25s / steady
+
+	tp := res.Series.Get("throughput")
+	tpSteady := tp.MeanBetween(120, injectAt)
+	tpDuring := tp.MeanBetween(injectAt+30, injectAt+150)
+
+	o := &Outcome{ID: "fig11", Title: "Lock memory adaptation for OLTP with sudden DSS injection", Result: res}
+	o.Findings = append(o.Findings,
+		check("steady lock memory", "≈0.15% of database memory",
+			100*steady/float64(dbPages5GB), 0.05, 0.4, "%.2f%%"),
+		check("peak lock memory", "≈10% of database memory",
+			100*peak/float64(dbPages5GB), 7, 14, "%.1f%%"),
+		check("growth factor (peak/steady)", "≈60×", peak/steady, 40, 100, "%.0f×"),
+		check("growth in first 25 s", "60× within ~25 s", growth25, 20, 100, "%.0f×"),
+		check("exclusive escalations", "0", float64(res.Final.LockStats.ExclusiveEscalations), 0, 0, "%.0f"),
+		check("escalations (any mode)", "0 observed", float64(res.Final.LockStats.Escalations), 0, 0, "%.0f"),
+		Finding{Label: "DSS query completed", Paper: "query runs to completion",
+			Measured: fmt.Sprintf("done=%v locks=%d", dss.Done(), dss.LocksAcquired()), Pass: dss.Done()},
+		check("OLTP dip from CPU/disk competition", "reduced but alive",
+			tpDuring/tpSteady, 0.3, 1.0, "%.2f of steady"),
+	)
+	return o
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/lockmgr"
+	"repro/internal/txn"
+)
+
+// Fig6WorkedExample replays section 4's descriptive example as a scripted
+// run: a single application whose lock-structure demand follows the T0…Tn
+// narrative, with the STMM controller tuning on interval boundaries.
+//
+//	T0  steady state: ~2% of memory used by locks, allocation ~4% (half free)
+//	T1  surge to 3% used — absorbed by the free structures, no allocation
+//	T2  tuning interval: grow to restore minFree (allocation ~6%)
+//	T3  surge to 8% used — free space + synchronous overflow consumption
+//	T4  tuning interval: rebalance, allocation ~16%, overflow repaid
+//	T5  demand back to 2% — most of the lock memory now empty
+//	T6+ δreduce shrinking, 5% per interval, toward maxFree free
+func Fig6WorkedExample() *Outcome {
+	db, clk := newAdaptiveDB(dbPages512MB, 0)
+	_ = clk
+	locks := db.Locks()
+	cat := db.Catalog()
+	fact := cat.ByName("lineitem")
+
+	conn := db.Connect()
+	tx := conn.Begin()
+
+	dbf := float64(dbPages512MB)
+	pct := func(pages int) float64 { return 100 * float64(pages) / dbf }
+
+	// demand drives the held lock structures to `usedPages` pages' worth
+	// using 64-row chunk locks.
+	var held []uint64 // chunk indices held
+	demand := func(usedPages int) {
+		targetChunks := usedPages // one chunk (64 structs) per page
+		for len(held) < targetChunks {
+			idx := uint64(len(held))
+			op := tx.AcquireRow(fact.ID, idx*64, lockmgr.ModeS, 64)
+			if op.Poll() != txn.OpGranted {
+				panic(fmt.Sprintf("worked example: lock denied: %v", op.Err()))
+			}
+			held = append(held, idx)
+		}
+		for len(held) > targetChunks {
+			idx := held[len(held)-1]
+			held = held[:len(held)-1]
+			if err := locks.Release(tx.Owner(), lockmgr.RowName(uint32(fact.ID), idx*64)); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	o := &Outcome{ID: "fig6", Title: "Worked example of combined synchronous & asynchronous tuning (section 4)"}
+	add := func(label, paper string, measured string, pass bool) {
+		o.Findings = append(o.Findings, Finding{Label: label, Paper: paper, Measured: measured, Pass: pass})
+	}
+
+	// T0: ~2% used; tune twice to reach steady state.
+	demand(int(0.02 * dbf))
+	db.TuneOnce()
+	db.TuneOnce()
+	t0Alloc := locks.Pages()
+	add("T0 allocation", "≈4% of memory (2% used, half free)",
+		fmt.Sprintf("%.1f%% alloc, %.1f%% used", pct(t0Alloc), pct(locks.UsedPages())),
+		pct(t0Alloc) > 3.5 && pct(t0Alloc) < 4.6)
+
+	// T1: surge to 3% used mid-interval — contained by free structures.
+	demand(int(0.03 * dbf))
+	add("T1 surge to 3% used", "no new allocation needed",
+		fmt.Sprintf("alloc still %.1f%%", pct(locks.Pages())), locks.Pages() == t0Alloc)
+
+	// T2: tuning interval restores minFree.
+	rep2, _ := db.TuneOnce()
+	t2Alloc := locks.Pages()
+	add("T2 grow to restore minFree", "≈6% of memory",
+		fmt.Sprintf("%.1f%%", pct(t2Alloc)), pct(t2Alloc) > 5.5 && pct(t2Alloc) < 7)
+	add("T2 funded by least-needy heaps", "sort donates, no overflow",
+		fmt.Sprintf("fromPMCs=%d fromOverflow=%d", rep2.FromPMCs, rep2.FromOverflow),
+		rep2.FromPMCs > 0)
+
+	// T3: 267% surge to 8% used — synchronous overflow consumption.
+	overflowBefore := db.Set().Overflow()
+	demand(int(0.08 * dbf))
+	lmo := db.Controller().LMO()
+	add("T3 surge to 8% used", "part from free space, ~2% synchronously from overflow",
+		fmt.Sprintf("LMO=%.1f%% of memory, overflow %.1f%%→%.1f%%",
+			pct(lmo), pct(overflowBefore), pct(db.Set().Overflow())),
+		lmo > 0 && db.Set().Overflow() < overflowBefore)
+
+	// T4: tuning interval rebalances and repays overflow.
+	rep4, _ := db.TuneOnce()
+	add("T4 rebalance", "heaps reduced, overflow reclaimed, alloc ≈16%",
+		fmt.Sprintf("alloc %.1f%%, repaid %d pages, LMO=%d", pct(locks.Pages()), rep4.RepaidOverflow, db.Controller().LMO()),
+		pct(locks.Pages()) > 14 && pct(locks.Pages()) < 18 && db.Controller().LMO() == 0 &&
+			db.Set().OverflowDeficit() == 0)
+
+	// T5: pressure returns to the T0 level.
+	demand(int(0.02 * dbf))
+	free := locks.FreeFraction()
+	add("T5 demand returns to 2%", "most of lock memory empty (≈87.5%)",
+		fmt.Sprintf("%.1f%% free", free*100), free > 0.80)
+
+	// T6+: δreduce shrinking, ≤5% (plus block rounding) per interval.
+	sizes := []int{locks.Pages()}
+	intervals := 0
+	for i := 0; i < 40; i++ {
+		db.TuneOnce()
+		sizes = append(sizes, locks.Pages())
+		if sizes[len(sizes)-1] < sizes[len(sizes)-2] {
+			intervals++
+		} else if intervals > 0 {
+			break
+		}
+	}
+	maxCut := 0.0
+	for i := 1; i < len(sizes); i++ {
+		if cut := float64(sizes[i-1]-sizes[i]) / float64(sizes[i-1]); cut > maxCut {
+			maxCut = cut
+		}
+	}
+	finalFree := locks.FreeFraction()
+	add("T6..Tn gradual shrink", "δreduce = 5% per interval",
+		fmt.Sprintf("%d shrink intervals, max cut %.1f%%", intervals, maxCut*100),
+		intervals >= 5 && maxCut <= 0.075)
+	add("Tn settles at maxFree free", "≈60% free",
+		fmt.Sprintf("%.1f%% free", finalFree*100), finalFree >= 0.55 && finalFree <= 0.70)
+
+	tx.Commit()
+	_ = conn.Close()
+	return o
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/engine"
+	"repro/internal/lockmgr"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// dbPages512MB scales most experiments to a 512 MB database memory; the
+// DSS-injection experiment uses the paper's full 5.11 GB scale because its
+// headline ratios (0.15% steady → 10% peak, 60× growth) only fit between the
+// 2 MB minimum and the 20% maximum at that scale.
+const dbPages512MB = 131072
+
+// newAdaptiveDB opens a self-tuning engine on a simulated clock.
+func newAdaptiveDB(dbPages, initialLockPages int) (*engine.Database, *clock.Sim) {
+	clk := clock.NewSim()
+	db, err := engine.Open(engine.Config{
+		DatabasePages:    dbPages,
+		InitialLockPages: initialLockPages,
+		Policy:           engine.PolicyAdaptive,
+		Clock:            clk,
+		LockTimeout:      60 * time.Second,
+	})
+	if err != nil {
+		panic(err) // configuration is static; failure is a build bug
+	}
+	return db, clk
+}
+
+// makeOLTPPool builds n OLTP clients with distinct seeds.
+func makeOLTPPool(db *engine.Database, prof workload.OLTPProfile, n int) []sim.Client {
+	clients := make([]sim.Client, n)
+	for i := range clients {
+		clients[i] = workload.NewOLTP(db, prof, int64(1000+i))
+	}
+	return clients
+}
+
+// Fig9RampAdaptation reproduces Figure 9: starting from a minimal LOCKLIST,
+// an OLTP workload ramps from 1 to 130 clients. The paper reports immediate
+// convergence to a stable allocation, a 10.5× increase in lock memory, and
+// — "very significantly" — zero lock escalations.
+func Fig9RampAdaptation() *Outcome {
+	const initialPages = 96 // ≈ 0.4 MB: the minimal configuration
+	db, clk := newAdaptiveDB(dbPages512MB, initialPages)
+	prof := workload.DefaultOLTPProfile(db.Catalog())
+
+	res := sim.Run(sim.Config{
+		DB:       db,
+		Clock:    clk,
+		Ticks:    900,
+		Clients:  makeOLTPPool(db, prof, 130),
+		Schedule: workload.Ramp(1, 130, 0, 300),
+	})
+
+	lock := res.Series.Get("lock memory")
+	tp := res.Series.Get("throughput")
+	growth := lock.Last().Value / float64(initialPages)
+	earlyTP := tp.MeanBetween(30, 90)
+	lateTP := tp.MeanBetween(600, 900)
+	// Convergence: the allocation must be at its final level within two
+	// tuning intervals of the ramp completing.
+	settled := lock.ValueAt(360) / lock.Last().Value
+
+	o := &Outcome{ID: "fig9", Title: "Rapid lock memory adaptation to steady-state OLTP load", Result: res}
+	o.Findings = append(o.Findings,
+		check("lock memory growth", "10.5×", growth, 8, 13, "%.1f×"),
+		check("lock escalations", "0", float64(res.Final.LockStats.Escalations), 0, 0, "%.0f"),
+		check("throughput scales with clients", ">4× early load", lateTP/earlyTP, 4, 1e9, "%.1f×"),
+		check("settled within 2 intervals of ramp end", "immediate convergence", settled, 0.95, 1.01, "%.2f of final"),
+	)
+	return o
+}
+
+// Fig10WorkloadSurge reproduces Figure 10: 50 clients in steady state for
+// 25 minutes, then a switch to 130 clients. The paper reports a practically
+// instantaneous increase to "just more than double" the previous allocation
+// with no escalations.
+func Fig10WorkloadSurge() *Outcome {
+	db, clk := newAdaptiveDB(dbPages512MB, 0)
+	prof := workload.DefaultOLTPProfile(db.Catalog())
+	const surgeAt = 1500 // 25 minutes
+
+	res := sim.Run(sim.Config{
+		DB:       db,
+		Clock:    clk,
+		Ticks:    2400,
+		Clients:  makeOLTPPool(db, prof, 130),
+		Schedule: workload.Step(50, 130, surgeAt),
+	})
+
+	lock := res.Series.Get("lock memory")
+	before := lock.MeanBetween(600, surgeAt)
+	after := lock.MeanBetween(surgeAt+120, 2400)
+	// Responsiveness: within two tuning intervals of the surge the
+	// allocation has reached its new level.
+	atPlus60 := lock.ValueAt(surgeAt + 60)
+
+	tp := res.Series.Get("throughput")
+	tpBefore := tp.MeanBetween(600, surgeAt)
+	tpAfter := tp.MeanBetween(surgeAt+120, 2400)
+
+	o := &Outcome{ID: "fig10", Title: "Lock memory with 2.6× workload surge", Result: res}
+	o.Findings = append(o.Findings,
+		check("allocation ratio after/before", "just more than double", after/before, 1.8, 2.6, "%.2f×"),
+		check("growth within 2 intervals", "practically instantaneous", atPlus60/after, 0.9, 1.1, "%.2f of new level"),
+		check("lock escalations", "0", float64(res.Final.LockStats.Escalations), 0, 0, "%.0f"),
+		check("throughput rises with surge", "higher throughput", tpAfter/tpBefore, 1.5, 1e9, "%.1f×"),
+	)
+	return o
+}
+
+// Fig12GradualReduction reproduces Figure 12: 130 clients for 1500 s, then a
+// 76.9% reduction to 30 clients. The paper reports a gradual ≈5%-per-interval
+// reduction over about 10 tuning intervals, settling at roughly half the
+// earlier allocation.
+func Fig12GradualReduction() *Outcome {
+	db, clk := newAdaptiveDB(dbPages512MB, 0)
+	prof := workload.DefaultOLTPProfile(db.Catalog())
+	const shedAt = 1500
+
+	res := sim.Run(sim.Config{
+		DB:       db,
+		Clock:    clk,
+		Ticks:    3000,
+		Clients:  makeOLTPPool(db, prof, 130),
+		Schedule: workload.Step(130, 30, shedAt),
+	})
+
+	lock := res.Series.Get("lock memory")
+	before := lock.MeanBetween(900, shedAt)
+	final := lock.Last().Value
+
+	// Count tuning intervals from the shed until the allocation first
+	// reaches (within one block of) its final level, and verify each
+	// step's cut is within δreduce of the previous size.
+	intervals := 0
+	maxStepFrac := 0.0
+	prev := lock.ValueAt(shedAt)
+	for t := float64(shedAt) + 30; t <= 3000; t += 30 {
+		cur := lock.ValueAt(t)
+		if cur < prev {
+			frac := (prev - cur) / prev
+			if frac > maxStepFrac {
+				maxStepFrac = frac
+			}
+		}
+		if cur > final+32 {
+			intervals++
+		}
+		prev = cur
+	}
+
+	o := &Outcome{ID: "fig12", Title: "Gradual lock memory reduction", Result: res}
+	o.Findings = append(o.Findings,
+		check("settles at fraction of prior", "≈ half", final/before, 0.40, 0.60, "%.2f"),
+		check("intervals to settle", "≈ 10", float64(intervals), 8, 20, "%.0f"),
+		check("max per-interval cut", "δreduce ≈ 5%", maxStepFrac*100, 0, 7.5, "%.1f%%"),
+		check("lock escalations", "0", float64(res.Final.LockStats.Escalations), 0, 0, "%.0f"),
+	)
+	return o
+}
+
+var (
+	fig78Once sync.Once
+	fig78Res  *sim.Result
+)
+
+// fig78 runs the shared Figure 7/8 experiment: a static 0.4 MB LOCKLIST with
+// MAXLOCKS=10 under a 130-client OLTP ramp — the catastrophe motivating
+// self-tuning.
+func fig78() *sim.Result {
+	fig78Once.Do(func() { fig78Res = runFig78() })
+	return fig78Res
+}
+
+func runFig78() *sim.Result {
+	clk := clock.NewSim()
+	db, err := engine.Open(engine.Config{
+		DatabasePages:    dbPages512MB,
+		InitialLockPages: 96, // ≈ 0.4 MB
+		Policy:           engine.PolicyStatic,
+		StaticQuotaPct:   10,
+		Clock:            clk,
+		LockTimeout:      60 * time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	prof := workload.DefaultOLTPProfile(db.Catalog())
+	// Heavier transactions than the adaptive runs so that aggregate
+	// demand exceeds the undersized 0.4 MB allocation (the point of the
+	// experiment: the static configuration is inadequate).
+	prof.RowsMin, prof.RowsMax = 80, 160
+
+	return sim.Run(sim.Config{
+		DB:       db,
+		Clock:    clk,
+		Ticks:    600,
+		Clients:  makeOLTPPool(db, prof, 130),
+		Schedule: workload.Ramp(1, 130, 0, 120),
+	})
+}
+
+// Fig7EscalationLockMemory reproduces Figure 7: under the static
+// configuration, escalations begin as the ramp saturates the lock memory,
+// and the escalations *reduce* the lock memory requirements (row locks
+// replaced by table locks).
+func Fig7EscalationLockMemory() *Outcome {
+	res := fig78()
+	esc := res.Series.Get("escalations")
+	used := res.Series.Get("lock memory used")
+
+	// Find the first escalation.
+	var firstEsc float64 = -1
+	for _, s := range esc.Samples() {
+		if s.Value > 0 {
+			firstEsc = s.Seconds
+			break
+		}
+	}
+	peakUsed := used.Max()
+	usedAfter := used.MeanAfter(firstEsc + 60)
+
+	o := &Outcome{ID: "fig7", Title: "Escalation under static 0.4 MB LOCKLIST reduces lock memory use", Result: res}
+	o.Findings = append(o.Findings,
+		Finding{Label: "escalations occur during ramp", Paper: "yes",
+			Measured: fmt.Sprintf("first at t=%.0fs, total %d", firstEsc, res.Final.LockStats.Escalations),
+			Pass:     firstEsc >= 0 && res.Final.LockStats.Escalations > 0},
+		check("lock usage after escalations", "reduced vs peak", usedAfter/peakUsed, 0, 0.8, "%.2f of peak"),
+		check("LOCKLIST stays fixed", "0.4 MB", res.Series.Get("lock memory").Last().Value, 96, 96, "%.0f pages"),
+	)
+	return o
+}
+
+// Fig8EscalationThroughput reproduces Figure 8: the same run's throughput
+// collapses after escalation — "the system throughput drops practically to
+// zero" with only a few of the 130 clients making progress.
+func Fig8EscalationThroughput() *Outcome {
+	res := fig78()
+	esc := res.Series.Get("escalations")
+	tp := res.Series.Get("throughput")
+
+	var firstEsc float64 = -1
+	for _, s := range esc.Samples() {
+		if s.Value > 0 {
+			firstEsc = s.Seconds
+			break
+		}
+	}
+	peakTP := tp.Max()
+	lateTP := tp.MeanAfter(firstEsc + 120)
+
+	o := &Outcome{ID: "fig8", Title: "Escalation collapses system throughput", Result: res}
+	o.Findings = append(o.Findings,
+		Finding{Label: "escalations occurred", Paper: "yes",
+			Measured: fmt.Sprintf("%d", res.Final.LockStats.Escalations),
+			Pass:     res.Final.LockStats.Escalations > 0},
+		check("throughput after escalation", "drops practically to zero", lateTP/peakTP, 0, 0.25, "%.2f of peak"),
+		Finding{Label: "lock waits & deadlocks", Paper: "severe concurrency impact",
+			Measured: fmt.Sprintf("%d timeouts, %d deadlocks", res.Final.LockStats.Timeouts, res.Final.LockStats.Deadlocks),
+			Pass:     res.Final.LockStats.Timeouts+res.Final.LockStats.Deadlocks > 0},
+	)
+	return o
+}
+
+// Fig3LockQueuing demonstrates the FIFO lock chain of Figure 3 as a
+// scenario run against the real lock manager (the unit tests verify it
+// mechanically; this produces the narrative for the experiment index).
+func Fig3LockQueuing() *Outcome {
+	m := lockmgr.New(lockmgr.Config{InitialPages: 32})
+	owners := make([]*lockmgr.Owner, 5)
+	for i := 1; i <= 4; i++ {
+		owners[i] = m.NewOwner(m.RegisterApp())
+	}
+	row := lockmgr.RowName(1, 1)
+	p1 := m.AcquireAsync(owners[1], row, lockmgr.ModeS, 1)
+	p2 := m.AcquireAsync(owners[2], row, lockmgr.ModeS, 1)
+	p3 := m.AcquireAsync(owners[3], row, lockmgr.ModeX, 1)
+	p4 := m.AcquireAsync(owners[4], row, lockmgr.ModeS, 1)
+
+	st1, _ := p1.Status()
+	st2, _ := p2.Status()
+	st3, _ := p3.Status()
+	st4, _ := p4.Status()
+	shared := st1 == lockmgr.StatusGranted && st2 == lockmgr.StatusGranted
+	queued := st3 == lockmgr.StatusWaiting && st4 == lockmgr.StatusWaiting
+
+	m.ReleaseAll(owners[1])
+	m.ReleaseAll(owners[2])
+	st3b, _ := p3.Status()
+	st4b, _ := p4.Status()
+	ordered := st3b == lockmgr.StatusGranted && st4b == lockmgr.StatusWaiting
+
+	o := &Outcome{ID: "fig3", Title: "Lock queuing: share group, then FIFO chain"}
+	o.Findings = append(o.Findings,
+		Finding{Label: "app1+app2 share one lock", Paper: "compatible S holders share", Measured: fmt.Sprintf("%v", shared), Pass: shared},
+		Finding{Label: "app3 X and app4 S queue", Paper: "chain forms behind X", Measured: fmt.Sprintf("%v", queued), Pass: queued},
+		Finding{Label: "app3 served before app4", Paper: "requests serviced in order", Measured: fmt.Sprintf("%v", ordered), Pass: ordered},
+	)
+	return o
+}

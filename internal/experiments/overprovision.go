@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Overprovision quantifies the introduction's economic argument: configuring
+// lock memory statically "for peak requirements" causes "significant memory
+// waste" — memory that the buffer pool needed. Two engines run the same
+// I/O-sensitive OLTP workload:
+//
+//   - adaptive: lock memory self-tunes to the few MB actually needed and
+//     STMM hands the surplus to the buffer pool;
+//   - peak-provisioned: a static LOCKLIST sized at the 20% ceiling (the
+//     "monthly batch peak" insurance), with a correspondingly smaller
+//     buffer pool and no redistribution.
+//
+// The expected shape: the adaptive system ends with a much larger buffer
+// pool, a higher hit ratio, and higher throughput — without escalations.
+func Overprovision() *Outcome {
+	run := func(policy engine.Policy, lockPages int, bpFrac float64) (*sim.Result, *engine.Database) {
+		clk := clock.NewSim()
+		db, err := engine.Open(engine.Config{
+			DatabasePages:    dbPages512MB,
+			InitialLockPages: lockPages,
+			BufferPoolFrac:   bpFrac,
+			Policy:           policy,
+			StaticQuotaPct:   90, // generous: escalations are not the point here
+			Clock:            clk,
+			LockTimeout:      60 * time.Second,
+		})
+		if err != nil {
+			panic(err)
+		}
+		prof := workload.DefaultOLTPProfile(db.Catalog())
+		// An I/O-sensitive working set: ≈6 GB of warm rows across the
+		// four tables, far beyond any buffer pool here, so every page
+		// of buffer pool earns hits; a miss costs one tick of I/O.
+		prof.WarmRows = 1_500_000
+		prof.HotRows = 0
+		prof.MissPenalty = 0.25
+		clients := make([]sim.Client, 60)
+		for i := range clients {
+			clients[i] = workload.NewOLTP(db, prof, int64(i+1))
+		}
+		res := sim.Run(sim.Config{
+			DB:       db,
+			Clock:    clk,
+			Ticks:    1200,
+			Clients:  clients,
+			Schedule: workload.Constant(60),
+		})
+		return res, db
+	}
+
+	// Peak-provisioned static: LOCKLIST at the 20% ceiling; the buffer
+	// pool gives up those pages.
+	peakLock := 26208
+	staticRes, staticDB := run(engine.PolicyStatic, peakLock, 0.45)
+	// Adaptive: the same total memory, lock memory starts at the minimum.
+	adaptRes, adaptDB := run(engine.PolicyAdaptive, 0, 0.45)
+
+	aHit := adaptDB.Pool().HitRatio()
+	sHit := staticDB.Pool().HitRatio()
+	aTP := adaptRes.Series.Get("throughput").MeanAfter(600)
+	sTP := staticRes.Series.Get("throughput").MeanAfter(600)
+	aBP := adaptRes.Series.Get("bufferpool").Last().Value
+	sBP := staticRes.Series.Get("bufferpool").Last().Value
+	aLock := adaptRes.Series.Get("lock memory").Last().Value
+
+	o := &Outcome{ID: "overprovision",
+		Title:  "Cost of peak-sized static lock memory vs self-tuning (section 1 motivation)",
+		Result: adaptRes}
+	o.Findings = append(o.Findings,
+		Finding{Label: "adaptive lock memory settles small", Paper: "locks need 1–10% typically",
+			Measured: fmt.Sprintf("%.0f pages (%.1f%% of memory) vs %d static", aLock, 100*aLock/dbPages512MB, peakLock),
+			Pass:     aLock < float64(peakLock)/5},
+		Finding{Label: "buffer pool reclaims the waste", Paper: "over-allocation reduces cache memory",
+			Measured: fmt.Sprintf("%.0f vs %.0f pages", aBP, sBP), Pass: aBP > sBP+10000},
+		Finding{Label: "hit ratio", Paper: "more cache → more hits",
+			Measured: fmt.Sprintf("%.1f%% vs %.1f%%", 100*aHit, 100*sHit), Pass: aHit > sHit},
+		check("throughput advantage", "adaptive wins", aTP/sTP, 1.05, 1e9, "%.2fx"),
+		Finding{Label: "no escalations on either side", Paper: "ample lock memory in both",
+			Measured: fmt.Sprintf("adaptive %d, static %d",
+				adaptRes.Final.LockStats.Escalations, staticRes.Final.LockStats.Escalations),
+			Pass: adaptRes.Final.LockStats.Escalations == 0 && staticRes.Final.LockStats.Escalations == 0},
+	)
+	return o
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memblock"
+)
+
+// Table1 verifies that the implementation's constants are exactly the
+// paper's Table 1 ("Key parameters") and that the derived quantities
+// evaluate as published.
+func Table1() *Outcome {
+	p := core.DefaultParams()
+	o := &Outcome{ID: "table1", Title: "Key modelling parameters (Table 1)"}
+
+	add := func(label, paper string, got string, pass bool) {
+		o.Findings = append(o.Findings, Finding{Label: label, Paper: paper, Measured: got, Pass: pass})
+	}
+
+	add("minFreeLockMemory", "50%", fmt.Sprintf("%.0f%%", p.MinFreeFrac*100), p.MinFreeFrac == 0.50)
+	add("maxFreeLockMemory", "60%", fmt.Sprintf("%.0f%%", p.MaxFreeFrac*100), p.MaxFreeFrac == 0.60)
+	add("δreduce", "5% of current size", fmt.Sprintf("%.0f%%", p.DeltaReduce*100), p.DeltaReduce == 0.05)
+	add("C1 (LMOmax)", "65% of overflow", fmt.Sprintf("%.0f%%", p.C1*100), p.C1 == 0.65)
+	add("maxLockMemory", "0.20 × databaseMemory", fmt.Sprintf("%.2f × db", p.MaxLockFrac), p.MaxLockFrac == 0.20)
+	add("sqlCompilerLockMem", "0.10 × databaseMemory", fmt.Sprintf("%.2f × db", p.CompilerFrac), p.CompilerFrac == 0.10)
+	add("minLockMemory", "MAX(2MB, 500·locksize·apps)",
+		fmt.Sprintf("MAX(%dMB, %d·%dB·apps)", p.MinLockBytes>>20, p.MinStructsPerApp, p.LockSizeBytes),
+		p.MinLockBytes == 2<<20 && p.MinStructsPerApp == 500)
+	add("refreshPeriodForAppPercent", "0x80", fmt.Sprintf("%#x", p.RefreshPeriod), p.RefreshPeriod == 0x80)
+	add("lockPercentPerApplication", "98(1−(x/100)³)",
+		fmt.Sprintf("%.0f(1−(x/100)^%.0f)", p.MaxAppPercent, p.CurveExponent),
+		p.MaxAppPercent == 98 && p.CurveExponent == 3)
+
+	// Derived values at the paper's scale (5.11 GB ≈ 1,310,720 pages).
+	const dbPages = 1310720
+	add("maxLockMemory @5GB", "≈1 GB", fmt.Sprintf("%d pages", p.MaxLockPages(dbPages)),
+		p.MaxLockPages(dbPages) == 262144)
+	add("minLockMemory @130 apps", "≈4.2 MB", fmt.Sprintf("%d pages", p.MinLockPages(130)),
+		p.MinLockPages(130) == 1024)
+	add("curve @x=75", "aggressive attenuation", fmt.Sprintf("%.1f%%", p.AppPercent(75)),
+		p.AppPercent(75) > 56 && p.AppPercent(75) < 57)
+	add("curve @x=100", "drops to 1", fmt.Sprintf("%.0f%%", p.AppPercent(100)), p.AppPercent(100) == 1)
+	add("locks per 128KB block", "≈2000", fmt.Sprintf("%d", memblock.StructsPerBlock),
+		memblock.StructsPerBlock == 2048)
+	return o
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/clock"
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// vendorRun drives the same workload — steady OLTP plus one reporting query
+// — through an engine with the given lock-memory policy and returns the
+// run plus the DSS client.
+func vendorRun(policy engine.Policy) (*sim.Result, *workload.DSS) {
+	clk := clock.NewSim()
+	initial := 96
+	if policy == engine.PolicySQLServer {
+		initial = baseline.SQLServerInitialPages()
+	}
+	db, err := engine.Open(engine.Config{
+		DatabasePages:    dbPages512MB,
+		InitialLockPages: initial,
+		Policy:           policy,
+		StaticQuotaPct:   10,
+		Clock:            clk,
+		LockTimeout:      60 * time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cat := db.Catalog()
+	// The Figure 7 load: heavy enough that the static 0.4 MB LOCKLIST is
+	// inadequate, while the adaptive policy absorbs it without incident.
+	prof := workload.DefaultOLTPProfile(cat)
+	prof.RowsMin, prof.RowsMax = 80, 160
+
+	dss := workload.NewDSS(db, workload.DSSProfile{
+		Table:         cat.ByName("lineitem"),
+		ChunkRows:     64,
+		Chunks:        4096, // 4096 pages ≈ 3% of database memory
+		ChunksPerTick: 400,
+		HoldTicks:     60,
+		SortPages:     1024,
+	})
+
+	res := sim.Run(sim.Config{
+		DB:         db,
+		Clock:      clk,
+		Ticks:      600,
+		Clients:    makeOLTPPool(db, prof, 130),
+		Schedule:   workload.Ramp(1, 130, 0, 120),
+		Standalone: []sim.Client{dss},
+		Events:     []sim.Event{{AtTick: 200, Fire: func() { dss.SetActive(true) }}},
+	})
+	return res, dss
+}
+
+// VendorComparison contrasts the section 2.3 policies on one workload: DB2 9
+// adaptive tuning, the static pre-9 configuration, the SQL Server 2005
+// model, and the Oracle on-page ITL model.
+func VendorComparison() *Outcome {
+	adaptive, adaptiveDSS := vendorRun(engine.PolicyAdaptive)
+	static, _ := vendorRun(engine.PolicyStatic)
+	sqlsrv, _ := vendorRun(engine.PolicySQLServer)
+
+	o := &Outcome{ID: "vendor", Title: "Policy comparison: adaptive vs static vs SQL Server 2005 vs Oracle ITL", Result: adaptive}
+
+	aEsc := adaptive.Final.LockStats.Escalations
+	sEsc := static.Final.LockStats.Escalations
+	qEsc := sqlsrv.Final.LockStats.Escalations
+
+	o.Findings = append(o.Findings,
+		Finding{Label: "adaptive: escalations", Paper: "0 (goal: avoid at all times)",
+			Measured: fmt.Sprintf("%d", aEsc), Pass: aEsc == 0},
+		Finding{Label: "adaptive: DSS completes under row locking", Paper: "single user may dominate",
+			Measured: fmt.Sprintf("done=%v", adaptiveDSS.Done()), Pass: adaptiveDSS.Done()},
+		Finding{Label: "static 0.4MB: escalations", Paper: "many (inadequate LOCKLIST)",
+			Measured: fmt.Sprintf("%d", sEsc), Pass: sEsc > 0},
+		Finding{Label: "SQL Server: reporting query escalates", Paper: "5000-lock trigger, not configurable",
+			Measured: fmt.Sprintf("%d escalations", qEsc), Pass: qEsc > 0},
+	)
+
+	// Memory release after the burst: DB2 relaxes, SQL Server's lock
+	// memory never shrinks.
+	aLock := adaptive.Series.Get("lock memory")
+	qLock := sqlsrv.Series.Get("lock memory")
+	aBack := aLock.Last().Value / aLock.Max()
+	qBack := qLock.Last().Value / qLock.Max()
+	o.Findings = append(o.Findings,
+		check("adaptive releases memory after burst", "asynchronous reduction", aBack, 0, 0.95, "%.2f of peak"),
+		check("SQL Server keeps lock memory", "no documented shrink", qBack, 1.0, 1.0, "%.2f of peak"),
+	)
+
+	// Relative throughput: the adaptive policy should beat the static
+	// configuration once the burst has caused static escalations.
+	aTP := adaptive.Series.Get("throughput").MeanBetween(200, 600)
+	sTP := static.Series.Get("throughput").MeanBetween(200, 600)
+	o.Findings = append(o.Findings,
+		check("adaptive vs static throughput", "adaptive wins after escalations", aTP/sTP, 1.2, 1e9, "%.1f×"),
+	)
+
+	// Oracle ITL micro-benchmark: on-page locking has no lock memory but
+	// degrades to page-level blocking when ITLs exhaust, and its ITL
+	// space is permanent.
+	ora := baseline.NewOracleDB(2, 3)
+	pageOf := func(_ uint32, row uint64) uint64 { return row / 64 }
+	itlBlockedFreeRow := false
+	for txnID := uint64(1); txnID <= 8; txnID++ {
+		row := txnID // all on page 0, distinct rows
+		if ora.TryLockRow(txnID, 1, row, 0) == baseline.OracleITLWait {
+			itlBlockedFreeRow = true
+		}
+	}
+	slotsBefore := ora.PermanentITLSlots()
+	for txnID := uint64(1); txnID <= 8; txnID++ {
+		ora.ReleaseAll(txnID, pageOf)
+	}
+	o.Findings = append(o.Findings,
+		Finding{Label: "Oracle: ITL exhaustion blocks unlocked rows", Paper: "effectively page-level locking",
+			Measured: fmt.Sprintf("%v (waits=%d)", itlBlockedFreeRow, ora.Stats().ITLWaits), Pass: itlBlockedFreeRow},
+		Finding{Label: "Oracle: ITL space is permanent", Paper: "not decreased until reorganization",
+			Measured: fmt.Sprintf("%d slots before and after release", slotsBefore),
+			Pass:     ora.PermanentITLSlots() == slotsBefore && slotsBefore > 2},
+	)
+	return o
+}

@@ -1,0 +1,125 @@
+package lockmgr
+
+// Lock escalation (paper sections 1 and 2.2): when lock memory is
+// constrained, or an application exceeds lockPercentPerApplication, the
+// manager promotes the application's row locks on one table to a single
+// table lock, dramatically reducing memory at the cost of concurrency.
+//
+// Escalation here converts the owner's existing table intent lock (IS/IX)
+// to the supremum of its row-lock modes — S for pure readers, SIX or X when
+// updates are involved. The conversion may have to wait for incompatible
+// holders; the triggering request is "parked" and retried once the
+// escalation completes (its row locks having been freed, or the new table
+// lock covering it outright).
+
+// escalate promotes o's row locks on its most structure-hungry table.
+// parked, if non-nil, is the request that triggered escalation; it is
+// retried after the escalation completes. Returns false when there is
+// nothing to escalate (the caller then denies the triggering request).
+// Caller holds m.mu.
+func (m *Manager) escalate(o *Owner, parked *request) bool {
+	// Victim selection: the owner's table with the most row lock
+	// structures, mirroring "promoting one or more row level locks to...
+	// a table level lock" where it pays the most.
+	var victim uint32
+	var victimOT *ownerTable
+	for tid, ot := range o.byTable {
+		if ot.tableReq == nil || !ot.tableReq.granted || len(ot.rows) == 0 {
+			continue
+		}
+		if ot.tableReq.converting {
+			continue // an escalation is already in flight on this table
+		}
+		if victimOT == nil || ot.rowStructs > victimOT.rowStructs {
+			victim, victimOT = tid, ot
+		}
+	}
+	if victimOT == nil {
+		return false
+	}
+
+	// Target mode: the weakest table mode covering every row lock held
+	// (plus the triggering request if it is a row of the victim table).
+	target := victimOT.tableReq.mode
+	for _, r := range victimOT.rows {
+		target = Supremum(target, r.mode)
+	}
+	if parked != nil && parked.name.Gran == GranRow && parked.name.Table == victim {
+		target = Supremum(target, parked.mode)
+	}
+
+	m.stats.Escalations++
+	if target == ModeX {
+		m.stats.ExclusiveEscalations++
+	}
+	if m.cfg.Events != nil {
+		m.cfg.Events.OnEscalation(o.app.id, victim, target)
+	}
+
+	if parked != nil {
+		parked.parked = true
+		parked.deadline = m.deadline()
+		m.waiting[parked] = struct{}{}
+	}
+
+	continueAfter := func(m *Manager) {
+		m.freeEscalatedRows(o, victim)
+		m.retryParked(parked)
+	}
+	abandon := func(m *Manager, err error) {
+		// parked.pending is nil when the parked request was already
+		// completed (e.g. it timed out before the escalation did).
+		if parked != nil && parked.pending != nil {
+			if st, _ := parked.pending.Status(); st == StatusWaiting {
+				m.deny(parked, err)
+			}
+		}
+	}
+
+	if Supremum(victimOT.tableReq.mode, target) == victimOT.tableReq.mode {
+		// The table lock is already strong enough (e.g. a prior
+		// escalation); just shed the redundant row locks.
+		continueAfter(m)
+		return true
+	}
+
+	m.startConversion(victimOT.tableReq, target, newPending(), continueAfter, abandon)
+	return true
+}
+
+// freeEscalatedRows releases every row lock o holds on the table; the
+// escalated table lock now covers them. Caller holds m.mu.
+func (m *Manager) freeEscalatedRows(o *Owner, table uint32) {
+	ot := o.byTable[table]
+	if ot == nil {
+		return
+	}
+	rows := make([]*request, 0, len(ot.rows))
+	for _, r := range ot.rows {
+		rows = append(rows, r)
+	}
+	for _, r := range rows {
+		if r.converting {
+			// A row conversion in flight is subsumed by the table lock.
+			m.deny(r, ErrCanceled)
+		}
+		m.releaseGranted(r)
+	}
+}
+
+// retryParked re-runs the admission pipeline for a request that was parked
+// behind an escalation, unless it was denied (timed out) in the meantime.
+// Caller holds m.mu.
+func (m *Manager) retryParked(parked *request) {
+	if parked == nil {
+		return
+	}
+	delete(m.waiting, parked)
+	if parked.pending == nil {
+		return // already denied (timed out) while parked
+	}
+	if st, _ := parked.pending.Status(); st != StatusWaiting {
+		return
+	}
+	m.startRequest(parked)
+}

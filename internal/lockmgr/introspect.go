@@ -1,0 +1,204 @@
+package lockmgr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Introspection: point-in-time views of the lock table for operators and
+// tests, in the spirit of DB2's `db2pd -locks`.
+
+// LockInfo describes one lock table entry.
+type LockInfo struct {
+	Name      Name
+	GroupMode Mode
+	Holders   []HolderInfo
+	Waiters   []WaiterInfo
+}
+
+// HolderInfo describes one granted request.
+type HolderInfo struct {
+	OwnerID    uint64
+	AppID      int
+	Mode       Mode
+	Weight     int
+	Converting bool
+	ConvertTo  Mode
+}
+
+// WaiterInfo describes one queued request.
+type WaiterInfo struct {
+	OwnerID uint64
+	AppID   int
+	Mode    Mode
+}
+
+// DumpLocks returns every lock table entry, ordered by name, for
+// diagnostics. It is a snapshot: the table may change immediately after.
+func (m *Manager) DumpLocks() []LockInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LockInfo, 0, len(m.table))
+	for _, h := range m.table {
+		li := LockInfo{Name: h.name, GroupMode: h.groupMode}
+		for _, g := range h.granted {
+			li.Holders = append(li.Holders, HolderInfo{
+				OwnerID:    g.owner.id,
+				AppID:      g.owner.app.id,
+				Mode:       g.mode,
+				Weight:     g.weight,
+				Converting: g.converting,
+				ConvertTo:  g.convert,
+			})
+		}
+		sort.Slice(li.Holders, func(i, j int) bool { return li.Holders[i].OwnerID < li.Holders[j].OwnerID })
+		for _, w := range append(append([]*request{}, h.converters...), h.waiters...) {
+			li.Waiters = append(li.Waiters, WaiterInfo{
+				OwnerID: w.owner.id,
+				AppID:   w.owner.app.id,
+				Mode:    w.effectiveMode(),
+			})
+		}
+		out = append(out, li)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Name, out[j].Name
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Gran != b.Gran {
+			return a.Gran < b.Gran
+		}
+		return a.Row < b.Row
+	})
+	return out
+}
+
+// String renders a LockInfo as a single diagnostic line.
+func (li LockInfo) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s mode=%-4s holders=[", li.Name, li.GroupMode)
+	for i, h := range li.Holders {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "txn%d:%s", h.OwnerID, h.Mode)
+		if h.Converting {
+			fmt.Fprintf(&b, "→%s", h.ConvertTo)
+		}
+	}
+	b.WriteString("]")
+	if len(li.Waiters) > 0 {
+		b.WriteString(" waiters=[")
+		for i, w := range li.Waiters {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "txn%d:%s", w.OwnerID, w.Mode)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// CheckInvariants verifies internal consistency of the lock table; tests
+// and long-running simulations call it. It returns the first violation
+// found, or nil.
+func (m *Manager) CheckInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	appStructs := make(map[int]int)
+	for name, h := range m.table {
+		if h.name != name {
+			return fmt.Errorf("lockmgr: header name mismatch %v vs %v", h.name, name)
+		}
+		if h.empty() {
+			return fmt.Errorf("lockmgr: empty header %v not deleted", name)
+		}
+		// Granted group mutually compatible, and groupMode correct.
+		want := ModeNone
+		holders := make([]*request, 0, len(h.granted))
+		for o, g := range h.granted {
+			if g.owner != o {
+				return fmt.Errorf("lockmgr: %v granted map owner mismatch", name)
+			}
+			if !g.granted {
+				return fmt.Errorf("lockmgr: %v non-granted request in granted group", name)
+			}
+			holders = append(holders, g)
+			want = Supremum(want, g.mode)
+			appStructs[g.owner.app.id] += g.handle.Structs()
+		}
+		for i := 0; i < len(holders); i++ {
+			for j := i + 1; j < len(holders); j++ {
+				if !Compatible(holders[i].mode, holders[j].mode) {
+					return fmt.Errorf("lockmgr: %v incompatible granted group: %v vs %v",
+						name, holders[i].mode, holders[j].mode)
+				}
+			}
+		}
+		if h.groupMode != want {
+			return fmt.Errorf("lockmgr: %v groupMode %v, want %v", name, h.groupMode, want)
+		}
+		// Every waiter is registered in the waiting set, and — FIFO
+		// soundness — the head waiter is genuinely blocked.
+		for _, c := range h.converters {
+			if _, ok := m.waiting[c]; !ok {
+				return fmt.Errorf("lockmgr: %v converter missing from waiting set", name)
+			}
+			if !c.converting {
+				return fmt.Errorf("lockmgr: %v non-converting request on converter queue", name)
+			}
+		}
+		for _, w := range h.waiters {
+			if _, ok := m.waiting[w]; !ok {
+				return fmt.Errorf("lockmgr: %v waiter missing from waiting set", name)
+			}
+			appStructs[w.owner.app.id] += w.handle.Structs()
+		}
+		if len(h.converters) == 0 && len(h.waiters) > 0 {
+			if Compatible(h.waiters[0].mode, h.groupMode) {
+				return fmt.Errorf("lockmgr: %v head waiter %v compatible with group %v but not granted",
+					name, h.waiters[0].mode, h.groupMode)
+			}
+		}
+	}
+
+	// Owner indexes agree with the lock table.
+	for _, o := range m.owners {
+		for name, req := range o.held {
+			h := m.table[name]
+			if h == nil || h.granted[o] != req {
+				return fmt.Errorf("lockmgr: owner %d holds %v not present in table", o.id, name)
+			}
+		}
+		for tid, ot := range o.byTable {
+			structs := 0
+			for row, r := range ot.rows {
+				if o.held[RowName(tid, row)] != r {
+					return fmt.Errorf("lockmgr: owner %d byTable row %d desynced", o.id, row)
+				}
+				structs += r.weight
+			}
+			if structs != ot.rowStructs {
+				return fmt.Errorf("lockmgr: owner %d table %d rowStructs %d, want %d",
+					o.id, tid, ot.rowStructs, structs)
+			}
+		}
+	}
+
+	// Per-application struct accounting matches the chain.
+	total := 0
+	for id, n := range appStructs {
+		if app := m.apps[id]; app != nil && app.structs != n {
+			return fmt.Errorf("lockmgr: app %d structs %d, want %d", id, app.structs, n)
+		}
+		total += n
+	}
+	if used := m.chain.Used(); used != total {
+		return fmt.Errorf("lockmgr: chain used %d, requests account for %d", used, total)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package lockmgr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestDumpLocks(t *testing.T) {
+	m := newMgr(Config{})
+	o1 := m.NewOwner(m.RegisterApp())
+	o2 := m.NewOwner(m.RegisterApp())
+	row := RowName(3, 7)
+	mustGrant(t, m.AcquireAsync(o1, TableName(3), ModeIX, 1), "intent")
+	mustGrant(t, m.AcquireAsync(o1, row, ModeX, 1), "row")
+	p := m.AcquireAsync(o2, row, ModeS, 1)
+	mustWait(t, p, "waiter")
+
+	dump := m.DumpLocks()
+	if len(dump) != 2 {
+		t.Fatalf("entries = %d, want 2 (table + row)", len(dump))
+	}
+	// Sorted: table before row within table 3.
+	if dump[0].Name != TableName(3) || dump[1].Name != row {
+		t.Fatalf("order wrong: %v, %v", dump[0].Name, dump[1].Name)
+	}
+	ri := dump[1]
+	if ri.GroupMode != ModeX || len(ri.Holders) != 1 || len(ri.Waiters) != 1 {
+		t.Fatalf("row info = %+v", ri)
+	}
+	if ri.Holders[0].OwnerID != o1.ID() || ri.Waiters[0].Mode != ModeS {
+		t.Fatalf("row info = %+v", ri)
+	}
+	s := ri.String()
+	if !strings.Contains(s, "row(3.7)") || !strings.Contains(s, "waiters=") {
+		t.Fatalf("render = %q", s)
+	}
+}
+
+func TestDumpShowsConversions(t *testing.T) {
+	m := newMgr(Config{})
+	o1 := m.NewOwner(m.RegisterApp())
+	o2 := m.NewOwner(m.RegisterApp())
+	row := RowName(1, 1)
+	mustGrant(t, m.AcquireAsync(o1, row, ModeS, 1), "o1 S")
+	mustGrant(t, m.AcquireAsync(o2, row, ModeS, 1), "o2 S")
+	mustWait(t, m.AcquireAsync(o1, row, ModeX, 1), "convert")
+
+	dump := m.DumpLocks()
+	var conv *HolderInfo
+	for i := range dump[0].Holders {
+		if dump[0].Holders[i].Converting {
+			conv = &dump[0].Holders[i]
+		}
+	}
+	if conv == nil || conv.ConvertTo != ModeX {
+		t.Fatalf("conversion not visible: %+v", dump[0])
+	}
+	if !strings.Contains(dump[0].String(), "→X") {
+		t.Fatalf("render = %q", dump[0].String())
+	}
+}
+
+func TestCheckInvariantsOnHealthyManager(t *testing.T) {
+	m := newMgr(Config{})
+	o := m.NewOwner(m.RegisterApp())
+	mustGrant(t, m.AcquireAsync(o, TableName(1), ModeIX, 1), "intent")
+	for i := 0; i < 50; i++ {
+		mustGrant(t, m.AcquireAsync(o, RowName(1, uint64(i)), ModeX, 1), "row")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(o)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomizedStressInvariants churns many owners through acquire,
+// convert, cancel, timeout, deadlock detection, escalation and resize, and
+// verifies the full invariant set after every phase. This is the heaviest
+// correctness net for the lock manager.
+func TestRandomizedStressInvariants(t *testing.T) {
+	clk := clock.NewSim()
+	m := New(Config{
+		InitialPages: 64,
+		Clock:        clk,
+		LockTimeout:  20 * time.Second,
+		Quota:        fixedQuota(30),
+		GrowSync: func(need int) int {
+			if need > 64 { // a grudging, bounded overflow
+				need = 64
+			}
+			return need
+		},
+	})
+	rng := rand.New(rand.NewSource(99))
+
+	type actor struct {
+		owner *Owner
+		app   *App
+	}
+	var actors []*actor
+	for i := 0; i < 12; i++ {
+		app := m.RegisterApp()
+		actors = append(actors, &actor{owner: m.NewOwner(app), app: app})
+	}
+
+	modes := []Mode{ModeS, ModeS, ModeS, ModeU, ModeX}
+	for step := 0; step < 4000; step++ {
+		a := actors[rng.Intn(len(actors))]
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // acquire a row (intent first)
+			table := uint32(rng.Intn(3) + 1)
+			mode := modes[rng.Intn(len(modes))]
+			m.AcquireAsync(a.owner, TableName(table), intentFor(mode), 1)
+			m.AcquireAsync(a.owner, RowName(table, uint64(rng.Intn(60))), mode, 1+rng.Intn(3))
+		case 6: // commit: release everything, new owner
+			m.ReleaseAll(a.owner)
+			a.owner = m.NewOwner(a.app)
+		case 7: // time passes; sweeps run
+			clk.Advance(time.Duration(rng.Intn(10)) * time.Second)
+			m.SweepTimeouts()
+		case 8:
+			m.DetectDeadlocks()
+		case 9: // resize churn
+			m.Resize(32 * (1 + rng.Intn(8)))
+		}
+		if step%200 == 0 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	for _, a := range actors {
+		m.ReleaseAll(a.owner)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.UsedStructs(); got != 0 {
+		t.Fatalf("structs leaked: %d", got)
+	}
+}

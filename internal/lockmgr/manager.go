@@ -1,0 +1,963 @@
+// Package lockmgr implements a DB2-style multigranularity lock manager: the
+// substrate whose memory consumption the paper's algorithm tunes.
+//
+// Locks are identified by Name (table or row), requested in the modes of
+// mode.go, and stored as lock structures allocated from a memblock.Chain —
+// the 128 KB block list of section 2.2. Waiters queue FIFO and are granted
+// by posting (section 2.3, Figure 3): when locks are released, the manager
+// wakes queued requests strictly in arrival order, so a compatible request
+// that arrived behind an incompatible one does not jump the queue.
+//
+// The manager implements the two lock-escalation triggers the paper tunes
+// around:
+//
+//   - per-application quota (MAXLOCKS / lockPercentPerApplication): a new
+//     lock that would push the application above its percentage of the lock
+//     memory escalates the application's row locks on its most-locked table
+//     into a single table lock;
+//   - lock memory exhaustion: an allocation the block chain cannot satisfy
+//     first attempts synchronous growth through the GrowSync hook (database
+//     overflow memory), then escalates, and only then fails.
+//
+// Escalation converts the application's existing table intent lock (IS/IX)
+// to the supremum of its row-lock modes (S, SIX or X), which may itself have
+// to wait for incompatible holders — exactly the concurrency collapse of
+// Figures 7 and 8.
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/memblock"
+)
+
+// Errors returned to lock requesters.
+var (
+	// ErrTimeout means the request waited longer than the lock timeout.
+	ErrTimeout = errors.New("lockmgr: lock wait timeout")
+	// ErrDeadlock means the request was chosen as a deadlock victim.
+	ErrDeadlock = errors.New("lockmgr: deadlock victim")
+	// ErrLockMemory means lock memory was exhausted and neither
+	// synchronous growth nor escalation could free enough structures.
+	ErrLockMemory = errors.New("lockmgr: out of lock memory")
+	// ErrQuotaExceeded means the application exceeded
+	// lockPercentPerApplication and escalation could not bring it back
+	// under the quota.
+	ErrQuotaExceeded = errors.New("lockmgr: application lock quota exceeded")
+	// ErrCanceled means the request was canceled by its owner.
+	ErrCanceled = errors.New("lockmgr: request canceled")
+)
+
+// Status is the state of a Pending lock request.
+type Status uint8
+
+const (
+	// StatusWaiting — queued behind incompatible holders.
+	StatusWaiting Status = iota
+	// StatusGranted — the lock is held.
+	StatusGranted
+	// StatusDenied — the request failed; see the error.
+	StatusDenied
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusWaiting:
+		return "waiting"
+	case StatusGranted:
+		return "granted"
+	case StatusDenied:
+		return "denied"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Pending is the handle for an asynchronous lock request. Done is closed
+// when the request leaves the waiting state.
+type Pending struct {
+	mu     sync.Mutex
+	done   chan struct{}
+	status Status
+	err    error
+}
+
+func newPending() *Pending {
+	return &Pending{done: make(chan struct{})}
+}
+
+// Done returns a channel closed when the request is granted or denied.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Status returns the current state and, for StatusDenied, the reason.
+func (p *Pending) Status() (Status, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.status, p.err
+}
+
+func (p *Pending) complete(st Status, err error) {
+	p.mu.Lock()
+	if p.status != StatusWaiting {
+		p.mu.Unlock()
+		return
+	}
+	p.status = st
+	p.err = err
+	p.mu.Unlock()
+	close(p.done)
+}
+
+// QuotaProvider supplies the live lockPercentPerApplication value. The
+// manager consults it on every allocation of new lock structures; the
+// provider decides whether the refresh period has elapsed (core.QuotaTracker
+// implements this policy). A nil provider means "no quota" (100%).
+type QuotaProvider interface {
+	// QuotaPercent returns the percentage of total lock memory the given
+	// application may hold, given the cumulative number of lock-structure
+	// requests and the structures currently in use. Most providers ignore
+	// appID; the engine's escalation-policy extension biases individual
+	// applications that prefer escalation over memory growth.
+	QuotaPercent(appID int, structRequests int64, usedStructs int) float64
+}
+
+// EscalationPreferrer is an optional extension of QuotaProvider: providers
+// implementing it can mark individual applications as preferring lock
+// escalation over lock-memory growth (the paper's section 6.1 application
+// policies). For such applications the manager escalates at the quota
+// rather than growing the lock memory to accommodate them.
+type EscalationPreferrer interface {
+	PrefersEscalation(appID int) bool
+}
+
+func prefersEscalation(q QuotaProvider, appID int) bool {
+	p, ok := q.(EscalationPreferrer)
+	return ok && p.PrefersEscalation(appID)
+}
+
+// EventSink receives notifications of noteworthy lock-manager events for
+// diagnostics (the engine forwards them to its trace ring). Methods are
+// invoked with the manager latch held: implementations must be fast and
+// must not call back into the Manager.
+type EventSink interface {
+	OnEscalation(appID int, table uint32, to Mode)
+	OnDeadlockVictim(appID int, ownerID uint64)
+	OnTimeout(appID int)
+	OnSyncGrowth(pages int)
+	OnDenial(appID int, reason error)
+}
+
+// Config configures a Manager.
+type Config struct {
+	// InitialPages is the starting LOCKLIST size in 4 KB pages.
+	InitialPages int
+	// Clock drives wait deadlines; nil means clock.Real.
+	Clock clock.Clock
+	// LockTimeout denies waits older than this at each SweepTimeouts
+	// call. Zero disables timeouts.
+	LockTimeout time.Duration
+	// GrowSync, if non-nil, is called (with the manager latch held) when
+	// an allocation fails; it should grant up to needPages of database
+	// overflow memory and return the pages granted (0 = none).
+	GrowSync func(needPages int) int
+	// Quota supplies lockPercentPerApplication; nil disables the quota.
+	Quota QuotaProvider
+	// Events, if non-nil, receives diagnostic event notifications.
+	Events EventSink
+}
+
+// App is a connected application, the unit of quota accounting.
+type App struct {
+	id      int
+	structs int // lock structures held; guarded by Manager.mu
+}
+
+// ID returns the application's identifier.
+func (a *App) ID() int { return a.id }
+
+// Owner is a lock requester — one transaction. All of an owner's locks are
+// released together by ReleaseAll at commit or abort (strict two-phase
+// locking).
+type Owner struct {
+	id       uint64
+	app      *App
+	held     map[Name]*request
+	byTable  map[uint32]*ownerTable
+	released bool // set by ReleaseAll; further requests are rejected
+}
+
+// ID returns the owner (transaction) identifier.
+func (o *Owner) ID() uint64 { return o.id }
+
+// App returns the owning application.
+func (o *Owner) App() *App { return o.app }
+
+// ownerTable tracks one owner's locks on one table, for coverage checks and
+// escalation victim selection.
+type ownerTable struct {
+	tableReq   *request
+	rows       map[uint64]*request
+	rowStructs int
+}
+
+// request is one (owner, name) lock request: granted or waiting.
+type request struct {
+	owner  *Owner
+	header *lockHeader
+	name   Name
+
+	mode    Mode // granted mode, or requested mode while waiting
+	convert Mode // conversion target while a granted request waits to convert
+
+	weight int
+	handle memblock.Handle
+
+	granted    bool
+	converting bool
+	parked     bool // created but not yet started (escalation in progress)
+
+	pending  *Pending
+	deadline time.Time
+	onGrant  func(m *Manager)            // run under m.mu after grant
+	onDeny   func(m *Manager, err error) // run under m.mu after denial
+}
+
+// effectiveMode is the mode the request currently holds (for granted
+// requests) or requests.
+func (r *request) effectiveMode() Mode {
+	if r.converting {
+		return r.convert
+	}
+	return r.mode
+}
+
+// lockHeader is the lock table entry for one Name.
+type lockHeader struct {
+	name       Name
+	granted    map[*Owner]*request
+	groupMode  Mode
+	converters []*request // FIFO, priority over waiters
+	waiters    []*request // FIFO
+}
+
+func (h *lockHeader) recomputeGroupMode() {
+	h.groupMode = ModeNone
+	for _, g := range h.granted {
+		h.groupMode = Supremum(h.groupMode, g.mode)
+	}
+}
+
+func (h *lockHeader) empty() bool {
+	return len(h.granted) == 0 && len(h.converters) == 0 && len(h.waiters) == 0
+}
+
+// Stats is a snapshot of the manager's event counters.
+type Stats struct {
+	Grants               int64
+	Waits                int64
+	Timeouts             int64
+	Deadlocks            int64
+	Escalations          int64
+	ExclusiveEscalations int64
+	MemoryDenials        int64
+	QuotaDenials         int64
+	SyncGrowths          int64
+	SyncGrowthPages      int64
+}
+
+// Manager is the lock manager. All public methods are safe for concurrent
+// use.
+type Manager struct {
+	mu    sync.Mutex
+	chain *memblock.Chain
+	clk   clock.Clock
+	cfg   Config
+
+	table   map[Name]*lockHeader
+	apps    map[int]*App
+	owners  map[uint64]*Owner
+	waiting map[*request]struct{}
+
+	nextApp   int
+	nextOwner uint64
+
+	grantQueue []*request
+	draining   bool
+
+	stats Stats
+}
+
+// New creates a lock manager with the given configuration.
+func New(cfg Config) *Manager {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	return &Manager{
+		chain:   memblock.New(cfg.InitialPages),
+		clk:     cfg.Clock,
+		cfg:     cfg,
+		table:   make(map[Name]*lockHeader),
+		apps:    make(map[int]*App),
+		owners:  make(map[uint64]*Owner),
+		waiting: make(map[*request]struct{}),
+	}
+}
+
+// RegisterApp adds a connected application.
+func (m *Manager) RegisterApp() *App {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextApp++
+	a := &App{id: m.nextApp}
+	m.apps[a.id] = a
+	return a
+}
+
+// UnregisterApp removes an application. The caller must have released all
+// of its owners' locks first.
+func (m *Manager) UnregisterApp(a *App) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a.structs != 0 {
+		return fmt.Errorf("lockmgr: app %d still holds %d lock structures", a.id, a.structs)
+	}
+	delete(m.apps, a.id)
+	return nil
+}
+
+// NumApps returns the number of connected applications — the
+// num_applications input of minLockMemory.
+func (m *Manager) NumApps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.apps)
+}
+
+// NewOwner creates a lock owner (transaction) for an application.
+func (m *Manager) NewOwner(a *App) *Owner {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextOwner++
+	o := &Owner{
+		id:      m.nextOwner,
+		app:     a,
+		held:    make(map[Name]*request),
+		byTable: make(map[uint32]*ownerTable),
+	}
+	m.owners[o.id] = o
+	return o
+}
+
+// AcquireAsync requests a lock without blocking. weight is the number of
+// lock structures the request consumes (1 for ordinary locks; bulk scans may
+// lock contiguous row chunks that account as multiple structures). The
+// returned Pending may already be complete.
+func (m *Manager) AcquireAsync(o *Owner, name Name, mode Mode, weight int) *Pending {
+	p := newPending()
+	if !mode.Valid() || weight < 1 {
+		p.complete(StatusDenied, fmt.Errorf("lockmgr: invalid request mode=%v weight=%d", mode, weight))
+		return p
+	}
+	if name.Gran == GranTable && weight != 1 {
+		p.complete(StatusDenied, errors.New("lockmgr: table locks have weight 1"))
+		return p
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	req := &request{
+		owner:   o,
+		name:    name,
+		mode:    mode,
+		weight:  weight,
+		pending: p,
+	}
+	m.startRequest(req)
+	m.drainGrants()
+	return p
+}
+
+// Acquire requests a lock and blocks until grant, denial, or ctx
+// cancellation. On cancellation the request is withdrawn.
+func (m *Manager) Acquire(ctx context.Context, o *Owner, name Name, mode Mode, weight int) error {
+	p := m.AcquireAsync(o, name, mode, weight)
+	select {
+	case <-p.Done():
+		_, err := p.Status()
+		return err
+	case <-ctx.Done():
+		m.cancel(o, name)
+		// The cancel may have raced with a grant; report the final state.
+		if st, err := p.Status(); st == StatusDenied {
+			return err
+		}
+		<-p.Done()
+		_, err := p.Status()
+		return err
+	}
+}
+
+// startRequest runs the admission pipeline for a new or parked request:
+// coverage, conversion, quota, allocation, grant-or-enqueue. Caller holds
+// m.mu.
+func (m *Manager) startRequest(req *request) {
+	o, name := req.owner, req.name
+	req.parked = false
+
+	if o.released {
+		// Use-after-release: the transaction already committed or
+		// aborted. Granting would leak a lock with no one to free it.
+		req.pending.complete(StatusDenied,
+			fmt.Errorf("lockmgr: owner %d already released", o.id))
+		return
+	}
+
+	// Coverage: a table lock the owner already holds may subsume a row
+	// request (notably right after this owner escalated).
+	if name.Gran == GranRow {
+		if ot := o.byTable[name.Table]; ot != nil && ot.tableReq != nil && ot.tableReq.granted &&
+			!ot.tableReq.converting && covers(ot.tableReq.mode, req.mode) {
+			m.grant(req)
+			return
+		}
+	}
+
+	// Conversion: the owner already holds this lock.
+	if cur, ok := o.held[name]; ok && cur.granted {
+		target := Supremum(cur.mode, req.mode)
+		if target == cur.mode {
+			m.grant(req) // already strong enough; nothing to do
+			return
+		}
+		if cur.converting {
+			// One conversion at a time per lock keeps the protocol
+			// simple; a second upgrade while one is in flight is a
+			// transaction-layer bug.
+			req.pending.complete(StatusDenied,
+				fmt.Errorf("lockmgr: %v already converting", name))
+			return
+		}
+		m.startConversion(cur, target, req.pending, req.onGrant, req.onDeny)
+		return
+	}
+
+	// New lock: enforce the application quota, then allocate structures.
+	if !m.admitStructs(req) {
+		return // admitStructs completed the pending (denied or parked)
+	}
+
+	h := m.headerFor(name)
+	if len(h.converters) == 0 && len(h.waiters) == 0 && Compatible(req.mode, h.groupMode) {
+		m.installGranted(h, req)
+		m.grant(req)
+		return
+	}
+	req.deadline = m.deadline()
+	h.waiters = append(h.waiters, req)
+	req.header = h
+	m.waiting[req] = struct{}{}
+	m.stats.Waits++
+}
+
+// startConversion upgrades a granted request to target mode, waiting in the
+// converter queue if incompatible holders exist. extra pending/handlers are
+// attached to the conversion outcome.
+func (m *Manager) startConversion(cur *request, target Mode, p *Pending, onGrant func(*Manager), onDeny func(*Manager, error)) {
+	h := cur.header
+	cur.converting = true
+	cur.convert = target
+	cur.pending = p
+	cur.onGrant = onGrant
+	cur.onDeny = onDeny
+	if m.canConvert(cur, target) {
+		m.finishConversion(cur)
+		return
+	}
+	cur.deadline = m.deadline()
+	h.converters = append(h.converters, cur)
+	m.waiting[cur] = struct{}{}
+	m.stats.Waits++
+}
+
+// canConvert reports whether cur can convert to target given the other
+// granted holders. Caller holds m.mu.
+func (m *Manager) canConvert(cur *request, target Mode) bool {
+	for _, g := range cur.header.granted {
+		if g != cur && !Compatible(target, g.mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) finishConversion(cur *request) {
+	cur.mode = cur.convert
+	cur.converting = false
+	cur.convert = ModeNone
+	cur.header.recomputeGroupMode()
+	m.grant(cur)
+}
+
+// admitStructs enforces the per-application quota and allocates weight
+// structures for req, escalating or growing synchronously as needed. It
+// returns true when the request may proceed to the lock table. On false the
+// pending has been completed or the request parked behind an escalation.
+// Caller holds m.mu.
+func (m *Manager) admitStructs(req *request) bool {
+	app := req.owner.app
+
+	if over, quota := m.overQuota(app, req.weight); over {
+		// MAXLOCKS trigger. The algorithm's goal is "to avoid lock
+		// escalation at all times by adjusting the lock memory", so
+		// before escalating, grow the lock memory until the quota —
+		// a percentage of total capacity — accommodates the holder.
+		// Applications that declared a preference for escalation skip
+		// the growth and escalate directly.
+		if m.cfg.GrowSync != nil && quota > 0 && !prefersEscalation(m.cfg.Quota, app.id) {
+			needCap := int(float64(app.structs+req.weight)*100/quota) + 1
+			needBlocks := (needCap - m.chain.Capacity() + memblock.StructsPerBlock - 1) / memblock.StructsPerBlock
+			if needBlocks > 0 {
+				if granted := m.cfg.GrowSync(needBlocks * memblock.BlockPages); granted > 0 {
+					m.chain.Grow(granted)
+					m.stats.SyncGrowths++
+					m.stats.SyncGrowthPages += int64(granted)
+					if m.cfg.Events != nil {
+						m.cfg.Events.OnSyncGrowth(granted)
+					}
+				}
+			}
+			over, quota = m.overQuota(app, req.weight)
+		}
+		if over {
+			// Growth is capped out (LMOmax or maxLockMemory):
+			// escalate this application's largest table, then retry
+			// the request.
+			if m.escalate(req.owner, req) {
+				return false // parked behind the escalation
+			}
+			// Nothing to escalate: the request alone exceeds the quota.
+			m.stats.QuotaDenials++
+			if m.cfg.Events != nil {
+				m.cfg.Events.OnDenial(app.id, ErrQuotaExceeded)
+			}
+			req.pending.complete(StatusDenied, fmt.Errorf("%w: %d structs held + %d requested > %.1f%% of %d",
+				ErrQuotaExceeded, app.structs, req.weight, quota, m.chain.Capacity()))
+			return false
+		}
+	}
+
+	h, err := m.chain.Alloc(req.weight)
+	if err == nil {
+		req.handle = h
+		app.structs += req.weight
+		return true
+	}
+
+	// Memory exhausted: grow synchronously from overflow memory. Requests
+	// are whole 128 KB blocks, at least one, matching the allocation unit.
+	if m.cfg.GrowSync != nil {
+		needStructs := req.weight - m.chain.FreeStructs()
+		needBlocks := (needStructs + memblock.StructsPerBlock - 1) / memblock.StructsPerBlock
+		needPages := needBlocks * memblock.BlockPages
+		if granted := m.cfg.GrowSync(needPages); granted > 0 {
+			m.chain.Grow(granted)
+			m.stats.SyncGrowths++
+			m.stats.SyncGrowthPages += int64(granted)
+			if m.cfg.Events != nil {
+				m.cfg.Events.OnSyncGrowth(granted)
+			}
+			if h, err := m.chain.Alloc(req.weight); err == nil {
+				req.handle = h
+				app.structs += req.weight
+				return true
+			}
+		}
+	}
+
+	// Still constrained: escalate to free structures.
+	if m.escalate(req.owner, req) {
+		return false // parked; retried after the escalation completes
+	}
+
+	m.stats.MemoryDenials++
+	if m.cfg.Events != nil {
+		m.cfg.Events.OnDenial(app.id, ErrLockMemory)
+	}
+	req.pending.complete(StatusDenied, ErrLockMemory)
+	return false
+}
+
+// overQuota reports whether adding weight structures would put the app above
+// lockPercentPerApplication, and returns the quota used.
+func (m *Manager) overQuota(app *App, weight int) (bool, float64) {
+	if m.cfg.Quota == nil {
+		return false, 100
+	}
+	quota := m.cfg.Quota.QuotaPercent(app.id, m.chain.Requests(), m.chain.Used())
+	limit := quota / 100 * float64(m.chain.Capacity())
+	return float64(app.structs+weight) > limit, quota
+}
+
+// headerFor returns (creating if necessary) the lock table entry for name.
+func (m *Manager) headerFor(name Name) *lockHeader {
+	h, ok := m.table[name]
+	if !ok {
+		h = &lockHeader{name: name, granted: make(map[*Owner]*request)}
+		m.table[name] = h
+	}
+	return h
+}
+
+// installGranted records req as a granted holder of h.
+func (m *Manager) installGranted(h *lockHeader, req *request) {
+	req.header = h
+	req.granted = true
+	h.granted[req.owner] = req
+	h.groupMode = Supremum(h.groupMode, req.mode)
+	m.indexOwner(req)
+}
+
+// indexOwner wires req into its owner's held/byTable maps.
+func (m *Manager) indexOwner(req *request) {
+	o := req.owner
+	o.held[req.name] = req
+	ot := o.byTable[req.name.Table]
+	if ot == nil {
+		ot = &ownerTable{rows: make(map[uint64]*request)}
+		o.byTable[req.name.Table] = ot
+	}
+	if req.name.Gran == GranTable {
+		ot.tableReq = req
+	} else {
+		ot.rows[req.name.Row] = req
+		ot.rowStructs += req.weight
+	}
+}
+
+// grant completes req's pending as granted and queues its continuation (if
+// any) for drainGrants. Covered and no-op grants hold no structures and are
+// not registered in the lock table; they pass through here all the same.
+func (m *Manager) grant(req *request) {
+	m.stats.Grants++
+	p := req.pending
+	req.pending = nil
+	req.onDeny = nil
+	if p != nil {
+		p.complete(StatusGranted, nil)
+	}
+	if req.onGrant != nil {
+		m.grantQueue = append(m.grantQueue, req)
+	}
+}
+
+// drainGrants runs deferred onGrant continuations (escalation steps)
+// iteratively to avoid recursion through post(). Caller holds m.mu.
+func (m *Manager) drainGrants() {
+	if m.draining {
+		return
+	}
+	m.draining = true
+	for len(m.grantQueue) > 0 {
+		req := m.grantQueue[0]
+		m.grantQueue = m.grantQueue[1:]
+		og := req.onGrant
+		req.onGrant = nil
+		if og != nil {
+			og(m)
+		}
+	}
+	m.draining = false
+}
+
+// deny completes a waiting request with err, reverting conversions and
+// freeing structures of never-granted requests. Caller holds m.mu.
+func (m *Manager) deny(req *request, err error) {
+	delete(m.waiting, req)
+	if req.granted && !req.converting {
+		// Defensive: the request was granted between being selected as
+		// a victim and this call; there is nothing left to deny.
+		return
+	}
+	h := req.header
+	if req.converting {
+		// Failed conversion: drop back to the original granted mode.
+		for i, c := range h.converters {
+			if c == req {
+				h.converters = append(h.converters[:i], h.converters[i+1:]...)
+				break
+			}
+		}
+		req.converting = false
+		req.convert = ModeNone
+		// The dead converter may have been the head of the priority
+		// queue, blocking requests that are now grantable.
+		m.post(h)
+	} else if h != nil {
+		for i, w := range h.waiters {
+			if w == req {
+				h.waiters = append(h.waiters[:i], h.waiters[i+1:]...)
+				break
+			}
+		}
+		m.freeRequestStructs(req)
+		// Likewise: an incompatible head waiter's removal can unblock
+		// the requests queued behind it.
+		m.post(h)
+		m.maybeDeleteHeader(h)
+	}
+	p := req.pending
+	req.pending = nil
+	od := req.onDeny
+	req.onGrant, req.onDeny = nil, nil
+	if p != nil {
+		p.complete(StatusDenied, err)
+	}
+	if od != nil {
+		od(m, err)
+	}
+}
+
+func (m *Manager) freeRequestStructs(req *request) {
+	if req.handle.Structs() > 0 {
+		m.chain.Free(req.handle)
+		req.owner.app.structs -= req.weight
+		req.handle = memblock.Handle{}
+	}
+}
+
+func (m *Manager) maybeDeleteHeader(h *lockHeader) {
+	if h != nil && h.empty() {
+		delete(m.table, h.name)
+	}
+}
+
+// post wakes queued requests on h after a release or conversion, in strict
+// FIFO order: converters first, then waiters, stopping at the first
+// incompatible request. Caller holds m.mu.
+func (m *Manager) post(h *lockHeader) {
+	for len(h.converters) > 0 {
+		c := h.converters[0]
+		if !m.canConvert(c, c.convert) {
+			return // converters have priority; nothing else may jump
+		}
+		h.converters = h.converters[1:]
+		delete(m.waiting, c)
+		m.finishConversion(c)
+	}
+	for len(h.waiters) > 0 {
+		w := h.waiters[0]
+		if !Compatible(w.mode, h.groupMode) {
+			return
+		}
+		h.waiters = h.waiters[1:]
+		delete(m.waiting, w)
+		m.installGranted(h, w)
+		m.grant(w)
+	}
+}
+
+// releaseGranted removes a granted request from the lock table, frees its
+// structures, and posts the queue. Caller holds m.mu.
+func (m *Manager) releaseGranted(req *request) {
+	h := req.header
+	o := req.owner
+	delete(h.granted, o)
+	delete(o.held, req.name)
+	if ot := o.byTable[req.name.Table]; ot != nil {
+		if req.name.Gran == GranTable {
+			ot.tableReq = nil
+		} else {
+			delete(ot.rows, req.name.Row)
+			ot.rowStructs -= req.weight
+		}
+		if ot.tableReq == nil && len(ot.rows) == 0 {
+			delete(o.byTable, req.name.Table)
+		}
+	}
+	req.granted = false
+	m.freeRequestStructs(req)
+	h.recomputeGroupMode()
+	m.post(h)
+	m.maybeDeleteHeader(h)
+}
+
+// Release drops one granted lock, or cancels a waiting request for name.
+// Strict 2PL callers use ReleaseAll instead; Release supports weaker
+// isolation (e.g. cursor-stability read locks released at fetch).
+func (m *Manager) Release(o *Owner, name Name) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	req, ok := o.held[name]
+	if !ok {
+		return fmt.Errorf("lockmgr: owner %d does not hold %v", o.id, name)
+	}
+	if req.converting {
+		m.deny(req, ErrCanceled)
+	}
+	m.releaseGranted(req)
+	m.drainGrants()
+	return nil
+}
+
+// cancel withdraws a waiting request for name — a queued new request, a
+// parked request, or an in-flight conversion (which reverts to its granted
+// mode).
+func (m *Manager) cancel(o *Owner, name Name) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for req := range m.waiting {
+		if req.owner == o && req.name == name {
+			m.deny(req, ErrCanceled)
+			break
+		}
+	}
+	m.drainGrants()
+}
+
+// ReleaseAll releases every lock held or requested by the owner and removes
+// the owner. Called at transaction commit or abort.
+func (m *Manager) ReleaseAll(o *Owner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Cancel outstanding waits first (abort path).
+	for req := range m.waiting {
+		if req.owner == o {
+			m.deny(req, ErrCanceled)
+		}
+	}
+	// Release row locks before table locks so coverage bookkeeping stays
+	// consistent, then everything else.
+	for _, req := range snapshotHeld(o, GranRow) {
+		m.releaseGranted(req)
+	}
+	for _, req := range snapshotHeld(o, GranTable) {
+		m.releaseGranted(req)
+	}
+	o.released = true
+	delete(m.owners, o.id)
+	m.drainGrants()
+}
+
+func snapshotHeld(o *Owner, g Granularity) []*request {
+	out := make([]*request, 0, len(o.held))
+	for _, r := range o.held {
+		if r.name.Gran == g {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// deadline computes the wait deadline for a new waiter.
+func (m *Manager) deadline() time.Time {
+	if m.cfg.LockTimeout <= 0 {
+		return time.Time{}
+	}
+	return m.clk.Now().Add(m.cfg.LockTimeout)
+}
+
+// SweepTimeouts denies waiting requests whose deadline has passed and
+// returns how many were denied. The simulation calls this each tick; a
+// real-time deployment calls it from a ticker goroutine.
+func (m *Manager) SweepTimeouts() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.LockTimeout <= 0 {
+		return 0
+	}
+	now := m.clk.Now()
+	var victims []*request
+	for req := range m.waiting {
+		if !req.deadline.IsZero() && now.After(req.deadline) {
+			victims = append(victims, req)
+		}
+	}
+	denied := 0
+	for _, req := range victims {
+		// An earlier denial's queue post may have granted this one.
+		if req.pending == nil {
+			continue
+		}
+		if st, _ := req.pending.Status(); st != StatusWaiting {
+			continue
+		}
+		m.stats.Timeouts++
+		if m.cfg.Events != nil {
+			m.cfg.Events.OnTimeout(req.owner.app.id)
+		}
+		m.deny(req, ErrTimeout)
+		denied++
+	}
+	m.drainGrants()
+	return denied
+}
+
+// Resize grows or shrinks the lock memory toward targetPages. Growth is
+// exact (whole blocks); shrinking is best-effort, limited to entirely free
+// blocks, per the section 2.2 protocol. It returns the new size in pages.
+func (m *Manager) Resize(targetPages int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.chain.Pages()
+	switch {
+	case targetPages > cur:
+		m.chain.Grow(targetPages - cur)
+	case targetPages < cur:
+		m.chain.ShrinkBest(cur - targetPages)
+	}
+	return m.chain.Pages()
+}
+
+// GrowPages grows the lock memory by exactly the given pages (rounded up to
+// blocks); used when synchronous growth is managed externally.
+func (m *Manager) GrowPages(pages int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.chain.Grow(pages)
+}
+
+// Pages returns the current lock memory size in pages.
+func (m *Manager) Pages() int { return m.chain.Pages() }
+
+// UsedStructs returns the lock structures in use.
+func (m *Manager) UsedStructs() int { return m.chain.Used() }
+
+// CapacityStructs returns the lock structures the allocation can hold.
+func (m *Manager) CapacityStructs() int { return m.chain.Capacity() }
+
+// FreeFraction returns the fraction of lock structures that are free.
+func (m *Manager) FreeFraction() float64 { return m.chain.FreeFraction() }
+
+// StructRequests returns the cumulative lock-structure request count.
+func (m *Manager) StructRequests() int64 { return m.chain.Requests() }
+
+// UsedPages returns lock-structure usage in whole pages.
+func (m *Manager) UsedPages() int { return m.chain.UsedPages() }
+
+// AppStructs returns the lock structures currently held by an application.
+func (m *Manager) AppStructs(a *App) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return a.structs
+}
+
+// Stats returns a snapshot of the event counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// HeldMode returns the mode the owner currently holds on name, or ModeNone.
+func (m *Manager) HeldMode(o *Owner, name Name) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if req, ok := o.held[name]; ok && req.granted {
+		return req.mode
+	}
+	return ModeNone
+}

@@ -1,0 +1,116 @@
+package lockmgr
+
+import "fmt"
+
+// Mode is a lock mode in DB2's multigranularity scheme. Table locks use the
+// full set; row locks use S, U and X.
+type Mode uint8
+
+const (
+	// ModeNone is the absence of a lock; it is never granted.
+	ModeNone Mode = iota
+	// ModeIS — intention share: the holder reads rows of the table.
+	ModeIS
+	// ModeIX — intention exclusive: the holder updates rows of the table.
+	ModeIX
+	// ModeS — share: the holder reads the whole object.
+	ModeS
+	// ModeSIX — share with intention exclusive: whole-object read plus
+	// row-level updates.
+	ModeSIX
+	// ModeU — update: read with intent to modify; compatible with S but
+	// not with another U, which prevents the classic convert deadlock.
+	ModeU
+	// ModeX — exclusive.
+	ModeX
+	numModes
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "NONE"
+	case ModeIS:
+		return "IS"
+	case ModeIX:
+		return "IX"
+	case ModeS:
+		return "S"
+	case ModeSIX:
+		return "SIX"
+	case ModeU:
+		return "U"
+	case ModeX:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Valid reports whether m is a grantable mode.
+func (m Mode) Valid() bool { return m > ModeNone && m < numModes }
+
+// compat is the standard DB2-style compatibility matrix.
+var compat = [numModes][numModes]bool{
+	//            NONE   IS     IX     S      SIX    U      X
+	ModeNone: {true, true, true, true, true, true, true},
+	ModeIS:   {true, true, true, true, true, true, false},
+	ModeIX:   {true, true, true, false, false, false, false},
+	ModeS:    {true, true, false, true, false, true, false},
+	ModeSIX:  {true, true, false, false, false, false, false},
+	ModeU:    {true, true, false, true, false, false, false},
+	ModeX:    {true, false, false, false, false, false, false},
+}
+
+// Compatible reports whether locks of modes a and b may be held
+// simultaneously by different owners.
+func Compatible(a, b Mode) bool { return compat[a][b] }
+
+// sup is the least-upper-bound (conversion) matrix: the weakest single mode
+// at least as strong as both inputs, where "at least as strong" means its
+// compatibility set is a subset. This makes grant checks against the group
+// mode exact: Compatible(a, sup(b,c)) == Compatible(a,b) && Compatible(a,c),
+// verified exhaustively by TestGroupModeSoundness.
+var sup = [numModes][numModes]Mode{
+	ModeNone: {ModeNone, ModeIS, ModeIX, ModeS, ModeSIX, ModeU, ModeX},
+	ModeIS:   {ModeIS, ModeIS, ModeIX, ModeS, ModeSIX, ModeU, ModeX},
+	ModeIX:   {ModeIX, ModeIX, ModeIX, ModeSIX, ModeSIX, ModeSIX, ModeX},
+	ModeS:    {ModeS, ModeS, ModeSIX, ModeS, ModeSIX, ModeU, ModeX},
+	ModeSIX:  {ModeSIX, ModeSIX, ModeSIX, ModeSIX, ModeSIX, ModeSIX, ModeX},
+	ModeU:    {ModeU, ModeU, ModeSIX, ModeU, ModeSIX, ModeU, ModeX},
+	ModeX:    {ModeX, ModeX, ModeX, ModeX, ModeX, ModeX, ModeX},
+}
+
+// Supremum returns the weakest mode at least as strong as both a and b —
+// the target of a lock conversion.
+func Supremum(a, b Mode) Mode { return sup[a][b] }
+
+// intentFor maps a row-lock mode to the table intent lock that must be held
+// while row locks of that mode are acquired.
+func intentFor(rowMode Mode) Mode {
+	switch rowMode {
+	case ModeS:
+		return ModeIS
+	case ModeU, ModeX:
+		return ModeIX
+	default:
+		return ModeIS
+	}
+}
+
+// IntentFor exposes the row-mode → table-intent mapping (IS for S; IX for U
+// and X) used by the transaction layer.
+func IntentFor(rowMode Mode) Mode { return intentFor(rowMode) }
+
+// covers reports whether a held table lock of mode t makes a row lock of
+// mode r redundant: X covers everything; S, SIX and U cover reads.
+func covers(t, r Mode) bool {
+	switch t {
+	case ModeX:
+		return true
+	case ModeS, ModeSIX, ModeU:
+		return r == ModeS
+	default:
+		return false
+	}
+}

@@ -1,0 +1,197 @@
+package lockmgr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var allModes = []Mode{ModeIS, ModeIX, ModeS, ModeSIX, ModeU, ModeX}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{
+		ModeNone: "NONE", ModeIS: "IS", ModeIX: "IX", ModeS: "S",
+		ModeSIX: "SIX", ModeU: "U", ModeX: "X",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+	if Mode(42).String() != "Mode(42)" {
+		t.Errorf("unknown mode string = %q", Mode(42).String())
+	}
+}
+
+func TestModeValid(t *testing.T) {
+	if ModeNone.Valid() {
+		t.Error("NONE must not be valid")
+	}
+	if Mode(99).Valid() {
+		t.Error("out-of-range mode must not be valid")
+	}
+	for _, m := range allModes {
+		if !m.Valid() {
+			t.Errorf("%v must be valid", m)
+		}
+	}
+}
+
+func TestCompatibilityMatrixSpotChecks(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{ModeS, ModeS, true},
+		{ModeS, ModeX, false},
+		{ModeX, ModeX, false},
+		{ModeIS, ModeIX, true},
+		{ModeIS, ModeX, false},
+		{ModeIX, ModeIX, true},
+		{ModeIX, ModeS, false},
+		{ModeSIX, ModeIS, true},
+		{ModeSIX, ModeIX, false},
+		{ModeU, ModeS, true},  // readers may read under an update lock
+		{ModeU, ModeU, false}, // two update intents conflict
+		{ModeU, ModeX, false},
+	}
+	for _, tc := range cases {
+		if got := Compatible(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompatibilityIsSymmetric(t *testing.T) {
+	for _, a := range allModes {
+		for _, b := range allModes {
+			if Compatible(a, b) != Compatible(b, a) {
+				t.Errorf("compatibility asymmetric for (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestEverythingCompatibleWithNone(t *testing.T) {
+	for _, a := range allModes {
+		if !Compatible(a, ModeNone) || !Compatible(ModeNone, a) {
+			t.Errorf("%v must be compatible with NONE", a)
+		}
+	}
+}
+
+func TestSupremumLatticeLaws(t *testing.T) {
+	for _, a := range allModes {
+		if Supremum(a, a) != a {
+			t.Errorf("sup(%v,%v) not idempotent", a, a)
+		}
+		if Supremum(a, ModeNone) != a {
+			t.Errorf("sup(%v,NONE) = %v, want %v", a, Supremum(a, ModeNone), a)
+		}
+		for _, b := range allModes {
+			if Supremum(a, b) != Supremum(b, a) {
+				t.Errorf("sup not commutative for (%v,%v)", a, b)
+			}
+			if Supremum(a, ModeX) != ModeX {
+				t.Errorf("X must absorb %v", a)
+			}
+		}
+	}
+}
+
+func TestSupremumSpotChecks(t *testing.T) {
+	cases := []struct{ a, b, want Mode }{
+		{ModeIS, ModeIX, ModeIX},
+		{ModeIX, ModeS, ModeSIX},
+		{ModeS, ModeU, ModeU},
+		{ModeIX, ModeU, ModeSIX},
+		{ModeSIX, ModeU, ModeSIX},
+		{ModeIS, ModeS, ModeS},
+	}
+	for _, tc := range cases {
+		if got := Supremum(tc.a, tc.b); got != tc.want {
+			t.Errorf("sup(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestGroupModeSoundness verifies the invariant that makes groupMode-based
+// grant checks exact: compatibility with a supremum equals compatibility
+// with both operands.
+func TestGroupModeSoundness(t *testing.T) {
+	for _, a := range allModes {
+		for _, b := range allModes {
+			for _, c := range allModes {
+				got := Compatible(a, Supremum(b, c))
+				want := Compatible(a, b) && Compatible(a, c)
+				if got != want {
+					t.Fatalf("Compatible(%v, sup(%v,%v)) = %v, want %v", a, b, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: a supremum is at least as restrictive as its operands — anything
+// incompatible with an operand is incompatible with the supremum.
+func TestQuickSupremumRestrictive(t *testing.T) {
+	f := func(ai, bi, ci uint8) bool {
+		a := allModes[int(ai)%len(allModes)]
+		b := allModes[int(bi)%len(allModes)]
+		c := allModes[int(ci)%len(allModes)]
+		if !Compatible(c, a) && Compatible(c, Supremum(a, b)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntentFor(t *testing.T) {
+	if IntentFor(ModeS) != ModeIS {
+		t.Error("S rows need IS")
+	}
+	if IntentFor(ModeU) != ModeIX || IntentFor(ModeX) != ModeIX {
+		t.Error("U/X rows need IX")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	cases := []struct {
+		table, row Mode
+		want       bool
+	}{
+		{ModeX, ModeX, true},
+		{ModeX, ModeS, true},
+		{ModeS, ModeS, true},
+		{ModeS, ModeX, false},
+		{ModeSIX, ModeS, true},
+		{ModeSIX, ModeX, false},
+		{ModeU, ModeS, true},
+		{ModeIS, ModeS, false},
+		{ModeIX, ModeX, false},
+	}
+	for _, tc := range cases {
+		if got := covers(tc.table, tc.row); got != tc.want {
+			t.Errorf("covers(%v,%v) = %v, want %v", tc.table, tc.row, got, tc.want)
+		}
+	}
+}
+
+func TestNameConstructors(t *testing.T) {
+	tn := TableName(7)
+	if tn.Gran != GranTable || tn.Table != 7 || tn.String() != "table(7)" {
+		t.Errorf("TableName = %+v %q", tn, tn.String())
+	}
+	rn := RowName(7, 99)
+	if rn.Gran != GranRow || rn.Table != 7 || rn.Row != 99 || rn.String() != "row(7.99)" {
+		t.Errorf("RowName = %+v %q", rn, rn.String())
+	}
+	if GranTable.String() != "table" || GranRow.String() != "row" {
+		t.Error("granularity strings wrong")
+	}
+	if Granularity(9).String() != "Granularity(9)" {
+		t.Error("unknown granularity string wrong")
+	}
+}

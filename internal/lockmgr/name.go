@@ -1,0 +1,50 @@
+package lockmgr
+
+import "fmt"
+
+// Granularity distinguishes the lockable object classes.
+type Granularity uint8
+
+const (
+	// GranTable locks a whole table (also used for intent locks).
+	GranTable Granularity = iota + 1
+	// GranRow locks a single row (or, with weight > 1, a contiguous
+	// chunk of rows accounted as multiple lock structures).
+	GranRow
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case GranTable:
+		return "table"
+	case GranRow:
+		return "row"
+	default:
+		return fmt.Sprintf("Granularity(%d)", uint8(g))
+	}
+}
+
+// Name identifies a lockable object. Names are comparable and used as map
+// keys in the lock table.
+type Name struct {
+	Gran  Granularity
+	Table uint32
+	Row   uint64 // meaningful only for GranRow
+}
+
+// TableName returns the lock name for a whole table.
+func TableName(table uint32) Name {
+	return Name{Gran: GranTable, Table: table}
+}
+
+// RowName returns the lock name for a row of a table.
+func RowName(table uint32, row uint64) Name {
+	return Name{Gran: GranRow, Table: table, Row: row}
+}
+
+func (n Name) String() string {
+	if n.Gran == GranTable {
+		return fmt.Sprintf("table(%d)", n.Table)
+	}
+	return fmt.Sprintf("row(%d.%d)", n.Table, n.Row)
+}

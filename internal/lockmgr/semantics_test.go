@@ -1,0 +1,176 @@
+package lockmgr
+
+import (
+	"testing"
+)
+
+// Scenario tests for the finer points of multigranularity semantics: U
+// locks, SIX, coverage interactions and weighted requests.
+
+// TestULockProtocol: U is the classic convert-deadlock killer — readers may
+// keep reading under a U holder, but a second U (or X) must wait, so only
+// one transaction is ever positioned to upgrade.
+func TestULockProtocol(t *testing.T) {
+	m := newMgr(Config{})
+	o1 := m.NewOwner(m.RegisterApp())
+	o2 := m.NewOwner(m.RegisterApp())
+	o3 := m.NewOwner(m.RegisterApp())
+	row := RowName(1, 1)
+
+	mustGrant(t, m.AcquireAsync(o1, row, ModeU, 1), "o1 U")
+	mustGrant(t, m.AcquireAsync(o2, row, ModeS, 1), "o2 S reads under U")
+	p3 := m.AcquireAsync(o3, row, ModeU, 1)
+	mustWait(t, p3, "second U must wait")
+
+	// o1 upgrades U→X: waits only for o2's S, not for queued U.
+	pc := m.AcquireAsync(o1, row, ModeX, 1)
+	mustWait(t, pc, "U→X blocked by reader")
+	m.ReleaseAll(o2)
+	mustGrant(t, pc, "U→X after reader leaves")
+	mustWait(t, p3, "queued U still behind X")
+	m.ReleaseAll(o1)
+	mustGrant(t, p3, "queued U proceeds")
+}
+
+// TestSIXSemantics: SIX = table S + intent X. Readers' IS coexists; other
+// writers' IX does not.
+func TestSIXSemantics(t *testing.T) {
+	m := newMgr(Config{})
+	o1 := m.NewOwner(m.RegisterApp())
+	o2 := m.NewOwner(m.RegisterApp())
+	o3 := m.NewOwner(m.RegisterApp())
+
+	mustGrant(t, m.AcquireAsync(o1, TableName(1), ModeSIX, 1), "SIX")
+	mustGrant(t, m.AcquireAsync(o2, TableName(1), ModeIS, 1), "reader IS vs SIX")
+	p := m.AcquireAsync(o3, TableName(1), ModeIX, 1)
+	mustWait(t, p, "writer IX vs SIX")
+
+	// The SIX holder's own row X locks proceed (SIX covers S reads, and
+	// intent-X admits its row X locks).
+	mustGrant(t, m.AcquireAsync(o1, RowName(1, 5), ModeX, 1), "SIX holder's row X")
+	// Its row S reads are covered — no structures.
+	used := m.UsedStructs()
+	mustGrant(t, m.AcquireAsync(o1, RowName(1, 6), ModeS, 1), "covered read")
+	if m.UsedStructs() != used {
+		t.Fatal("covered read consumed a structure")
+	}
+}
+
+// TestIXPlusSBecomesSIX: the standard conversion — a reader that already
+// scans (S table) and then wants to update rows converts to SIX.
+func TestIXPlusSBecomesSIX(t *testing.T) {
+	m := newMgr(Config{})
+	o := m.NewOwner(m.RegisterApp())
+	mustGrant(t, m.AcquireAsync(o, TableName(1), ModeS, 1), "table S")
+	mustGrant(t, m.AcquireAsync(o, TableName(1), ModeIX, 1), "upgrade with IX")
+	if got := m.HeldMode(o, TableName(1)); got != ModeSIX {
+		t.Fatalf("mode = %v, want SIX", got)
+	}
+}
+
+// TestIntentEscalationKeepsOtherReaders: escalation to S (pure readers)
+// does not disturb concurrent readers of the same table.
+func TestIntentEscalationKeepsOtherReaders(t *testing.T) {
+	m := New(Config{InitialPages: 32, Quota: fixedQuota(10)})
+	reader := m.NewOwner(m.RegisterApp())
+	mustGrant(t, m.AcquireAsync(reader, TableName(1), ModeIS, 1), "bystander IS")
+	mustGrant(t, m.AcquireAsync(reader, RowName(1, 9_000_000), ModeS, 1), "bystander row")
+
+	hog := m.NewOwner(m.RegisterApp())
+	mustGrant(t, m.AcquireAsync(hog, TableName(1), ModeIS, 1), "hog IS")
+	for i := 0; m.Stats().Escalations == 0; i++ {
+		mustGrant(t, m.AcquireAsync(hog, RowName(1, uint64(i)), ModeS, 1), "hog rows")
+		if i > 400 {
+			t.Fatal("no escalation")
+		}
+	}
+	// The hog now holds table S; the bystander's locks are untouched.
+	if got := m.HeldMode(hog, TableName(1)); got != ModeS {
+		t.Fatalf("escalated mode = %v, want S", got)
+	}
+	if got := m.HeldMode(reader, RowName(1, 9_000_000)); got != ModeS {
+		t.Fatal("bystander's row lock disturbed")
+	}
+	// And the bystander can still read more rows.
+	mustGrant(t, m.AcquireAsync(reader, RowName(1, 9_000_001), ModeS, 1), "bystander continues")
+}
+
+// TestWeightedWaiterFreesOnCancel: a waiting weighted request holds its
+// structures while queued and frees them when withdrawn.
+func TestWeightedWaiterFreesOnCancel(t *testing.T) {
+	m := newMgr(Config{})
+	o1 := m.NewOwner(m.RegisterApp())
+	o2 := m.NewOwner(m.RegisterApp())
+	row := RowName(1, 0)
+	mustGrant(t, m.AcquireAsync(o1, row, ModeX, 1), "holder")
+	p := m.AcquireAsync(o2, row, ModeS, 64)
+	mustWait(t, p, "weighted waiter")
+	if got := m.UsedStructs(); got != 65 {
+		t.Fatalf("used = %d, want 65 (waiters hold their structures)", got)
+	}
+	m.ReleaseAll(o2)
+	if got := m.UsedStructs(); got != 1 {
+		t.Fatalf("used = %d after withdraw, want 1", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupModeAfterPartialRelease: releasing the strongest member weakens
+// the group mode and admits previously blocked requests.
+func TestGroupModeAfterPartialRelease(t *testing.T) {
+	m := newMgr(Config{})
+	oIS := m.NewOwner(m.RegisterApp())
+	oIX := m.NewOwner(m.RegisterApp())
+	oS := m.NewOwner(m.RegisterApp())
+	tab := TableName(4)
+
+	mustGrant(t, m.AcquireAsync(oIS, tab, ModeIS, 1), "IS")
+	mustGrant(t, m.AcquireAsync(oIX, tab, ModeIX, 1), "IX")
+	pS := m.AcquireAsync(oS, tab, ModeS, 1)
+	mustWait(t, pS, "S vs group IX")
+
+	m.ReleaseAll(oIX) // group weakens to IS
+	mustGrant(t, pS, "S after IX release")
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEscalationWithMixedModesGoesSIXOrX: rows S + rows X under IX escalate
+// to at least SIX (covering the reads, keeping write intent).
+func TestEscalationWithMixedModes(t *testing.T) {
+	m := New(Config{InitialPages: 32, Quota: fixedQuota(10)})
+	o := m.NewOwner(m.RegisterApp())
+	mustGrant(t, m.AcquireAsync(o, TableName(1), ModeIX, 1), "IX")
+	mode := ModeS
+	for i := 0; m.Stats().Escalations == 0; i++ {
+		mustGrant(t, m.AcquireAsync(o, RowName(1, uint64(i)), mode, 1), "row")
+		if mode == ModeS {
+			mode = ModeX
+		} else {
+			mode = ModeS
+		}
+		if i > 400 {
+			t.Fatal("no escalation")
+		}
+	}
+	got := m.HeldMode(o, TableName(1))
+	if got != ModeSIX && got != ModeX {
+		t.Fatalf("escalated mode = %v, want SIX or X", got)
+	}
+}
+
+// TestHeldModeAccessor covers the diagnostic accessor.
+func TestHeldModeAccessor(t *testing.T) {
+	m := newMgr(Config{})
+	o := m.NewOwner(m.RegisterApp())
+	if got := m.HeldMode(o, RowName(1, 1)); got != ModeNone {
+		t.Fatalf("unheld = %v", got)
+	}
+	mustGrant(t, m.AcquireAsync(o, RowName(1, 1), ModeU, 1), "U")
+	if got := m.HeldMode(o, RowName(1, 1)); got != ModeU {
+		t.Fatalf("held = %v", got)
+	}
+}

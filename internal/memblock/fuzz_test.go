@@ -1,0 +1,47 @@
+package memblock
+
+import "testing"
+
+// FuzzChainOps replays an arbitrary operation tape against the block chain
+// and checks conservation and list invariants after every step. The opcode
+// byte selects alloc/free/grow/shrink; the payload sizes come from the next
+// byte.
+func FuzzChainOps(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 2, 32, 3, 32})
+	f.Add([]byte{0, 255, 0, 255, 1, 0, 1, 1, 3, 64})
+
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		c := New(4 * BlockPages)
+		var handles []Handle
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], int(tape[i+1])
+			switch op % 4 {
+			case 0: // alloc 1..256 structs
+				if h, err := c.Alloc(arg + 1); err == nil {
+					handles = append(handles, h)
+				}
+			case 1: // free a held handle
+				if len(handles) > 0 {
+					k := arg % len(handles)
+					c.Free(handles[k])
+					handles = append(handles[:k], handles[k+1:]...)
+				}
+			case 2: // grow
+				if c.Blocks() < 64 {
+					c.Grow(arg)
+				}
+			case 3: // shrink (best effort)
+				c.ShrinkBest(arg)
+			}
+			if c.Used()+c.FreeStructs() != c.Capacity() {
+				t.Fatalf("step %d: conservation violated", i)
+			}
+			if c.Capacity() != c.Blocks()*StructsPerBlock {
+				t.Fatalf("step %d: capacity formula violated", i)
+			}
+			if err := c.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,415 @@
+// Package memblock implements DB2's lock-memory block allocator as described
+// in section 2.2 of the paper.
+//
+// Lock memory (the LOCKLIST) is allocated in 128 KB blocks — one block per
+// 32 pages of configured lock memory — each holding about 2000 lock
+// structures (exactly 2048 here, at 64 bytes per structure). Blocks live on
+// a linked list:
+//
+//   - Lock structures are taken from the block at the *head* of the list.
+//   - When the head block is exhausted it moves to a separate "empty block"
+//     list (empty of available structures, i.e. fully in use) and the next
+//     block becomes the head.
+//   - When structures allocated from a block are freed, the block returns to
+//     the *head* of the list, so partially used blocks are refilled before
+//     untouched blocks are broken into. Consequently, when demand uses only
+//     part of the lock memory, blocks toward the tail stay entirely free —
+//     which is exactly what makes shrinking cheap.
+//   - A shrink request scans from the tail for blocks with no outstanding
+//     structures, sets them aside, and frees them only if enough were found;
+//     otherwise the set-aside blocks are reintegrated and the request fails.
+//
+// The simulation accounts memory virtually — no 128 KB buffers are really
+// allocated — but the block-list mechanics, counts and failure modes are the
+// real algorithm.
+package memblock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Memory layout constants shared by the whole system.
+const (
+	// PageSize is the unit of all memory configuration (DB2 uses 4 KB
+	// pages for LOCKLIST and database memory alike).
+	PageSize = 4096
+
+	// BlockPages is the number of pages per lock memory block: 128 KB.
+	BlockPages = 32
+
+	// BlockBytes is the size of one lock memory block.
+	BlockBytes = PageSize * BlockPages
+
+	// LockSize is the size of one lock structure in bytes. The paper says
+	// each 128 KB block stores "approximately 2000 locks"; 64 bytes gives
+	// exactly 2048 per block.
+	LockSize = 64
+
+	// StructsPerBlock is the number of lock structures per block.
+	StructsPerBlock = BlockBytes / LockSize
+
+	// StructsPerPage is the number of lock structures per 4 KB page.
+	StructsPerPage = PageSize / LockSize
+)
+
+// ErrNoMemory is returned when an allocation cannot be satisfied from the
+// chain's free structures. The caller (the lock manager) reacts by growing
+// the chain synchronously from overflow memory or, failing that, escalating.
+var ErrNoMemory = errors.New("memblock: no free lock structures")
+
+// ErrShrinkDenied is returned when a shrink request cannot find enough
+// entirely free blocks; per the paper, set-aside blocks are reintegrated and
+// the lock memory size is left unchanged.
+var ErrShrinkDenied = errors.New("memblock: not enough free blocks to shrink")
+
+type listID uint8
+
+const (
+	onAvail listID = iota + 1
+	onExhausted
+)
+
+// block is one 128 KB unit of lock memory.
+type block struct {
+	prev, next *block
+	list       listID
+	inUse      int // structures currently allocated from this block
+}
+
+// list is an intrusive doubly linked list of blocks.
+type list struct {
+	head, tail *block
+	n          int
+}
+
+func (l *list) pushHead(b *block, id listID) {
+	b.prev, b.next, b.list = nil, l.head, id
+	if l.head != nil {
+		l.head.prev = b
+	} else {
+		l.tail = b
+	}
+	l.head = b
+	l.n++
+}
+
+func (l *list) pushTail(b *block, id listID) {
+	b.prev, b.next, b.list = l.tail, nil, id
+	if l.tail != nil {
+		l.tail.next = b
+	} else {
+		l.head = b
+	}
+	l.tail = b
+	l.n++
+}
+
+func (l *list) remove(b *block) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.tail = b.prev
+	}
+	b.prev, b.next, b.list = nil, nil, 0
+	l.n--
+}
+
+// part records structures allocated from a single block.
+type part struct {
+	b *block
+	n int
+}
+
+// Handle represents one allocation of lock structures. A single allocation
+// may span blocks when it straddles the exhaustion of the head block. Free a
+// handle exactly once; the zero Handle is valid and frees nothing.
+type Handle struct {
+	parts []part
+}
+
+// Structs returns the number of lock structures covered by the handle.
+func (h Handle) Structs() int {
+	n := 0
+	for _, p := range h.parts {
+		n += p.n
+	}
+	return n
+}
+
+// Chain is the lock memory block chain. It is safe for concurrent use.
+type Chain struct {
+	mu        sync.Mutex
+	avail     list // blocks with at least one free structure (or untouched)
+	exhausted list // fully in-use blocks ("empty block" list in the paper)
+	used      int  // structures in use across all blocks
+	requests  int64
+}
+
+// New creates a chain sized to the given number of 4 KB pages, rounded up to
+// whole 128 KB blocks (one block per 32 pages, as in DB2).
+func New(pages int) *Chain {
+	c := &Chain{}
+	c.Grow(pages)
+	return c
+}
+
+func blocksFor(pages int) int {
+	if pages <= 0 {
+		return 0
+	}
+	return (pages + BlockPages - 1) / BlockPages
+}
+
+// Grow appends enough new (entirely free) blocks to cover the given number
+// of pages. New blocks go to the tail of the list, matching the paper's
+// description of allocation-time list construction. It returns the number of
+// pages actually added (a multiple of BlockPages).
+func (c *Chain) Grow(pages int) int {
+	nb := blocksFor(pages)
+	if nb == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	for i := 0; i < nb; i++ {
+		c.avail.pushTail(&block{}, onAvail)
+	}
+	c.mu.Unlock()
+	return nb * BlockPages
+}
+
+// Alloc takes n lock structures from the chain, preferring the head block.
+// It returns ErrNoMemory — without allocating anything — if fewer than n
+// structures are free in total. Every call counts as one lock-structure
+// request for the purposes of refreshPeriodForAppPercent.
+func (c *Chain) Alloc(n int) (Handle, error) {
+	if n <= 0 {
+		return Handle{}, fmt.Errorf("memblock: invalid allocation size %d", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requests++
+	if c.freeLocked() < n {
+		return Handle{}, ErrNoMemory
+	}
+	var h Handle
+	remaining := n
+	for remaining > 0 {
+		b := c.avail.head
+		free := StructsPerBlock - b.inUse
+		take := free
+		if take > remaining {
+			take = remaining
+		}
+		b.inUse += take
+		c.used += take
+		h.parts = append(h.parts, part{b: b, n: take})
+		remaining -= take
+		if b.inUse == StructsPerBlock {
+			c.avail.remove(b)
+			c.exhausted.pushHead(b, onExhausted)
+		}
+	}
+	return h, nil
+}
+
+// Free releases the structures covered by h back to their blocks. A block
+// that receives freed structures returns to the head of the available list,
+// per the paper, so it will satisfy the next request before untouched blocks.
+func (c *Chain) Free(h Handle) {
+	if len(h.parts) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range h.parts {
+		if p.n <= 0 {
+			continue
+		}
+		if p.b.inUse < p.n {
+			panic(fmt.Sprintf("memblock: double free (block inUse=%d, freeing %d)", p.b.inUse, p.n))
+		}
+		p.b.inUse -= p.n
+		c.used -= p.n
+		if p.b.list == onExhausted {
+			c.exhausted.remove(p.b)
+			c.avail.pushHead(p.b, onAvail)
+		}
+	}
+}
+
+// Shrink releases enough entirely free blocks to give back the requested
+// number of pages (rounded up to whole blocks). Blocks are scanned from the
+// tail of the available list, where free blocks accumulate. If not enough
+// free blocks exist the set-aside blocks are reintegrated unchanged and
+// ErrShrinkDenied is returned. On success it returns the pages released.
+func (c *Chain) Shrink(pages int) (int, error) {
+	nb := blocksFor(pages)
+	if nb == 0 {
+		return 0, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Scan from the tail, setting aside freeable blocks.
+	var setAside []*block
+	for b := c.avail.tail; b != nil && len(setAside) < nb; b = b.prev {
+		if b.inUse == 0 {
+			setAside = append(setAside, b)
+		}
+	}
+	if len(setAside) < nb {
+		// Reintegrate: nothing was unlinked yet, so the chain is unchanged.
+		return 0, ErrShrinkDenied
+	}
+	for _, b := range setAside {
+		c.avail.remove(b)
+	}
+	return nb * BlockPages, nil
+}
+
+// ShrinkBest releases up to the requested pages, freeing as many entirely
+// free tail blocks as it can find. Unlike Shrink it never fails; it returns
+// the pages actually released (possibly zero). The asynchronous δreduce path
+// uses this: the tuner asks for 5% and takes whatever is truly free.
+func (c *Chain) ShrinkBest(pages int) int {
+	nb := blocksFor(pages)
+	if nb == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	freed := 0
+	for b := c.avail.tail; b != nil && freed < nb; {
+		prev := b.prev
+		if b.inUse == 0 {
+			c.avail.remove(b)
+			freed++
+		}
+		b = prev
+	}
+	return freed * BlockPages
+}
+
+func (c *Chain) freeLocked() int {
+	return c.capacityLocked() - c.used
+}
+
+func (c *Chain) capacityLocked() int {
+	return (c.avail.n + c.exhausted.n) * StructsPerBlock
+}
+
+// Blocks returns the total number of blocks in the chain.
+func (c *Chain) Blocks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.avail.n + c.exhausted.n
+}
+
+// Pages returns the chain size in 4 KB pages.
+func (c *Chain) Pages() int {
+	return c.Blocks() * BlockPages
+}
+
+// Capacity returns the total number of lock structures the chain can hold.
+func (c *Chain) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacityLocked()
+}
+
+// Used returns the number of lock structures currently allocated.
+func (c *Chain) Used() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// FreeStructs returns the number of unallocated lock structures.
+func (c *Chain) FreeStructs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.freeLocked()
+}
+
+// FreeFraction returns the fraction of lock structures that are allocated
+// but unused — the quantity the tuner holds between minFreeLockMemory and
+// maxFreeLockMemory. An empty chain reports 0.
+func (c *Chain) FreeFraction() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cap := c.capacityLocked()
+	if cap == 0 {
+		return 0
+	}
+	return float64(cap-c.used) / float64(cap)
+}
+
+// WhollyFreeBlocks returns the number of blocks with no structures in use —
+// the candidates for shrinking.
+func (c *Chain) WhollyFreeBlocks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for b := c.avail.head; b != nil; b = b.next {
+		if b.inUse == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// UsedPages returns the lock-structure usage expressed in whole 4 KB pages,
+// rounded up. This is the "used lock memory" figure the tuner works with.
+func (c *Chain) UsedPages() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.used == 0 {
+		return 0
+	}
+	return (c.used + StructsPerPage - 1) / StructsPerPage
+}
+
+// Requests returns the cumulative number of Alloc calls — the paper's
+// "requests for new lock structures", which clocks the recomputation of
+// lockPercentPerApplication.
+func (c *Chain) Requests() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.requests
+}
+
+// checkInvariants verifies internal consistency; used by tests.
+func (c *Chain) checkInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	used := 0
+	for b := c.avail.head; b != nil; b = b.next {
+		if b.list != onAvail {
+			return errors.New("block on avail list with wrong tag")
+		}
+		if b.inUse >= StructsPerBlock {
+			return errors.New("fully used block on avail list")
+		}
+		used += b.inUse
+	}
+	for b := c.exhausted.head; b != nil; b = b.next {
+		if b.list != onExhausted {
+			return errors.New("block on exhausted list with wrong tag")
+		}
+		if b.inUse != StructsPerBlock {
+			return errors.New("non-full block on exhausted list")
+		}
+		used += b.inUse
+	}
+	if used != c.used {
+		return fmt.Errorf("used mismatch: sum=%d tracked=%d", used, c.used)
+	}
+	return nil
+}

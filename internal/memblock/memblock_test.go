@@ -1,0 +1,434 @@
+package memblock
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantsMatchPaper(t *testing.T) {
+	if BlockBytes != 128*1024 {
+		t.Fatalf("block size = %d, want 128 KB", BlockBytes)
+	}
+	if BlockPages != 32 {
+		t.Fatalf("block pages = %d, want 32", BlockPages)
+	}
+	// "Each 128 KB memory block is enough memory to store approximately
+	// 2000 locks."
+	if StructsPerBlock != 2048 {
+		t.Fatalf("structs per block = %d, want 2048", StructsPerBlock)
+	}
+	if StructsPerPage != 64 {
+		t.Fatalf("structs per page = %d, want 64", StructsPerPage)
+	}
+}
+
+func TestNewRoundsUpToBlocks(t *testing.T) {
+	for _, tc := range []struct{ pages, wantBlocks int }{
+		{0, 0}, {1, 1}, {32, 1}, {33, 2}, {100, 4}, {128, 4},
+	} {
+		c := New(tc.pages)
+		if got := c.Blocks(); got != tc.wantBlocks {
+			t.Errorf("New(%d).Blocks() = %d, want %d", tc.pages, got, tc.wantBlocks)
+		}
+		if got := c.Pages(); got != tc.wantBlocks*BlockPages {
+			t.Errorf("New(%d).Pages() = %d, want %d", tc.pages, got, tc.wantBlocks*BlockPages)
+		}
+	}
+}
+
+func TestAllocAndFreeRoundTrip(t *testing.T) {
+	c := New(32) // one block
+	h, err := c.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Structs(); got != 100 {
+		t.Fatalf("handle structs = %d, want 100", got)
+	}
+	if got := c.Used(); got != 100 {
+		t.Fatalf("used = %d, want 100", got)
+	}
+	if got := c.FreeStructs(); got != StructsPerBlock-100 {
+		t.Fatalf("free = %d, want %d", got, StructsPerBlock-100)
+	}
+	c.Free(h)
+	if got := c.Used(); got != 0 {
+		t.Fatalf("used after free = %d, want 0", got)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocInvalidSize(t *testing.T) {
+	c := New(32)
+	if _, err := c.Alloc(0); err == nil {
+		t.Fatal("Alloc(0) must fail")
+	}
+	if _, err := c.Alloc(-5); err == nil {
+		t.Fatal("Alloc(-5) must fail")
+	}
+}
+
+func TestAllocExhaustionFailsCleanly(t *testing.T) {
+	c := New(32)
+	if _, err := c.Alloc(StructsPerBlock); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Alloc(1)
+	if !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("err = %v, want ErrNoMemory", err)
+	}
+	// A failed allocation must not leak partial allocations.
+	if got := c.Used(); got != StructsPerBlock {
+		t.Fatalf("used = %d, want %d", got, StructsPerBlock)
+	}
+}
+
+func TestAllocSpansBlocks(t *testing.T) {
+	c := New(64) // two blocks
+	h, err := c.Alloc(StructsPerBlock + 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.parts) != 2 {
+		t.Fatalf("allocation spanning blocks has %d parts, want 2", len(h.parts))
+	}
+	if got := c.Used(); got != StructsPerBlock+10 {
+		t.Fatalf("used = %d", got)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeadReuse reproduces the behaviour described in section 2.2: after
+// block A is exhausted and block B becomes the head, freeing structures from
+// A returns A to the head so the next request is satisfied from A again.
+func TestHeadReuse(t *testing.T) {
+	c := New(64) // blocks A, B
+	hA, err := c.Alloc(StructsPerBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A is exhausted; next allocation comes from B.
+	hB, err := c.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hB.parts[0].b == hA.parts[0].b {
+		t.Fatal("allocation after exhaustion should come from block B")
+	}
+	// Free A's structures: A returns to the head.
+	c.Free(hA)
+	hA2, err := c.Alloc(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hA2.parts[0].b != hA.parts[0].b {
+		t.Fatal("after freeing, new requests must be satisfied from block A again")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailBlocksStayFree verifies the property the paper relies on for cheap
+// shrinking: with demand at half of capacity, blocks toward the tail remain
+// entirely free.
+func TestTailBlocksStayFree(t *testing.T) {
+	c := New(10 * 32) // ten blocks
+	var handles []Handle
+	// Steady churn using only ~half the capacity.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		if len(handles) > 0 && (c.Used() > 5*StructsPerBlock || rng.Intn(2) == 0) {
+			k := rng.Intn(len(handles))
+			c.Free(handles[k])
+			handles = append(handles[:k], handles[k+1:]...)
+		} else {
+			h, err := c.Alloc(1 + rng.Intn(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+	}
+	if got := c.WhollyFreeBlocks(); got < 3 {
+		t.Fatalf("wholly free blocks = %d, want >= 3 with half-capacity demand", got)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkSucceedsWithFreeTail(t *testing.T) {
+	c := New(4 * 32)
+	h, err := c.Alloc(100) // head block partially used
+	if err != nil {
+		t.Fatal(err)
+	}
+	freed, err := c.Shrink(2 * 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != 2*BlockPages {
+		t.Fatalf("freed = %d pages, want %d", freed, 2*BlockPages)
+	}
+	if got := c.Blocks(); got != 2 {
+		t.Fatalf("blocks after shrink = %d, want 2", got)
+	}
+	c.Free(h)
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkDeniedReintegrates(t *testing.T) {
+	c := New(3 * 32)
+	// Pin one structure in every block so none is entirely free.
+	var handles []Handle
+	for i := 0; i < 3; i++ {
+		h, err := c.Alloc(StructsPerBlock - 1) // leaves 1 free, stays on avail
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		h2, err := c.Alloc(1) // fills the block, moves it to exhausted
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h2)
+	}
+	// Free one structure per block so each block is partially used again.
+	c.Free(handles[1])
+	c.Free(handles[3])
+	c.Free(handles[5])
+
+	_, err := c.Shrink(32)
+	if !errors.Is(err, ErrShrinkDenied) {
+		t.Fatalf("err = %v, want ErrShrinkDenied", err)
+	}
+	// The failed request must leave the chain unchanged.
+	if got := c.Blocks(); got != 3 {
+		t.Fatalf("blocks after denied shrink = %d, want 3", got)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkBestTakesWhatItCan(t *testing.T) {
+	c := New(4 * 32)
+	h, err := c.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ask for all four blocks; three are entirely free.
+	freed := c.ShrinkBest(4 * 32)
+	if freed != 3*BlockPages {
+		t.Fatalf("freed = %d pages, want %d", freed, 3*BlockPages)
+	}
+	if got := c.Blocks(); got != 1 {
+		t.Fatalf("blocks = %d, want 1", got)
+	}
+	c.Free(h)
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkNeverFreesLiveBlock(t *testing.T) {
+	c := New(2 * 32)
+	h, err := c.Alloc(2*StructsPerBlock - 1) // both blocks hold live structures
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed := c.ShrinkBest(2 * 32); freed != 0 {
+		t.Fatalf("ShrinkBest freed %d pages from live blocks", freed)
+	}
+	c.Free(h)
+}
+
+func TestGrowAddsToTail(t *testing.T) {
+	c := New(32)
+	h, err := c.Alloc(StructsPerBlock / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Grow(32)
+	// The next allocation must still come from the original (head) block.
+	h2, err := c.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.parts[0].b != h.parts[0].b {
+		t.Fatal("growth must append to the tail; head allocation order changed")
+	}
+}
+
+func TestFreeFraction(t *testing.T) {
+	c := New(2 * 32)
+	if got := c.FreeFraction(); got != 1.0 {
+		t.Fatalf("empty chain free fraction = %g, want 1", got)
+	}
+	if _, err := c.Alloc(StructsPerBlock); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FreeFraction(); got != 0.5 {
+		t.Fatalf("free fraction = %g, want 0.5", got)
+	}
+	empty := &Chain{}
+	if got := empty.FreeFraction(); got != 0 {
+		t.Fatalf("zero-capacity free fraction = %g, want 0", got)
+	}
+}
+
+func TestUsedPagesRoundsUp(t *testing.T) {
+	c := New(32)
+	if got := c.UsedPages(); got != 0 {
+		t.Fatalf("UsedPages empty = %d, want 0", got)
+	}
+	if _, err := c.Alloc(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.UsedPages(); got != 1 {
+		t.Fatalf("UsedPages(1 struct) = %d, want 1", got)
+	}
+	if _, err := c.Alloc(StructsPerPage); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.UsedPages(); got != 2 {
+		t.Fatalf("UsedPages(65 structs) = %d, want 2", got)
+	}
+}
+
+func TestRequestsCounter(t *testing.T) {
+	c := New(32)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Alloc(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Alloc(StructsPerBlock); err == nil {
+		t.Fatal("expected failure")
+	}
+	// Failed allocations still count as requests.
+	if got := c.Requests(); got != 6 {
+		t.Fatalf("requests = %d, want 6", got)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	c := New(32)
+	h, err := c.Alloc(StructsPerBlock) // whole block: double free must underflow
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Free(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free must panic")
+		}
+	}()
+	c.Free(h)
+}
+
+func TestZeroHandleFreeIsNoop(t *testing.T) {
+	c := New(32)
+	c.Free(Handle{}) // must not panic or change state
+	if got := c.Used(); got != 0 {
+		t.Fatalf("used = %d", got)
+	}
+}
+
+// Property: for any sequence of allocs and frees, used+free == capacity and
+// the invariant checker passes.
+func TestQuickConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New(8 * 32)
+		var handles []Handle
+		for _, op := range ops {
+			if op%2 == 0 || len(handles) == 0 {
+				n := int(op%200) + 1
+				h, err := c.Alloc(n)
+				if err == nil {
+					handles = append(handles, h)
+				}
+			} else {
+				k := int(op) % len(handles)
+				c.Free(handles[k])
+				handles = append(handles[:k], handles[k+1:]...)
+			}
+			if c.Used()+c.FreeStructs() != c.Capacity() {
+				return false
+			}
+			if c.checkInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: capacity always equals 2048 × blocks, through grows and shrinks.
+func TestQuickCapacityFormula(t *testing.T) {
+	f := func(grows []uint8) bool {
+		c := New(0)
+		for _, g := range grows {
+			if g%3 == 0 {
+				c.ShrinkBest(int(g) * 4)
+			} else {
+				c.Grow(int(g))
+			}
+			if c.Capacity() != c.Blocks()*StructsPerBlock {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	c := New(64 * 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var handles []Handle
+			for i := 0; i < 500; i++ {
+				if rng.Intn(2) == 0 && len(handles) > 0 {
+					k := rng.Intn(len(handles))
+					c.Free(handles[k])
+					handles = append(handles[:k], handles[k+1:]...)
+				} else {
+					h, err := c.Alloc(1 + rng.Intn(50))
+					if err == nil {
+						handles = append(handles, h)
+					}
+				}
+			}
+			for _, h := range handles {
+				c.Free(h)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := c.Used(); got != 0 {
+		t.Fatalf("used after concurrent churn = %d, want 0", got)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+// Package memory models the DB2 database shared memory set introduced in
+// v8.2 and used by STMM in DB2 9 (paper section 2.1).
+//
+// A Set owns a fixed budget of 4 KB pages (databaseMemory). Named heaps —
+// bufferpool, sort, hash join, package cache, lock memory — are carved out
+// of the set; whatever is not allocated to a heap is the *overflow memory*:
+// a reserve that heaps may consume on demand, synchronously, on a first
+// come-first-served basis. The STMM controller later rebalances heaps so the
+// overflow area returns to its goal size.
+//
+// The Set enforces conservation (Σ heap pages + overflow == total) and
+// per-heap bounds; *policy* — who grows, who shrinks, by how much — lives in
+// the stmm and core packages.
+package memory
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Heap is one named memory consumer inside the set. All mutation goes
+// through the owning Set so conservation can be enforced; a Heap handle is
+// read-only for its holder.
+type Heap struct {
+	set  *Set
+	name string
+	// guarded by set.mu:
+	pages int
+	min   int
+	max   int // 0 means "no cap beyond the set total"
+}
+
+// Name returns the heap's name.
+func (h *Heap) Name() string { return h.name }
+
+// Pages returns the heap's current size in pages.
+func (h *Heap) Pages() int {
+	h.set.mu.Lock()
+	defer h.set.mu.Unlock()
+	return h.pages
+}
+
+// Min returns the heap's configured minimum size.
+func (h *Heap) Min() int {
+	h.set.mu.Lock()
+	defer h.set.mu.Unlock()
+	return h.min
+}
+
+// Max returns the heap's configured maximum size (0 = uncapped).
+func (h *Heap) Max() int {
+	h.set.mu.Lock()
+	defer h.set.mu.Unlock()
+	return h.max
+}
+
+// Set is the database shared memory set.
+type Set struct {
+	mu           sync.Mutex
+	totalPages   int
+	overflowGoal int
+	heaps        map[string]*Heap
+	order        []string
+}
+
+// NewSet creates a memory set of totalPages with the given overflow goal
+// (the amount of memory STMM tries to keep unallocated as the database's
+// last reserve). It panics on non-positive totals — a configuration bug.
+func NewSet(totalPages, overflowGoal int) *Set {
+	if totalPages <= 0 {
+		panic(fmt.Sprintf("memory: invalid set size %d pages", totalPages))
+	}
+	if overflowGoal < 0 || overflowGoal > totalPages {
+		panic(fmt.Sprintf("memory: invalid overflow goal %d of %d pages", overflowGoal, totalPages))
+	}
+	return &Set{
+		totalPages:   totalPages,
+		overflowGoal: overflowGoal,
+		heaps:        make(map[string]*Heap),
+	}
+}
+
+// TotalPages returns databaseMemory in pages.
+func (s *Set) TotalPages() int { return s.totalPages }
+
+// OverflowGoal returns the configured overflow goal in pages.
+func (s *Set) OverflowGoal() int { return s.overflowGoal }
+
+// Register carves a new heap out of the overflow area. min and max bound
+// later resizes (max 0 = uncapped). It fails if the name is taken, if the
+// initial size violates the bounds, or if the overflow cannot cover it.
+func (s *Set) Register(name string, initial, min, max int) (*Heap, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.heaps[name]; ok {
+		return nil, fmt.Errorf("memory: heap %q already registered", name)
+	}
+	if initial < 0 || min < 0 || (max != 0 && max < min) {
+		return nil, fmt.Errorf("memory: heap %q invalid bounds initial=%d min=%d max=%d", name, initial, min, max)
+	}
+	if initial < min || (max != 0 && initial > max) {
+		return nil, fmt.Errorf("memory: heap %q initial size %d outside [%d,%d]", name, initial, min, max)
+	}
+	if initial > s.overflowLocked() {
+		return nil, fmt.Errorf("memory: heap %q initial size %d exceeds free memory %d", name, initial, s.overflowLocked())
+	}
+	h := &Heap{set: s, name: name, pages: initial, min: min, max: max}
+	s.heaps[name] = h
+	s.order = append(s.order, name)
+	return h, nil
+}
+
+// Heap returns the named heap, or nil.
+func (s *Set) Heap(name string) *Heap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heaps[name]
+}
+
+// Heaps returns all heaps in registration order.
+func (s *Set) Heaps() []*Heap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Heap, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.heaps[n])
+	}
+	return out
+}
+
+func (s *Set) overflowLocked() int {
+	used := 0
+	for _, h := range s.heaps {
+		used += h.pages
+	}
+	return s.totalPages - used
+}
+
+// Overflow returns the current overflow (unallocated) pages.
+func (s *Set) Overflow() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overflowLocked()
+}
+
+// OverflowDeficit returns how many pages the overflow area is below its
+// goal, or 0 when at/above goal. STMM shrinks heaps to repay this.
+func (s *Set) OverflowDeficit() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.overflowGoal - s.overflowLocked()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// OverflowSurplus returns how many pages the overflow area holds above its
+// goal, or 0 when at/below goal. STMM distributes this to needy heaps.
+func (s *Set) OverflowSurplus() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sur := s.overflowLocked() - s.overflowGoal
+	if sur < 0 {
+		return 0
+	}
+	return sur
+}
+
+// Grow moves exactly `pages` from overflow into the heap, or fails without
+// any change. This is the synchronous on-demand path ("first come-first
+// served"). Heap max is respected.
+func (s *Set) Grow(h *Heap, pages int) error {
+	if pages < 0 {
+		return fmt.Errorf("memory: negative grow %d for heap %q", pages, h.name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pages > s.overflowLocked() {
+		return fmt.Errorf("memory: heap %q grow %d exceeds overflow %d", h.name, pages, s.overflowLocked())
+	}
+	if h.max != 0 && h.pages+pages > h.max {
+		return fmt.Errorf("memory: heap %q grow %d exceeds max %d", h.name, pages, h.max)
+	}
+	h.pages += pages
+	return nil
+}
+
+// GrowUpTo moves up to `pages` from overflow into the heap, clamped by both
+// the available overflow and the heap max, and returns the pages granted.
+func (s *Set) GrowUpTo(h *Heap, pages int) int {
+	if pages <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	grant := pages
+	if free := s.overflowLocked(); grant > free {
+		grant = free
+	}
+	if h.max != 0 && h.pages+grant > h.max {
+		grant = h.max - h.pages
+	}
+	if grant < 0 {
+		grant = 0
+	}
+	h.pages += grant
+	return grant
+}
+
+// Shrink returns up to `pages` from the heap to overflow, clamped by the
+// heap minimum, and returns the pages released.
+func (s *Set) Shrink(h *Heap, pages int) int {
+	if pages <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	give := pages
+	if h.pages-give < h.min {
+		give = h.pages - h.min
+	}
+	if give < 0 {
+		give = 0
+	}
+	h.pages -= give
+	return give
+}
+
+// Transfer moves up to `pages` directly from one heap to another, clamped by
+// the donor's minimum and the recipient's maximum. Returns pages moved.
+func (s *Set) Transfer(from, to *Heap, pages int) int {
+	if pages <= 0 || from == to {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	move := pages
+	if from.pages-move < from.min {
+		move = from.pages - from.min
+	}
+	if to.max != 0 && to.pages+move > to.max {
+		move = to.max - to.pages
+	}
+	if move < 0 {
+		move = 0
+	}
+	from.pages -= move
+	to.pages += move
+	return move
+}
+
+// SetBounds adjusts a heap's min/max at runtime. The adaptive tuner moves
+// the lock-memory minimum as applications connect and disconnect
+// (minLockMemory depends on num_applications). The current size is not
+// changed even if it now violates the bounds; the next tuning interval
+// corrects it.
+func (s *Set) SetBounds(h *Heap, min, max int) error {
+	if min < 0 || (max != 0 && max < min) {
+		return fmt.Errorf("memory: heap %q invalid bounds min=%d max=%d", h.name, min, max)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h.min, h.max = min, max
+	return nil
+}
+
+// Snapshot is a point-in-time view of the whole memory set.
+type Snapshot struct {
+	TotalPages   int
+	Overflow     int
+	OverflowGoal int
+	HeapPages    map[string]int
+}
+
+// Snapshot returns a consistent copy of the current distribution.
+func (s *Set) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hp := make(map[string]int, len(s.heaps))
+	for n, h := range s.heaps {
+		hp[n] = h.pages
+	}
+	return Snapshot{
+		TotalPages:   s.totalPages,
+		Overflow:     s.overflowLocked(),
+		OverflowGoal: s.overflowGoal,
+		HeapPages:    hp,
+	}
+}
+
+// CheckConservation verifies that pages are conserved; it is cheap and used
+// by tests and the simulation's self-checks.
+func (s *Set) CheckConservation() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	of := s.overflowLocked()
+	if of < 0 {
+		return fmt.Errorf("memory: overflow negative (%d pages)", of)
+	}
+	sum := of
+	for _, h := range s.heaps {
+		if h.pages < 0 {
+			return fmt.Errorf("memory: heap %q negative (%d pages)", h.name, h.pages)
+		}
+		sum += h.pages
+	}
+	if sum != s.totalPages {
+		return fmt.Errorf("memory: conservation violated: sum %d != total %d", sum, s.totalPages)
+	}
+	return nil
+}

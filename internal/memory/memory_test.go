@@ -1,0 +1,293 @@
+package memory
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestSet(t *testing.T) (*Set, *Heap, *Heap) {
+	t.Helper()
+	s := NewSet(10000, 1000)
+	bp, err := s.Register("bufferpool", 6000, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := s.Register("locklist", 100, 50, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, bp, lk
+}
+
+func TestNewSetValidation(t *testing.T) {
+	for _, tc := range []struct{ total, goal int }{{0, 0}, {-5, 0}, {100, 101}, {100, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSet(%d,%d) must panic", tc.total, tc.goal)
+				}
+			}()
+			NewSet(tc.total, tc.goal)
+		}()
+	}
+}
+
+func TestRegisterAndOverflow(t *testing.T) {
+	s, bp, lk := newTestSet(t)
+	if got := s.Overflow(); got != 10000-6000-100 {
+		t.Fatalf("overflow = %d, want 3900", got)
+	}
+	if bp.Pages() != 6000 || lk.Pages() != 100 {
+		t.Fatalf("heap sizes wrong: %d, %d", bp.Pages(), lk.Pages())
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	s := NewSet(1000, 100)
+	if _, err := s.Register("a", 500, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name              string
+		initial, min, max int
+		wantErrContains   string
+	}{
+		{"a", 10, 0, 0, "already registered"},
+		{"b", -1, 0, 0, "invalid bounds"},
+		{"b", 10, 20, 0, "outside"},
+		{"b", 30, 0, 20, "outside"},
+		{"b", 10, 5, 3, "invalid bounds"},
+		{"b", 600, 0, 0, "exceeds free memory"},
+	}
+	for _, tc := range cases {
+		_, err := s.Register(tc.name, tc.initial, tc.min, tc.max)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErrContains) {
+			t.Errorf("Register(%q,%d,%d,%d) err = %v, want contains %q",
+				tc.name, tc.initial, tc.min, tc.max, err, tc.wantErrContains)
+		}
+	}
+}
+
+func TestHeapLookup(t *testing.T) {
+	s, bp, _ := newTestSet(t)
+	if s.Heap("bufferpool") != bp {
+		t.Fatal("Heap lookup failed")
+	}
+	if s.Heap("nope") != nil {
+		t.Fatal("unknown heap must be nil")
+	}
+	hs := s.Heaps()
+	if len(hs) != 2 || hs[0].Name() != "bufferpool" || hs[1].Name() != "locklist" {
+		t.Fatalf("Heaps() order wrong: %v", hs)
+	}
+}
+
+func TestGrowExactFromOverflow(t *testing.T) {
+	s, _, lk := newTestSet(t)
+	if err := s.Grow(lk, 500); err != nil {
+		t.Fatal(err)
+	}
+	if got := lk.Pages(); got != 600 {
+		t.Fatalf("locklist = %d, want 600", got)
+	}
+	// Exceeds overflow: all-or-nothing failure.
+	if err := s.Grow(lk, 100000); err == nil {
+		t.Fatal("grow beyond overflow must fail")
+	}
+	if got := lk.Pages(); got != 600 {
+		t.Fatalf("failed grow changed heap: %d", got)
+	}
+	// Exceeds heap max (2000).
+	if err := s.Grow(lk, 1500); err == nil {
+		t.Fatal("grow beyond heap max must fail")
+	}
+	if err := s.Grow(lk, -1); err == nil {
+		t.Fatal("negative grow must fail")
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowUpToClamps(t *testing.T) {
+	s, _, lk := newTestSet(t)
+	// Overflow is 3900; heap max 2000 allows +1900 only.
+	if got := s.GrowUpTo(lk, 5000); got != 1900 {
+		t.Fatalf("granted = %d, want 1900 (heap max clamp)", got)
+	}
+	if got := lk.Pages(); got != 2000 {
+		t.Fatalf("locklist = %d, want 2000", got)
+	}
+	if got := s.GrowUpTo(lk, 10); got != 0 {
+		t.Fatalf("grow at max granted %d, want 0", got)
+	}
+	// Overflow clamp: bufferpool is uncapped.
+	bp := s.Heap("bufferpool")
+	if got := s.GrowUpTo(bp, 99999); got != s.TotalPages()-2000-6000 {
+		t.Fatalf("granted = %d, want remaining overflow", got)
+	}
+	if got := s.Overflow(); got != 0 {
+		t.Fatalf("overflow = %d, want 0", got)
+	}
+	if got := s.GrowUpTo(bp, 0); got != 0 {
+		t.Fatalf("GrowUpTo(0) = %d", got)
+	}
+}
+
+func TestShrinkClampsAtMin(t *testing.T) {
+	s, _, lk := newTestSet(t)
+	if got := s.Shrink(lk, 30); got != 30 {
+		t.Fatalf("shrink = %d, want 30", got)
+	}
+	// locklist now 70, min 50: only 20 more available.
+	if got := s.Shrink(lk, 100); got != 20 {
+		t.Fatalf("shrink = %d, want 20 (min clamp)", got)
+	}
+	if got := lk.Pages(); got != 50 {
+		t.Fatalf("locklist = %d, want min 50", got)
+	}
+	if got := s.Shrink(lk, 10); got != 0 {
+		t.Fatalf("shrink below min = %d, want 0", got)
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	s, bp, lk := newTestSet(t)
+	if got := s.Transfer(bp, lk, 500); got != 500 {
+		t.Fatalf("transfer = %d, want 500", got)
+	}
+	if bp.Pages() != 5500 || lk.Pages() != 600 {
+		t.Fatalf("sizes after transfer: bp=%d lk=%d", bp.Pages(), lk.Pages())
+	}
+	// Recipient max clamp: lk max is 2000, so only 1400 more fits.
+	if got := s.Transfer(bp, lk, 3000); got != 1400 {
+		t.Fatalf("transfer = %d, want 1400", got)
+	}
+	// Donor min clamp.
+	big, err := s.Register("sort", 100, 90, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Transfer(big, bp, 50); got != 10 {
+		t.Fatalf("transfer = %d, want 10 (donor min clamp)", got)
+	}
+	if got := s.Transfer(bp, bp, 10); got != 0 {
+		t.Fatalf("self transfer = %d, want 0", got)
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverflowDeficitAndSurplus(t *testing.T) {
+	s, bp, _ := newTestSet(t) // overflow 3900, goal 1000
+	if got := s.OverflowSurplus(); got != 2900 {
+		t.Fatalf("surplus = %d, want 2900", got)
+	}
+	if got := s.OverflowDeficit(); got != 0 {
+		t.Fatalf("deficit = %d, want 0", got)
+	}
+	s.GrowUpTo(bp, 3500) // overflow drops to 400
+	if got := s.OverflowDeficit(); got != 600 {
+		t.Fatalf("deficit = %d, want 600", got)
+	}
+	if got := s.OverflowSurplus(); got != 0 {
+		t.Fatalf("surplus = %d, want 0", got)
+	}
+}
+
+func TestSetBounds(t *testing.T) {
+	s, _, lk := newTestSet(t)
+	if err := s.SetBounds(lk, 500, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if lk.Min() != 500 || lk.Max() != 3000 {
+		t.Fatalf("bounds = [%d,%d], want [500,3000]", lk.Min(), lk.Max())
+	}
+	if err := s.SetBounds(lk, -1, 0); err == nil {
+		t.Fatal("negative min must fail")
+	}
+	if err := s.SetBounds(lk, 10, 5); err == nil {
+		t.Fatal("max < min must fail")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	s, _, _ := newTestSet(t)
+	snap := s.Snapshot()
+	if snap.TotalPages != 10000 || snap.Overflow != 3900 || snap.OverflowGoal != 1000 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.HeapPages["bufferpool"] != 6000 || snap.HeapPages["locklist"] != 100 {
+		t.Fatalf("snapshot heaps = %v", snap.HeapPages)
+	}
+}
+
+// Property: any sequence of grows, shrinks and transfers conserves pages.
+func TestQuickConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSet(5000, 500)
+		a, _ := s.Register("a", 1000, 100, 0)
+		b, _ := s.Register("b", 1000, 0, 3000)
+		heaps := []*Heap{a, b}
+		for _, op := range ops {
+			h := heaps[int(op)%2]
+			pages := int(op / 4 % 997)
+			switch (op / 2) % 3 {
+			case 0:
+				s.GrowUpTo(h, pages)
+			case 1:
+				s.Shrink(h, pages)
+			case 2:
+				s.Transfer(h, heaps[(int(op)+1)%2], pages)
+			}
+			if s.CheckConservation() != nil {
+				return false
+			}
+			if a.Pages() < a.Min() || (b.Max() != 0 && b.Pages() > b.Max()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentResizes(t *testing.T) {
+	s := NewSet(100000, 10000)
+	a, _ := s.Register("a", 20000, 1000, 0)
+	b, _ := s.Register("b", 20000, 1000, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					s.GrowUpTo(a, rng.Intn(100))
+				case 1:
+					s.Shrink(b, rng.Intn(100))
+				case 2:
+					s.Transfer(a, b, rng.Intn(100))
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

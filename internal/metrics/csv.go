@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseCSV reads a table written by Set.CSV back into a Set. Column headers
+// of the form "name (unit)" recover both fields; the first column must be
+// the shared time axis. Rows with unparsable numbers are skipped.
+func ParseCSV(r io.Reader) (*Set, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: parsing CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("metrics: empty CSV")
+	}
+	header := rows[0]
+	if len(header) < 2 {
+		return nil, fmt.Errorf("metrics: CSV needs a time column and at least one series")
+	}
+
+	set := NewSet()
+	series := make([]*Series, len(header)-1)
+	for i, h := range header[1:] {
+		name, unit := splitHeader(h)
+		series[i] = set.Series(name, unit)
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			continue
+		}
+		sec, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			continue
+		}
+		for i, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				continue
+			}
+			series[i].Record(sec, v)
+		}
+	}
+	return set, nil
+}
+
+// splitHeader separates "lock memory (pages)" into name and unit.
+func splitHeader(h string) (name, unit string) {
+	h = strings.TrimSpace(h)
+	if i := strings.LastIndex(h, " ("); i >= 0 && strings.HasSuffix(h, ")") {
+		return h[:i], h[i+2 : len(h)-1]
+	}
+	return h, ""
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	set := NewSet()
+	a := set.Series("lock memory", "pages")
+	b := set.Series("throughput", "tx/s")
+	for i := 0; i < 10; i++ {
+		a.Record(float64(i), float64(i*100))
+		b.Record(float64(i), float64(i)/2)
+	}
+
+	back, err := ParseCSV(strings.NewReader(set.CSV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := back.Get("lock memory")
+	if a2 == nil || a2.Unit() != "pages" {
+		t.Fatalf("series lost: %+v", back.Names())
+	}
+	if a2.Len() != 10 || a2.Max() != 900 {
+		t.Fatalf("values lost: len=%d max=%g", a2.Len(), a2.Max())
+	}
+	b2 := back.Get("throughput")
+	if b2 == nil || b2.Unit() != "tx/s" || b2.Last().Value != 4.5 {
+		t.Fatalf("second series wrong: %+v", b2)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	if _, err := ParseCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ParseCSV(strings.NewReader("onlytime\n1\n")); err == nil {
+		t.Fatal("headerless single column accepted")
+	}
+	// Ragged quoting is a CSV error.
+	if _, err := ParseCSV(strings.NewReader("a,b\n\"x\n")); err == nil {
+		t.Fatal("malformed CSV accepted")
+	}
+}
+
+func TestParseCSVSkipsBadRows(t *testing.T) {
+	in := "seconds,x (u)\n1,10\nnot-a-number,20\n3,oops\n4,40\n"
+	set, err := ParseCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := set.Get("x")
+	if s.Len() != 2 { // rows 1 and 4 only
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+}
+
+func TestSplitHeader(t *testing.T) {
+	for in, want := range map[string][2]string{
+		"lock memory (pages)": {"lock memory", "pages"},
+		"plain":               {"plain", ""},
+		"weird (a) (b)":       {"weird (a)", "b"},
+		"  padded (x)":        {"padded", "x"},
+		"no-unit-parens(oops": {"no-unit-parens(oops", ""},
+	} {
+		name, unit := splitHeader(in)
+		if name != want[0] || unit != want[1] {
+			t.Errorf("splitHeader(%q) = %q,%q want %q,%q", in, name, unit, want[0], want[1])
+		}
+	}
+}

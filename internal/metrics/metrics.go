@@ -1,0 +1,364 @@
+// Package metrics provides the lightweight telemetry used to regenerate the
+// paper's figures: named time series sampled on the simulation tick, plus
+// monotonic counters and instantaneous gauges for engine statistics such as
+// lock escalations and lock-structure requests.
+//
+// Everything here is safe for concurrent use; the simulation driver samples
+// single-threaded, but the real-time engine updates counters from many
+// connection goroutines.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Negative n is a programming error and is
+// ignored so a counter can never decrease.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v as the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Sample is one observation of a series: a value at a simulation time
+// expressed in seconds since the start of the run.
+type Sample struct {
+	Seconds float64
+	Value   float64
+}
+
+// Series is an append-only sequence of samples for one measured quantity,
+// e.g. "lock memory (pages)" or "throughput (tx/s)".
+type Series struct {
+	mu      sync.Mutex
+	name    string
+	unit    string
+	samples []Sample
+}
+
+// NewSeries creates an empty series. The unit is free text used by renderers
+// ("pages", "tx/s", "%").
+func NewSeries(name, unit string) *Series {
+	return &Series{name: name, unit: unit}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Unit returns the series unit label.
+func (s *Series) Unit() string { return s.unit }
+
+// Record appends one observation. Out-of-order times are permitted but the
+// renderers assume samples were appended in time order, which the simulation
+// driver guarantees.
+func (s *Series) Record(seconds, value float64) {
+	s.mu.Lock()
+	s.samples = append(s.samples, Sample{Seconds: seconds, Value: value})
+	s.mu.Unlock()
+}
+
+// Samples returns a copy of all recorded samples.
+func (s *Series) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Len returns the number of recorded samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Last returns the most recent sample, or a zero Sample if empty.
+func (s *Series) Last() Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return Sample{}
+	}
+	return s.samples[len(s.samples)-1]
+}
+
+// Max returns the maximum recorded value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := 0.0
+	for i, smp := range s.samples {
+		if i == 0 || smp.Value > max {
+			max = smp.Value
+		}
+	}
+	return max
+}
+
+// Min returns the minimum recorded value, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	min := s.samples[0].Value
+	for _, smp := range s.samples[1:] {
+		if smp.Value < min {
+			min = smp.Value
+		}
+	}
+	return min
+}
+
+// Mean returns the arithmetic mean of all values, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, smp := range s.samples {
+		sum += smp.Value
+	}
+	return sum / float64(len(s.samples))
+}
+
+// MeanAfter returns the mean of values at or after the given time, or 0 if
+// no samples qualify. Useful for "steady state after the surge" summaries.
+func (s *Series) MeanAfter(seconds float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum, n := 0.0, 0
+	for _, smp := range s.samples {
+		if smp.Seconds >= seconds {
+			sum += smp.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanBetween returns the mean of values with time in [from, to), or 0 if no
+// samples qualify.
+func (s *Series) MeanBetween(from, to float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum, n := 0.0, 0
+	for _, smp := range s.samples {
+		if smp.Seconds >= from && smp.Seconds < to {
+			sum += smp.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ValueAt returns the value of the latest sample at or before the given
+// time, or 0 if none exists.
+func (s *Series) ValueAt(seconds float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := 0.0
+	for _, smp := range s.samples {
+		if smp.Seconds > seconds {
+			break
+		}
+		v = smp.Value
+	}
+	return v
+}
+
+// Set is a named collection of series captured by one experiment run.
+type Set struct {
+	mu     sync.Mutex
+	order  []string
+	series map[string]*Series
+}
+
+// NewSet returns an empty series set.
+func NewSet() *Set {
+	return &Set{series: make(map[string]*Series)}
+}
+
+// Series returns the series with the given name, creating it (with the given
+// unit) on first use. The unit of an existing series is not changed.
+func (st *Set) Series(name, unit string) *Series {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s, ok := st.series[name]; ok {
+		return s
+	}
+	s := NewSeries(name, unit)
+	st.series[name] = s
+	st.order = append(st.order, name)
+	return s
+}
+
+// Get returns the named series or nil if it was never created.
+func (st *Set) Get(name string) *Series {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.series[name]
+}
+
+// Names returns series names in creation order.
+func (st *Set) Names() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, len(st.order))
+	copy(out, st.order)
+	return out
+}
+
+// CSV renders the set as a comma-separated table with a shared time column.
+// Series are sampled at the union of all observation times; a series without
+// an observation at a given time repeats its previous value (step
+// interpolation), matching how the simulation captures state per tick.
+func (st *Set) CSV() string {
+	st.mu.Lock()
+	names := make([]string, len(st.order))
+	copy(names, st.order)
+	sers := make([]*Series, len(names))
+	for i, n := range names {
+		sers[i] = st.series[n]
+	}
+	st.mu.Unlock()
+
+	timeSet := make(map[float64]struct{})
+	samplesBy := make([][]Sample, len(sers))
+	for i, s := range sers {
+		samplesBy[i] = s.Samples()
+		for _, smp := range samplesBy[i] {
+			timeSet[smp.Seconds] = struct{}{}
+		}
+	}
+	times := make([]float64, 0, len(timeSet))
+	for t := range timeSet {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+
+	var b strings.Builder
+	b.WriteString("seconds")
+	for i, n := range names {
+		fmt.Fprintf(&b, ",%s (%s)", n, sers[i].Unit())
+	}
+	b.WriteByte('\n')
+
+	idx := make([]int, len(sers))
+	last := make([]float64, len(sers))
+	for _, t := range times {
+		fmt.Fprintf(&b, "%g", t)
+		for i := range sers {
+			for idx[i] < len(samplesBy[i]) && samplesBy[i][idx[i]].Seconds <= t {
+				last[i] = samplesBy[i][idx[i]].Value
+				idx[i]++
+			}
+			fmt.Fprintf(&b, ",%g", last[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Chart renders an ASCII line chart of the series, width x height characters
+// for the plot area. It is deliberately simple — good enough to eyeball the
+// shape of each reproduced figure in a terminal.
+func Chart(s *Series, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	samples := s.Samples()
+	if len(samples) == 0 {
+		return fmt.Sprintf("%s: (no samples)\n", s.Name())
+	}
+	minT, maxT := samples[0].Seconds, samples[0].Seconds
+	minV, maxV := samples[0].Value, samples[0].Value
+	for _, smp := range samples {
+		minT = math.Min(minT, smp.Seconds)
+		maxT = math.Max(maxT, smp.Seconds)
+		minV = math.Min(minV, smp.Value)
+		maxV = math.Max(maxV, smp.Value)
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, smp := range samples {
+		col := int(float64(width-1) * (smp.Seconds - minT) / (maxT - minT))
+		row := int(float64(height-1) * (smp.Value - minV) / (maxV - minV))
+		grid[height-1-row][col] = '*'
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)  min=%.4g max=%.4g\n", s.Name(), s.Unit(), minV, maxV)
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%8.3g", maxV)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%8.3g", minV)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-10.4gs%s%10.4gs\n", strings.Repeat(" ", 8), minT,
+		strings.Repeat(" ", max(1, width-22)), maxT)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,182 @@
+// Package sim is the discrete-time experiment driver. One tick is one
+// virtual second: clients step, lock waits age, the STMM controller tunes on
+// its interval (30 s in every experiment of the paper), and the metric
+// series that regenerate the paper's figures are sampled.
+//
+// Everything is deterministic: a simulated clock, seeded client RNGs and a
+// single driving goroutine.
+package sim
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/engine"
+	"repro/internal/memblock"
+	"repro/internal/metrics"
+	"repro/internal/stmm"
+	"repro/internal/workload"
+)
+
+// Client is a workload state machine stepped once per tick.
+type Client interface {
+	Step()
+	SetActive(bool)
+	Active() bool
+	Commits() int64
+}
+
+// Event fires a callback at a given tick (e.g. injecting the DSS query).
+type Event struct {
+	AtTick int
+	Fire   func()
+}
+
+// Config describes one experiment run.
+type Config struct {
+	// DB is the engine under test.
+	DB *engine.Database
+	// Clock must be the same simulated clock the engine was opened with.
+	Clock *clock.Sim
+	// Ticks is the run length in virtual seconds.
+	Ticks int
+	// TuneEvery is the STMM interval in ticks (default 30).
+	TuneEvery int
+	// DetectEvery runs deadlock detection every N ticks (default 5).
+	DetectEvery int
+	// Clients is the OLTP client pool; the Schedule activates a prefix.
+	Clients []Client
+	// Schedule sets the number of active clients over time (nil keeps
+	// all clients active).
+	Schedule workload.Schedule
+	// Standalone clients are stepped every tick but not governed by the
+	// Schedule (e.g. the injected DSS query; activate it via an Event).
+	Standalone []Client
+	// Events fire at specific ticks.
+	Events []Event
+	// SampleEvery thins the recorded series (default 1 = every tick).
+	SampleEvery int
+}
+
+// Result carries the captured series and end-state.
+type Result struct {
+	Series  *metrics.Set
+	Final   engine.Snapshot
+	Reports []stmm.Report
+	// TotalCommits is the committed transaction count across clients.
+	TotalCommits int64
+}
+
+// Throughput returns the mean throughput (tx/s) between two times.
+func (r *Result) Throughput(fromSec, toSec float64) float64 {
+	s := r.Series.Get("throughput")
+	if s == nil {
+		return 0
+	}
+	return s.MeanBetween(fromSec, toSec)
+}
+
+// Run executes the experiment.
+func Run(cfg Config) *Result {
+	if cfg.TuneEvery <= 0 {
+		cfg.TuneEvery = 30
+	}
+	if cfg.DetectEvery <= 0 {
+		cfg.DetectEvery = 5
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+
+	set := metrics.NewSet()
+	lockPages := set.Series("lock memory", "pages")
+	usedPages := set.Series("lock memory used", "pages")
+	throughput := set.Series("throughput", "tx/s")
+	escalations := set.Series("escalations", "count")
+	activeClients := set.Series("active clients", "clients")
+	quota := set.Series("lockPercentPerApplication", "%")
+	overflow := set.Series("overflow", "pages")
+	bufferPool := set.Series("bufferpool", "pages")
+
+	res := &Result{Series: set}
+	var lastCommits int64
+	eventIdx := 0
+	events := cfg.Events
+
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		now := float64(tick)
+		cfg.Clock.Advance(time.Second)
+
+		for eventIdx < len(events) && events[eventIdx].AtTick <= tick {
+			events[eventIdx].Fire()
+			eventIdx++
+		}
+
+		// Apply the activation schedule to the client pool prefix.
+		if cfg.Schedule != nil {
+			want := cfg.Schedule(now)
+			if want > len(cfg.Clients) {
+				want = len(cfg.Clients)
+			}
+			for i, c := range cfg.Clients {
+				c.SetActive(i < want)
+			}
+		}
+
+		// Step everyone — inactive clients no-op, draining clients
+		// finish and disconnect.
+		for _, c := range cfg.Clients {
+			c.Step()
+		}
+		for _, c := range cfg.Standalone {
+			c.Step()
+		}
+
+		cfg.DB.Locks().SweepTimeouts()
+		if tick%cfg.DetectEvery == 0 {
+			cfg.DB.Locks().DetectDeadlocks()
+		}
+		if (tick+1)%cfg.TuneEvery == 0 {
+			if rep, ok := cfg.DB.TuneOnce(); ok {
+				res.Reports = append(res.Reports, rep)
+			}
+		}
+
+		// Sample.
+		if tick%cfg.SampleEvery == 0 {
+			snap := cfg.DB.Snapshot()
+			var commits int64
+			active := 0
+			for _, c := range cfg.Clients {
+				commits += c.Commits()
+				if c.Active() {
+					active++
+				}
+			}
+			for _, c := range cfg.Standalone {
+				commits += c.Commits()
+				if c.Active() {
+					active++
+				}
+			}
+			lockPages.Record(now, float64(snap.LockPages))
+			usedPages.Record(now, float64((snap.UsedStructs+memblock.StructsPerPage-1)/memblock.StructsPerPage))
+			throughput.Record(now, float64(commits-lastCommits)/float64(cfg.SampleEvery))
+			lastCommits = commits
+			escalations.Record(now, float64(snap.LockStats.Escalations))
+			activeClients.Record(now, float64(active))
+			quota.Record(now, snap.QuotaPercent)
+			overflow.Record(now, float64(snap.Overflow))
+			bufferPool.Record(now, float64(snap.BufferPoolPages))
+		}
+	}
+
+	res.Final = cfg.DB.Snapshot()
+	for _, c := range cfg.Clients {
+		res.TotalCommits += c.Commits()
+	}
+	for _, c := range cfg.Standalone {
+		res.TotalCommits += c.Commits()
+	}
+	return res
+}

@@ -1,0 +1,138 @@
+// Package sortheap models the sort/hash-join memory heap: a performance
+// memory consumer whose under-allocation causes sort spills rather than
+// failures. In the paper's worked example (Figure 6) sort memory is "the
+// least needy consumer" that donates pages when lock memory must grow; this
+// model gives the STMM controller that donor.
+package sortheap
+
+import (
+	"sync"
+)
+
+// Heap tracks concurrent sort allocations against a budget. It is safe for
+// concurrent use.
+type Heap struct {
+	mu    sync.Mutex
+	pages int // budget
+	inUse int
+
+	spills         int64
+	grants         int64
+	intervalSpills int64
+	intervalAsks   int64
+}
+
+// Sort is one active sort operation's reservation.
+type Sort struct {
+	h       *Heap
+	granted int
+	// Spilled reports the sort ran with less memory than requested and
+	// wrote intermediate runs to disk.
+	Spilled bool
+	done    bool
+}
+
+// New creates a sort heap with the given page budget.
+func New(pages int) *Heap {
+	if pages < 0 {
+		pages = 0
+	}
+	return &Heap{pages: pages}
+}
+
+// Pages returns the heap budget.
+func (h *Heap) Pages() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pages
+}
+
+// InUse returns the pages reserved by active sorts.
+func (h *Heap) InUse() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.inUse
+}
+
+// Begin reserves memory for a sort needing `need` pages. If the remaining
+// budget cannot cover it the sort receives what is left and spills. End the
+// returned Sort when the operation finishes.
+func (h *Heap) Begin(need int) *Sort {
+	if need < 0 {
+		need = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.intervalAsks++
+	h.grants++
+	avail := h.pages - h.inUse
+	if avail < 0 {
+		avail = 0
+	}
+	granted := need
+	spilled := false
+	if granted > avail {
+		granted = avail
+		spilled = true
+		h.spills++
+		h.intervalSpills++
+	}
+	h.inUse += granted
+	return &Sort{h: h, granted: granted, Spilled: spilled}
+}
+
+// End releases the sort's reservation. Ending twice is a no-op.
+func (s *Sort) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.h.mu.Lock()
+	s.h.inUse -= s.granted
+	s.h.mu.Unlock()
+}
+
+// Resize changes the budget. Active reservations are not revoked; a shrink
+// below current use simply causes subsequent sorts to spill until
+// reservations drain.
+func (h *Heap) Resize(pages int) {
+	if pages < 0 {
+		pages = 0
+	}
+	h.mu.Lock()
+	h.pages = pages
+	h.mu.Unlock()
+}
+
+// SpillCount returns the lifetime number of spilled sorts.
+func (h *Heap) SpillCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.spills
+}
+
+// Benefit estimates the marginal value of additional pages: the fraction of
+// this interval's sorts that spilled, scaled to be comparable with the
+// buffer pool's eviction pressure. An idle heap reports zero and becomes the
+// natural donor.
+func (h *Heap) Benefit() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.intervalAsks == 0 {
+		return 0
+	}
+	return float64(h.intervalSpills) / float64(h.intervalAsks) * 100
+}
+
+// ResetInterval clears per-interval counters.
+func (h *Heap) ResetInterval() {
+	h.mu.Lock()
+	h.intervalSpills, h.intervalAsks = 0, 0
+	h.mu.Unlock()
+}
+
+// Name identifies the consumer in STMM reports.
+func (h *Heap) Name() string { return "sortheap" }
+
+// ApplySize forwards to Resize for the STMM controller.
+func (h *Heap) ApplySize(pages int) { h.Resize(pages) }

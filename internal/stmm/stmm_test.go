@@ -1,0 +1,416 @@
+package stmm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lockmgr"
+	"repro/internal/memblock"
+	"repro/internal/memory"
+)
+
+// fakeLock is a LockMemory with direct control over usage.
+type fakeLock struct {
+	pages    int
+	used     int
+	apps     int
+	requests int64
+}
+
+func (f *fakeLock) Pages() int            { return f.pages }
+func (f *fakeLock) UsedStructs() int      { return f.used }
+func (f *fakeLock) CapacityStructs() int  { return f.pages * memblock.StructsPerPage }
+func (f *fakeLock) UsedPages() int        { return (f.used + 63) / 64 }
+func (f *fakeLock) NumApps() int          { return f.apps }
+func (f *fakeLock) StructRequests() int64 { return f.requests }
+func (f *fakeLock) Resize(target int) int {
+	// Like the real chain: shrink only frees wholly unused blocks.
+	minPages := ((f.used + memblock.StructsPerBlock - 1) / memblock.StructsPerBlock) * memblock.BlockPages
+	if target < minPages {
+		target = minPages
+	}
+	f.pages = (target + memblock.BlockPages - 1) / memblock.BlockPages * memblock.BlockPages
+	return f.pages
+}
+
+// fakePMC records applied sizes and reports a fixed benefit.
+type fakePMC struct {
+	name    string
+	benefit float64
+	applied []int
+	resets  int
+}
+
+func (f *fakePMC) Name() string        { return f.name }
+func (f *fakePMC) Benefit() float64    { return f.benefit }
+func (f *fakePMC) ResetInterval()      { f.resets++ }
+func (f *fakePMC) ApplySize(pages int) { f.applied = append(f.applied, pages) }
+func (f *fakePMC) lastApplied() int {
+	if len(f.applied) == 0 {
+		return -1
+	}
+	return f.applied[len(f.applied)-1]
+}
+
+// rig builds a 131072-page (512 MB) memory set with two PMC heaps and a
+// lock heap, plus a fake lock memory bound to a controller.
+type rig struct {
+	set      *memory.Set
+	ctl      *Controller
+	lock     *fakeLock
+	bp, sort *fakePMC
+	bpHeap   *memory.Heap
+	sortHeap *memory.Heap
+	lockHeap *memory.Heap
+}
+
+func newRig(t *testing.T, lockPages int) *rig {
+	t.Helper()
+	set := memory.NewSet(131072, 13107) // overflow goal 10%
+	bpHeap, err := set.Register("bufferpool", 80000, 10000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortHeap, err := set.Register("sortheap", 20000, 2000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockHeap, err := set.Register("locklist", lockPages, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := New(Config{Set: set, LockHeap: lockHeap, Params: core.DefaultParams()})
+	lock := &fakeLock{pages: lockPages, apps: 10}
+	ctl.BindLock(lock)
+	bp := &fakePMC{name: "bufferpool", benefit: 50}
+	sort := &fakePMC{name: "sortheap", benefit: 1}
+	ctl.RegisterPMC(bpHeap, bp)
+	ctl.RegisterPMC(sortHeap, sort)
+	return &rig{set: set, ctl: ctl, lock: lock, bp: bp, sort: sort,
+		bpHeap: bpHeap, sortHeap: sortHeap, lockHeap: lockHeap}
+}
+
+func TestTuneOncePanicsUnbound(t *testing.T) {
+	set := memory.NewSet(1000, 100)
+	h, _ := set.Register("locklist", 512, 0, 0)
+	ctl := New(Config{Set: set, LockHeap: h, Params: core.DefaultParams()})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TuneOnce before BindLock must panic")
+		}
+	}()
+	ctl.TuneOnce()
+}
+
+func TestSteadyStateNoChange(t *testing.T) {
+	r := newRig(t, 2048)
+	r.lock.used = int(0.45 * float64(r.lock.CapacityStructs())) // 55% free
+	rep := r.ctl.TuneOnce()
+	if rep.Decision.Action != core.ActionNone {
+		t.Fatalf("action = %v (%s)", rep.Decision.Action, rep.Decision.Reason)
+	}
+	if rep.LockPagesAfter != 2048 {
+		t.Fatalf("lock pages = %d", rep.LockPagesAfter)
+	}
+	if err := r.set.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowthTakesFromLeastNeedyPMC(t *testing.T) {
+	r := newRig(t, 2048)
+	r.lock.used = int(0.80 * float64(r.lock.CapacityStructs())) // 20% free
+	sortBefore := r.sortHeap.Pages()
+	rep := r.ctl.TuneOnce()
+	if rep.Decision.Action != core.ActionGrow {
+		t.Fatalf("action = %v", rep.Decision.Action)
+	}
+	if rep.FromPMCs == 0 {
+		t.Fatalf("growth not funded by PMCs: %+v", rep)
+	}
+	// The sort heap (benefit 1) donates before the buffer pool (50).
+	if r.sortHeap.Pages() >= sortBefore {
+		t.Fatal("sort heap did not donate")
+	}
+	// The buffer pool (higher benefit) must not have donated; it may even
+	// have received surplus overflow afterwards.
+	if r.bpHeap.Pages() < 80000 {
+		t.Fatalf("buffer pool donated despite higher benefit: %d", r.bpHeap.Pages())
+	}
+	if r.sort.lastApplied() != r.sortHeap.Pages() {
+		t.Fatal("ApplySize not called on donor")
+	}
+	// Heap and chain sizes agree, block aligned.
+	if r.lockHeap.Pages() != r.lock.Pages() || r.lockHeap.Pages()%memblock.BlockPages != 0 {
+		t.Fatalf("heap %d vs chain %d", r.lockHeap.Pages(), r.lock.Pages())
+	}
+	if err := r.set.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowthFallsBackToOverflow(t *testing.T) {
+	r := newRig(t, 2048)
+	// Pin both PMCs at their minimums.
+	r.set.Shrink(r.bpHeap, 1<<30)
+	r.set.Shrink(r.sortHeap, 1<<30)
+	r.lock.used = int(0.80 * float64(r.lock.CapacityStructs()))
+	rep := r.ctl.TuneOnce()
+	if rep.FromPMCs != 0 {
+		t.Fatalf("PMCs at min still donated %d", rep.FromPMCs)
+	}
+	if rep.FromOverflow == 0 {
+		t.Fatalf("overflow not used: %+v", rep)
+	}
+	if err := r.set.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkReturnsToOverflow(t *testing.T) {
+	r := newRig(t, 10240)
+	r.lock.used = 100 // almost everything free
+	overflowBefore := r.set.Overflow()
+	rep := r.ctl.TuneOnce()
+	if rep.Decision.Action != core.ActionShrink {
+		t.Fatalf("action = %v (%s)", rep.Decision.Action, rep.Decision.Reason)
+	}
+	// δreduce: 5% of 10240 = 512 pages.
+	if rep.ToOverflow != 512 {
+		t.Fatalf("released %d pages, want 512", rep.ToOverflow)
+	}
+	// Overflow was above goal already, so the surplus goes nowhere (fake
+	// PMC benefit > 0 receives it instead).
+	_ = overflowBefore
+	if err := r.set.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscalationsTriggerDoubling(t *testing.T) {
+	r := newRig(t, 2048)
+	var cum int64
+	r.ctl.BindEscalations(func() int64 { return cum })
+	r.lock.used = r.lock.CapacityStructs() / 2
+
+	cum = 5 // five escalations during the interval
+	rep := r.ctl.TuneOnce()
+	if !rep.Decision.Doubled {
+		t.Fatalf("no doubling: %s", rep.Decision.Reason)
+	}
+	if rep.LockPagesAfter != 4096 {
+		t.Fatalf("lock pages = %d, want 4096", rep.LockPagesAfter)
+	}
+	// Same cumulative count next interval: no new escalations, no double.
+	r.lock.pages = rep.LockPagesAfter
+	rep2 := r.ctl.TuneOnce()
+	if rep2.Decision.Doubled {
+		t.Fatal("doubling repeated without new escalations")
+	}
+}
+
+func TestSyncGrowRespectsLMOMaxAndBlocks(t *testing.T) {
+	r := newRig(t, 2048)
+	// Overflow: 131072 − 80000 − 20000 − 2048 = 29024 pages.
+	// LMOmax = 0.65 × 29024 = 18865; block-floored grant.
+	got := r.ctl.SyncGrow(100000)
+	if got%memblock.BlockPages != 0 {
+		t.Fatalf("sync grant %d not block aligned", got)
+	}
+	if got > 18865 || got < 18865-memblock.BlockPages {
+		t.Fatalf("grant = %d, want ≈ LMOmax 18865", got)
+	}
+	if r.ctl.LMO() != got {
+		t.Fatalf("LMO = %d, want %d", r.ctl.LMO(), got)
+	}
+	// A second call: LMO already at LMOmax → nothing more.
+	if more := r.ctl.SyncGrow(100000); more != 0 {
+		t.Fatalf("second grant = %d, want 0", more)
+	}
+	if err := r.set.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuneRepaysOverflowAfterSyncGrowth(t *testing.T) {
+	r := newRig(t, 2048)
+	granted := r.ctl.SyncGrow(16000)
+	if granted == 0 {
+		t.Fatal("sync grow failed")
+	}
+	r.lock.pages = r.lockHeap.Pages() // chain grew with the heap
+	r.lock.used = int(0.45 * float64(r.lock.CapacityStructs()))
+	if r.set.OverflowDeficit() == 0 {
+		t.Fatal("test setup: expected overflow deficit")
+	}
+	rep := r.ctl.TuneOnce()
+	if rep.RepaidOverflow == 0 {
+		t.Fatalf("overflow not repaid: %+v", rep)
+	}
+	if r.set.OverflowDeficit() != 0 {
+		t.Fatalf("deficit remains: %d", r.set.OverflowDeficit())
+	}
+	if r.ctl.LMO() != 0 {
+		t.Fatalf("LMO not reset: %d", r.ctl.LMO())
+	}
+	if err := r.set.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurplusGoesToNeediestPMC(t *testing.T) {
+	r := newRig(t, 2048)
+	r.lock.used = int(0.45 * float64(r.lock.CapacityStructs()))
+	bpBefore := r.bpHeap.Pages()
+	rep := r.ctl.TuneOnce()
+	if rep.DistributedSurplus == 0 {
+		t.Fatalf("surplus not distributed: %+v", rep)
+	}
+	if r.bpHeap.Pages() <= bpBefore {
+		t.Fatal("neediest PMC (bufferpool) did not receive the surplus")
+	}
+	if got := r.set.OverflowSurplus(); got != 0 {
+		t.Fatalf("surplus remains: %d", got)
+	}
+}
+
+func TestSurplusSkipsZeroBenefitPMCs(t *testing.T) {
+	r := newRig(t, 2048)
+	r.bp.benefit, r.sort.benefit = 0, 0
+	r.lock.used = int(0.45 * float64(r.lock.CapacityStructs()))
+	rep := r.ctl.TuneOnce()
+	if rep.DistributedSurplus != 0 {
+		t.Fatalf("surplus distributed to idle PMCs: %+v", rep)
+	}
+	if r.set.OverflowSurplus() == 0 {
+		t.Fatal("surplus should remain in reserve")
+	}
+}
+
+func TestQuotaRecomputedOnResize(t *testing.T) {
+	r := newRig(t, 2048)
+	r.lock.used = int(0.45 * float64(r.lock.CapacityStructs()))
+	rep := r.ctl.TuneOnce()
+	// maxLock = 26208 pages; used ≈ 922 pages → x ≈ 3.5% → quota ≈ 98.
+	if rep.QuotaPercent < 97 || rep.QuotaPercent > 98 {
+		t.Fatalf("quota = %g", rep.QuotaPercent)
+	}
+	// Heavy usage drives the quota down via QuotaPercent.
+	r.lock.used = 24000 * memblock.StructsPerPage // ≈ 91% of max
+	r.lock.requests = 10_000
+	q := r.ctl.QuotaPercent(1, r.lock.requests, r.lock.used)
+	if q > 30 {
+		t.Fatalf("quota at 91%% of max = %g, want heavy attenuation", q)
+	}
+}
+
+func TestPMCIntervalReset(t *testing.T) {
+	r := newRig(t, 2048)
+	r.lock.used = int(0.45 * float64(r.lock.CapacityStructs()))
+	r.ctl.TuneOnce()
+	r.ctl.TuneOnce()
+	if r.bp.resets != 2 || r.sort.resets != 2 {
+		t.Fatalf("resets = %d/%d, want 2/2", r.bp.resets, r.sort.resets)
+	}
+}
+
+func TestLMOCExternalized(t *testing.T) {
+	r := newRig(t, 2048)
+	r.lock.used = int(0.80 * float64(r.lock.CapacityStructs()))
+	rep := r.ctl.TuneOnce()
+	if r.ctl.LMOC() != rep.Decision.TargetPages {
+		t.Fatalf("LMOC = %d, want %d", r.ctl.LMOC(), rep.Decision.TargetPages)
+	}
+	if rep.LMOC != r.ctl.LMOC() {
+		t.Fatal("report LMOC mismatch")
+	}
+}
+
+func TestCompilerViewIsStable(t *testing.T) {
+	r := newRig(t, 2048)
+	want := core.DefaultParams().CompilerLockPages(131072)
+	if got := r.ctl.CompilerLockPages(); got != want {
+		t.Fatalf("compiler view = %d, want %d", got, want)
+	}
+	// It must not move with the actual allocation.
+	r.lock.used = int(0.8 * float64(r.lock.CapacityStructs()))
+	r.ctl.TuneOnce()
+	if got := r.ctl.CompilerLockPages(); got != want {
+		t.Fatalf("compiler view moved to %d", got)
+	}
+}
+
+// TestIntegrationWithRealLockManager wires a real lockmgr.Manager through
+// the controller: sudden demand grows synchronously from overflow without
+// escalation, and the next tuning pass rebalances.
+func TestIntegrationWithRealLockManager(t *testing.T) {
+	// Buffer pool sized so that overflow starts just above its goal and
+	// synchronous lock growth pushes it into deficit.
+	set := memory.NewSet(131072, 13107)
+	bpHeap, _ := set.Register("bufferpool", 117000, 10000, 0)
+	lockHeap, _ := set.Register("locklist", 512, 0, 0)
+	ctl := New(Config{Set: set, LockHeap: lockHeap, Params: core.DefaultParams()})
+	mgr := lockmgr.New(lockmgr.Config{
+		InitialPages: 512,
+		GrowSync:     ctl.SyncGrow,
+		Quota:        ctl,
+	})
+	ctl.BindLock(mgr)
+	st := mgr.Stats
+	ctl.BindEscalations(func() int64 { return st().Escalations })
+	bp := &fakePMC{name: "bufferpool", benefit: 5}
+	ctl.RegisterPMC(bpHeap, bp)
+
+	app := mgr.RegisterApp()
+	o := mgr.NewOwner(app)
+	if st, _ := mgr.AcquireAsync(o, lockmgr.TableName(1), lockmgr.ModeIX, 1).Status(); st != lockmgr.StatusGranted {
+		t.Fatal("intent lock failed")
+	}
+	// Demand far beyond the initial 512 pages (32768 structs).
+	for i := 0; i < 100000; i++ {
+		p := mgr.AcquireAsync(o, lockmgr.RowName(1, uint64(i)), lockmgr.ModeX, 1)
+		if s, err := p.Status(); s != lockmgr.StatusGranted {
+			t.Fatalf("row %d: %v %v", i, s, err)
+		}
+	}
+	if got := mgr.Stats().Escalations; got != 0 {
+		t.Fatalf("escalations = %d, want 0 (sync growth should cover)", got)
+	}
+	if mgr.Pages() <= 512 {
+		t.Fatal("no synchronous growth")
+	}
+	if ctl.LMO() == 0 {
+		t.Fatal("LMO not tracked")
+	}
+	if set.OverflowDeficit() == 0 {
+		t.Fatal("expected overflow deficit before tuning")
+	}
+
+	rep := ctl.TuneOnce()
+	if set.OverflowDeficit() != 0 {
+		t.Fatalf("overflow deficit after tuning: %d", set.OverflowDeficit())
+	}
+	if lockHeap.Pages() != mgr.Pages() {
+		t.Fatalf("heap %d != chain %d", lockHeap.Pages(), mgr.Pages())
+	}
+	if err := set.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	_ = rep
+
+	// Release everything: δreduce shrinks over subsequent intervals.
+	mgr.ReleaseAll(o)
+	sizeBefore := mgr.Pages()
+	for i := 0; i < 200 && mgr.Pages() > rep.Decision.MinPages; i++ {
+		ctl.TuneOnce()
+	}
+	if mgr.Pages() >= sizeBefore {
+		t.Fatalf("no shrink after load drop: %d", mgr.Pages())
+	}
+	if lockHeap.Pages() != mgr.Pages() {
+		t.Fatalf("heap %d != chain %d after shrink", lockHeap.Pages(), mgr.Pages())
+	}
+	if err := set.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

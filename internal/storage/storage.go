@@ -1,0 +1,129 @@
+// Package storage provides the lockable object space: a catalog of tables
+// with row counts and a row→page mapping for buffer pool accesses. The
+// default catalog mirrors the paper's test database — a combined TPCC and
+// TPCH schema in a single database — with row counts scaled so that the
+// simulated lock-memory ratios match the published figures.
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TableID identifies a table; it doubles as the lock name's table field.
+type TableID uint32
+
+// Table describes one table.
+type Table struct {
+	ID          TableID
+	Name        string
+	Rows        uint64
+	RowsPerPage uint64
+}
+
+// PageOf returns the global page number holding the given row. Page numbers
+// are unique across tables so they can index a shared buffer pool.
+func (t *Table) PageOf(row uint64) uint64 {
+	if t.RowsPerPage == 0 {
+		return uint64(t.ID) << 40
+	}
+	return uint64(t.ID)<<40 | row/t.RowsPerPage
+}
+
+// Pages returns the number of data pages the table occupies.
+func (t *Table) Pages() uint64 {
+	if t.RowsPerPage == 0 {
+		return 1
+	}
+	return (t.Rows + t.RowsPerPage - 1) / t.RowsPerPage
+}
+
+// Catalog is a set of tables.
+type Catalog struct {
+	tables []*Table
+	byName map[string]*Table
+	byID   map[TableID]*Table
+	nextID TableID
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		byName: make(map[string]*Table),
+		byID:   make(map[TableID]*Table),
+	}
+}
+
+// Add creates a table. Names must be unique.
+func (c *Catalog) Add(name string, rows, rowsPerPage uint64) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("storage: empty table name")
+	}
+	if _, ok := c.byName[name]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	if rowsPerPage == 0 {
+		rowsPerPage = 1
+	}
+	c.nextID++
+	t := &Table{ID: c.nextID, Name: name, Rows: rows, RowsPerPage: rowsPerPage}
+	c.tables = append(c.tables, t)
+	c.byName[name] = t
+	c.byID[t.ID] = t
+	return t, nil
+}
+
+// ByName returns the named table, or nil.
+func (c *Catalog) ByName(name string) *Table { return c.byName[name] }
+
+// ByID returns the table with the given id, or nil.
+func (c *Catalog) ByID(id TableID) *Table { return c.byID[id] }
+
+// Tables returns all tables sorted by id.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, len(c.tables))
+	copy(out, c.tables)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of tables.
+func (c *Catalog) Len() int { return len(c.tables) }
+
+// TotalRows returns the row count across all tables.
+func (c *Catalog) TotalRows() uint64 {
+	var n uint64
+	for _, t := range c.tables {
+		n += t.Rows
+	}
+	return n
+}
+
+// CombinedTPCCTPCH builds the paper's combined schema, scaled to keep the
+// simulation laptop-sized: an OLTP half (TPCC-like) whose transactions touch
+// a handful of rows each, and a decision-support half (TPCH-like) whose
+// reporting query scans and locks millions of fact rows.
+func CombinedTPCCTPCH() *Catalog {
+	c := NewCatalog()
+	mustAdd := func(name string, rows, rowsPerPage uint64) {
+		if _, err := c.Add(name, rows, rowsPerPage); err != nil {
+			panic(err)
+		}
+	}
+	// TPCC-like OLTP tables (≈ 50 warehouses scale).
+	mustAdd("warehouse", 50, 8)
+	mustAdd("district", 500, 8)
+	mustAdd("customer", 1_500_000, 16)
+	mustAdd("stock", 5_000_000, 16)
+	mustAdd("item", 100_000, 32)
+	mustAdd("orders", 1_500_000, 32)
+	mustAdd("order_line", 15_000_000, 64)
+	mustAdd("new_order", 450_000, 64)
+	mustAdd("history", 1_500_000, 32)
+	// TPCH-like DSS tables; lineitem is the reporting query's target.
+	mustAdd("lineitem", 30_000_000, 64)
+	mustAdd("tpch_orders", 7_500_000, 32)
+	mustAdd("part", 1_000_000, 32)
+	mustAdd("supplier", 50_000, 32)
+	return c
+}

@@ -1,0 +1,92 @@
+package storage
+
+import "testing"
+
+func TestAddAndLookup(t *testing.T) {
+	c := NewCatalog()
+	tab, err := c.Add("widgets", 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ByName("widgets") != tab || c.ByID(tab.ID) != tab {
+		t.Fatal("lookup failed")
+	}
+	if c.ByName("missing") != nil || c.ByID(999) != nil {
+		t.Fatal("missing lookups must be nil")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.Add("", 1, 1); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if _, err := c.Add("a", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add("a", 1, 1); err == nil {
+		t.Fatal("duplicate name must fail")
+	}
+}
+
+func TestZeroRowsPerPageDefaults(t *testing.T) {
+	c := NewCatalog()
+	tab, _ := c.Add("t", 10, 0)
+	if tab.RowsPerPage != 1 {
+		t.Fatalf("rows/page = %d, want 1", tab.RowsPerPage)
+	}
+}
+
+func TestPageOfDistinctAcrossTables(t *testing.T) {
+	c := NewCatalog()
+	a, _ := c.Add("a", 100, 10)
+	b, _ := c.Add("b", 100, 10)
+	if a.PageOf(5) == b.PageOf(5) {
+		t.Fatal("page numbers must be unique across tables")
+	}
+	if a.PageOf(0) != a.PageOf(9) {
+		t.Fatal("rows 0..9 share a page at 10 rows/page")
+	}
+	if a.PageOf(9) == a.PageOf(10) {
+		t.Fatal("row 10 starts a new page")
+	}
+}
+
+func TestPages(t *testing.T) {
+	c := NewCatalog()
+	tab, _ := c.Add("t", 95, 10)
+	if got := tab.Pages(); got != 10 {
+		t.Fatalf("pages = %d, want 10", got)
+	}
+}
+
+func TestTablesSortedByID(t *testing.T) {
+	c := NewCatalog()
+	c.Add("z", 1, 1)
+	c.Add("a", 1, 1)
+	ts := c.Tables()
+	if len(ts) != 2 || ts[0].Name != "z" || ts[1].Name != "a" {
+		t.Fatalf("order wrong: %v", ts)
+	}
+	if ts[0].ID >= ts[1].ID {
+		t.Fatal("ids not ascending")
+	}
+}
+
+func TestCombinedCatalog(t *testing.T) {
+	c := CombinedTPCCTPCH()
+	for _, name := range []string{"warehouse", "customer", "stock", "order_line", "lineitem"} {
+		if c.ByName(name) == nil {
+			t.Fatalf("missing table %q", name)
+		}
+	}
+	if c.ByName("lineitem").Rows < 10_000_000 {
+		t.Fatal("lineitem must be large enough to drive the DSS experiment")
+	}
+	if c.TotalRows() == 0 {
+		t.Fatal("total rows zero")
+	}
+}

@@ -1,0 +1,130 @@
+// Package trace provides the engine's event log: a fixed-capacity ring
+// buffer of structured events (escalations, synchronous growth, tuning
+// passes, deadlocks, timeouts) for diagnostics — the kind of evidence a DBA
+// pulls after an incident, and what the workbench tool prints.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind classifies events.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindEscalation Kind = iota + 1
+	KindSyncGrowth
+	KindTuningPass
+	KindDeadlock
+	KindTimeout
+	KindQuotaDenial
+	KindMemoryDenial
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEscalation:
+		return "escalation"
+	case KindSyncGrowth:
+		return "sync-growth"
+	case KindTuningPass:
+		return "tuning-pass"
+	case KindDeadlock:
+		return "deadlock"
+	case KindTimeout:
+		return "timeout"
+	case KindQuotaDenial:
+		return "quota-denial"
+	case KindMemoryDenial:
+		return "memory-denial"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one logged occurrence.
+type Event struct {
+	Time time.Time
+	Kind Kind
+	// AppID identifies the application involved (0 when not applicable).
+	AppID int
+	// Detail is a short human-readable summary.
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %-12s app=%-3d %s",
+		e.Time.Format("15:04:05"), e.Kind, e.AppID, e.Detail)
+}
+
+// Ring is a fixed-capacity event ring buffer, safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	count int
+	total int64
+}
+
+// NewRing creates a ring holding up to n events (minimum 16).
+func NewRing(n int) *Ring {
+	if n < 16 {
+		n = 16
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Add appends an event, evicting the oldest when full.
+func (r *Ring) Add(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Tail returns up to n most recent events, oldest first.
+func (r *Ring) Tail(n int) []Event {
+	evs := r.Events()
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Total returns the number of events ever added (including evicted ones).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// CountByKind tallies retained events per kind.
+func (r *Ring) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ev(kind Kind, detail string) Event {
+	return Event{Time: time.Unix(0, 0), Kind: kind, Detail: detail}
+}
+
+func TestKindStrings(t *testing.T) {
+	for kind, want := range map[Kind]string{
+		KindEscalation: "escalation", KindSyncGrowth: "sync-growth",
+		KindTuningPass: "tuning-pass", KindDeadlock: "deadlock",
+		KindTimeout: "timeout", KindQuotaDenial: "quota-denial",
+		KindMemoryDenial: "memory-denial",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d = %q", kind, kind.String())
+		}
+	}
+	if Kind(77).String() != "Kind(77)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestRingOrderAndEviction(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 20; i++ {
+		r.Add(ev(KindEscalation, string(rune('a'+i))))
+	}
+	evs := r.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained = %d, want 16", len(evs))
+	}
+	// Oldest retained is the 5th added ('e'), newest is the 20th ('t').
+	if evs[0].Detail != "e" || evs[15].Detail != "t" {
+		t.Fatalf("order wrong: %q .. %q", evs[0].Detail, evs[15].Detail)
+	}
+	if r.Total() != 20 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestRingTail(t *testing.T) {
+	r := NewRing(32)
+	for i := 0; i < 10; i++ {
+		r.Add(ev(KindTimeout, ""))
+	}
+	if got := len(r.Tail(3)); got != 3 {
+		t.Fatalf("tail = %d", got)
+	}
+	if got := len(r.Tail(100)); got != 10 {
+		t.Fatalf("tail clamped = %d", got)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(1)
+	for i := 0; i < 20; i++ {
+		r.Add(ev(KindDeadlock, ""))
+	}
+	if got := len(r.Events()); got != 16 {
+		t.Fatalf("minimum capacity not enforced: %d", got)
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	r := NewRing(32)
+	r.Add(ev(KindEscalation, ""))
+	r.Add(ev(KindEscalation, ""))
+	r.Add(ev(KindSyncGrowth, ""))
+	counts := r.CountByKind()
+	if counts[KindEscalation] != 2 || counts[KindSyncGrowth] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: time.Date(2007, 4, 16, 12, 30, 45, 0, time.UTC),
+		Kind: KindEscalation, AppID: 7, Detail: "table 3 escalated to X"}
+	s := e.String()
+	if !strings.Contains(s, "12:30:45") || !strings.Contains(s, "escalation") ||
+		!strings.Contains(s, "app=7") || !strings.Contains(s, "table 3") {
+		t.Fatalf("render = %q", s)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add(ev(KindTuningPass, ""))
+				_ = r.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 4000 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}

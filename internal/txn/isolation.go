@@ -1,0 +1,91 @@
+package txn
+
+import (
+	"fmt"
+
+	"repro/internal/lockmgr"
+	"repro/internal/storage"
+)
+
+// Isolation selects DB2's isolation levels, which determine how long read
+// locks are held — and therefore how much lock memory a workload demands
+// (the tuning algorithm's whole input). Write (X) locks are always held to
+// commit.
+type Isolation uint8
+
+const (
+	// RepeatableRead (RR) holds every row lock to commit: the strictest
+	// level and the default of this package (plain strict 2PL).
+	RepeatableRead Isolation = iota
+	// ReadStability (RS) holds locks on rows actually read to commit; in
+	// this model (we only lock rows actually touched) it behaves as RR.
+	ReadStability
+	// CursorStability (CS) holds the S lock only while the cursor is on
+	// the row: acquiring the next S row lock releases the previous one.
+	CursorStability
+	// UncommittedRead (UR) reads without row locks at all — only the
+	// table intent lock is taken.
+	UncommittedRead
+)
+
+func (i Isolation) String() string {
+	switch i {
+	case RepeatableRead:
+		return "RR"
+	case ReadStability:
+		return "RS"
+	case CursorStability:
+		return "CS"
+	case UncommittedRead:
+		return "UR"
+	default:
+		return fmt.Sprintf("Isolation(%d)", uint8(i))
+	}
+}
+
+// SetIsolation changes the transaction's isolation level. Allowed only
+// before the first lock request so the release discipline stays coherent.
+func (t *Txn) SetIsolation(iso Isolation) error {
+	if t.state != StateActive {
+		return ErrNotActive
+	}
+	if t.rowsLocked > 0 {
+		return fmt.Errorf("txn: isolation change after %d row locks", t.rowsLocked)
+	}
+	t.isolation = iso
+	return nil
+}
+
+// Isolation returns the transaction's isolation level.
+func (t *Txn) Isolation() Isolation { return t.isolation }
+
+// applyIsolationBeforeRead implements the CS/UR read-lock disciplines for a
+// row about to be read in mode S. It reports whether a row lock is needed
+// at all.
+func (t *Txn) applyIsolationBeforeRead(table storage.TableID, row uint64) bool {
+	switch t.isolation {
+	case UncommittedRead:
+		return false // intent lock only
+	case CursorStability:
+		// Release the previous cursor position, unless this re-reads it.
+		if t.cursor != nil && !(t.cursor.Table == uint32(table) && t.cursor.Row == row) {
+			// The cursor lock may have been upgraded to X (read then
+			// update); upgraded locks are held to commit.
+			if req := t.mgr.locks.HeldMode(t.owner, *t.cursor); req == lockmgr.ModeS {
+				_ = t.mgr.locks.Release(t.owner, *t.cursor)
+			}
+			t.cursor = nil
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// noteRead records the cursor position after an S row lock is granted.
+func (t *Txn) noteRead(table storage.TableID, row uint64) {
+	if t.isolation == CursorStability {
+		name := lockmgr.RowName(uint32(table), row)
+		t.cursor = &name
+	}
+}

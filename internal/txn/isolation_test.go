@@ -1,0 +1,178 @@
+package txn
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lockmgr"
+)
+
+func TestIsolationStrings(t *testing.T) {
+	if RepeatableRead.String() != "RR" || ReadStability.String() != "RS" ||
+		CursorStability.String() != "CS" || UncommittedRead.String() != "UR" ||
+		Isolation(9).String() != "Isolation(9)" {
+		t.Fatal("isolation strings wrong")
+	}
+}
+
+func TestSetIsolationGuards(t *testing.T) {
+	m, lm := newManagers()
+	tx := m.Begin(lm.RegisterApp())
+	if err := tx.SetIsolation(CursorStability); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Isolation() != CursorStability {
+		t.Fatal("isolation not set")
+	}
+	if err := tx.LockRow(context.Background(), 1, 1, lockmgr.ModeS); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetIsolation(RepeatableRead); err == nil {
+		t.Fatal("isolation change after locking must fail")
+	}
+	tx.Commit()
+	if err := tx.SetIsolation(RepeatableRead); err == nil {
+		t.Fatal("isolation change after commit must fail")
+	}
+}
+
+// TestRepeatableReadHoldsEverything: default RR accumulates one S lock per
+// row read.
+func TestRepeatableReadHoldsEverything(t *testing.T) {
+	m, lm := newManagers()
+	tx := m.Begin(lm.RegisterApp())
+	for row := uint64(0); row < 20; row++ {
+		if err := tx.LockRow(context.Background(), 1, row, lockmgr.ModeS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := lm.UsedStructs(); got != 21 { // 20 rows + intent
+		t.Fatalf("structs = %d, want 21", got)
+	}
+	tx.Commit()
+}
+
+// TestCursorStabilityHoldsOneReadLock: CS keeps only the current cursor
+// position — lock memory demand stays flat regardless of rows read.
+func TestCursorStabilityHoldsOneReadLock(t *testing.T) {
+	m, lm := newManagers()
+	tx := m.Begin(lm.RegisterApp())
+	if err := tx.SetIsolation(CursorStability); err != nil {
+		t.Fatal(err)
+	}
+	for row := uint64(0); row < 20; row++ {
+		if err := tx.LockRow(context.Background(), 1, row, lockmgr.ModeS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := lm.UsedStructs(); got != 2 { // intent + current cursor
+		t.Fatalf("structs = %d, want 2 (CS releases behind the cursor)", got)
+	}
+	tx.Commit()
+	if got := lm.UsedStructs(); got != 0 {
+		t.Fatalf("leak: %d", got)
+	}
+}
+
+// TestCursorStabilityKeepsUpgradedLocks: a row read then updated (S→X) is
+// held to commit even as the cursor moves on.
+func TestCursorStabilityKeepsUpgradedLocks(t *testing.T) {
+	m, lm := newManagers()
+	tx := m.Begin(lm.RegisterApp())
+	if err := tx.SetIsolation(CursorStability); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.LockRow(context.Background(), 1, 1, lockmgr.ModeS); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.LockRow(context.Background(), 1, 1, lockmgr.ModeX); err != nil {
+		t.Fatal(err) // upgrade in place
+	}
+	if err := tx.LockRow(context.Background(), 1, 2, lockmgr.ModeS); err != nil {
+		t.Fatal(err) // cursor moves; row 1 must NOT be released (it is X)
+	}
+	if got := lm.HeldMode(tx.Owner(), lockmgr.RowName(1, 1)); got != lockmgr.ModeX {
+		t.Fatalf("upgraded lock mode = %v, want X held to commit", got)
+	}
+	tx.Commit()
+}
+
+// TestCursorStabilityRereadKeepsCursor: re-reading the cursor row must not
+// release it.
+func TestCursorStabilityRereadKeepsCursor(t *testing.T) {
+	m, lm := newManagers()
+	tx := m.Begin(lm.RegisterApp())
+	_ = tx.SetIsolation(CursorStability)
+	if err := tx.LockRow(context.Background(), 1, 5, lockmgr.ModeS); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.LockRow(context.Background(), 1, 5, lockmgr.ModeS); err != nil {
+		t.Fatal(err)
+	}
+	if got := lm.HeldMode(tx.Owner(), lockmgr.RowName(1, 5)); got != lockmgr.ModeS {
+		t.Fatalf("cursor lock = %v", got)
+	}
+	tx.Commit()
+}
+
+// TestUncommittedReadTakesNoRowLocks: UR readers consume only the intent
+// lock and never block on row X locks.
+func TestUncommittedReadTakesNoRowLocks(t *testing.T) {
+	m, lm := newManagers()
+	writer := m.Begin(lm.RegisterApp())
+	if err := writer.LockRow(context.Background(), 1, 7, lockmgr.ModeX); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := m.Begin(lm.RegisterApp())
+	_ = reader.SetIsolation(UncommittedRead)
+	// Reads the X-locked row without waiting (dirty read).
+	if err := reader.LockRow(context.Background(), 1, 7, lockmgr.ModeS); err != nil {
+		t.Fatal(err)
+	}
+	// Only the two intents + writer's row lock exist.
+	if got := lm.UsedStructs(); got != 3 {
+		t.Fatalf("structs = %d, want 3", got)
+	}
+	// Writes under UR still lock normally.
+	if err := reader.LockRow(context.Background(), 1, 99, lockmgr.ModeX); err != nil {
+		t.Fatal(err)
+	}
+	reader.Commit()
+	writer.Commit()
+}
+
+// TestCSAsyncPath: the polled AcquireRow honours cursor stability too.
+func TestCSAsyncPath(t *testing.T) {
+	m, lm := newManagers()
+	tx := m.Begin(lm.RegisterApp())
+	_ = tx.SetIsolation(CursorStability)
+	for row := uint64(0); row < 10; row++ {
+		op := tx.AcquireRow(1, row, lockmgr.ModeS, 1)
+		if op.Poll() != OpGranted {
+			t.Fatalf("row %d: %v", row, op.Err())
+		}
+	}
+	if got := lm.UsedStructs(); got != 2 {
+		t.Fatalf("structs = %d, want 2", got)
+	}
+	tx.Commit()
+}
+
+// TestURAsyncPath: the polled AcquireRow under UR grants after the intent
+// lock alone.
+func TestURAsyncPath(t *testing.T) {
+	m, lm := newManagers()
+	holder := m.Begin(lm.RegisterApp())
+	if err := holder.LockRow(context.Background(), 1, 3, lockmgr.ModeX); err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin(lm.RegisterApp())
+	_ = tx.SetIsolation(UncommittedRead)
+	op := tx.AcquireRow(1, 3, lockmgr.ModeS, 1)
+	if op.Poll() != OpGranted {
+		t.Fatalf("UR read blocked: %v", op.Err())
+	}
+	tx.Commit()
+	holder.Commit()
+}

@@ -1,0 +1,268 @@
+// Package txn implements strict two-phase-locking transactions over the
+// lock manager. A transaction acquires a table intent lock before each row
+// lock (the multigranularity protocol escalation relies on) and releases
+// everything at commit or abort.
+//
+// Two acquisition styles are provided:
+//
+//   - Lock / LockRow: blocking calls for goroutine-per-connection use;
+//   - AcquireRow / AcquireTable returning an *Op that a discrete simulation
+//     polls each tick, so thousands of clients can run deterministically on
+//     one goroutine.
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/lockmgr"
+	"repro/internal/storage"
+)
+
+// State is a transaction's lifecycle state.
+type State uint8
+
+const (
+	// StateActive — running, may acquire locks.
+	StateActive State = iota
+	// StateCommitted — finished successfully; locks released.
+	StateCommitted
+	// StateAborted — rolled back; locks released.
+	StateAborted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// ErrNotActive is returned when locking on a finished transaction.
+var ErrNotActive = errors.New("txn: transaction not active")
+
+// Manager creates transactions bound to a lock manager.
+type Manager struct {
+	locks *lockmgr.Manager
+
+	mu      sync.Mutex
+	active  int
+	commits int64
+	aborts  int64
+}
+
+// NewManager returns a transaction manager over the given lock manager.
+func NewManager(locks *lockmgr.Manager) *Manager {
+	return &Manager{locks: locks}
+}
+
+// Stats returns cumulative commits and aborts and the active count.
+func (m *Manager) Stats() (commits, aborts int64, active int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commits, m.aborts, m.active
+}
+
+// Txn is one transaction. Not safe for concurrent use by multiple
+// goroutines (like a database connection).
+type Txn struct {
+	mgr   *Manager
+	owner *lockmgr.Owner
+	state State
+
+	isolation Isolation
+	cursor    *lockmgr.Name // CS: the currently locked cursor position
+
+	rowsLocked int64
+}
+
+// Begin starts a transaction for the given application.
+func (m *Manager) Begin(app *lockmgr.App) *Txn {
+	m.mu.Lock()
+	m.active++
+	m.mu.Unlock()
+	return &Txn{mgr: m, owner: m.locks.NewOwner(app)}
+}
+
+// State returns the transaction state.
+func (t *Txn) State() State { return t.state }
+
+// RowsLocked returns the number of row-lock acquisitions performed.
+func (t *Txn) RowsLocked() int64 { return t.rowsLocked }
+
+// Owner exposes the underlying lock owner (for diagnostics).
+func (t *Txn) Owner() *lockmgr.Owner { return t.owner }
+
+func (t *Txn) finish(to State, committed bool) {
+	if t.state != StateActive {
+		return
+	}
+	t.state = to
+	t.mgr.locks.ReleaseAll(t.owner)
+	t.mgr.mu.Lock()
+	t.mgr.active--
+	if committed {
+		t.mgr.commits++
+	} else {
+		t.mgr.aborts++
+	}
+	t.mgr.mu.Unlock()
+}
+
+// Commit ends the transaction, releasing all locks. Idempotent.
+func (t *Txn) Commit() { t.finish(StateCommitted, true) }
+
+// Abort rolls the transaction back, releasing all locks. Idempotent.
+func (t *Txn) Abort() { t.finish(StateAborted, false) }
+
+// LockTable blocks until a table lock of the given mode is held.
+func (t *Txn) LockTable(ctx context.Context, table storage.TableID, mode lockmgr.Mode) error {
+	if t.state != StateActive {
+		return ErrNotActive
+	}
+	return t.mgr.locks.Acquire(ctx, t.owner, lockmgr.TableName(uint32(table)), mode, 1)
+}
+
+// LockRow blocks until the row lock (and its table intent lock) is held.
+// Under CursorStability an S lock releases the previous cursor position;
+// under UncommittedRead S reads take only the table intent lock.
+func (t *Txn) LockRow(ctx context.Context, table storage.TableID, row uint64, mode lockmgr.Mode) error {
+	if t.state != StateActive {
+		return ErrNotActive
+	}
+	intent := lockmgr.IntentFor(mode)
+	if err := t.mgr.locks.Acquire(ctx, t.owner, lockmgr.TableName(uint32(table)), intent, 1); err != nil {
+		return fmt.Errorf("txn: intent lock: %w", err)
+	}
+	if mode == lockmgr.ModeS && !t.applyIsolationBeforeRead(table, row) {
+		return nil // UR: no row lock
+	}
+	if err := t.mgr.locks.Acquire(ctx, t.owner, lockmgr.RowName(uint32(table), row), mode, 1); err != nil {
+		return err
+	}
+	t.rowsLocked++
+	if mode == lockmgr.ModeS {
+		t.noteRead(table, row)
+	}
+	return nil
+}
+
+// OpState is the state of a polled lock operation.
+type OpState uint8
+
+const (
+	// OpWaiting — still blocked; poll again next tick.
+	OpWaiting OpState = iota
+	// OpGranted — all locks held.
+	OpGranted
+	// OpDenied — failed; see Err.
+	OpDenied
+)
+
+// Op is a two-phase (intent, then row) lock acquisition driven by polling.
+type Op struct {
+	txn     *Txn
+	table   uint32
+	row     uint64
+	mode    lockmgr.Mode
+	weight  int
+	rowOp   bool
+	phase   int // 0 = intent in flight, 1 = row in flight
+	pending *lockmgr.Pending
+	state   OpState
+	err     error
+}
+
+// AcquireRow starts acquiring a row lock (intent lock first) of the given
+// mode and weight. Poll the returned Op each tick until it completes.
+func (t *Txn) AcquireRow(table storage.TableID, row uint64, mode lockmgr.Mode, weight int) *Op {
+	op := &Op{txn: t, table: uint32(table), row: row, mode: mode, weight: weight, rowOp: true}
+	if t.state != StateActive {
+		op.state, op.err = OpDenied, ErrNotActive
+		return op
+	}
+	if mode == lockmgr.ModeS && !t.applyIsolationBeforeRead(table, row) {
+		op.rowOp = false // UR: the intent lock is the whole operation
+	}
+	op.pending = t.mgr.locks.AcquireAsync(t.owner, lockmgr.TableName(op.table), lockmgr.IntentFor(mode), 1)
+	op.Poll()
+	return op
+}
+
+// AcquireTable starts acquiring a table lock of the given mode.
+func (t *Txn) AcquireTable(table storage.TableID, mode lockmgr.Mode) *Op {
+	op := &Op{txn: t, table: uint32(table), mode: mode, weight: 1, phase: 1}
+	if t.state != StateActive {
+		op.state, op.err = OpDenied, ErrNotActive
+		return op
+	}
+	op.pending = t.mgr.locks.AcquireAsync(t.owner, lockmgr.TableName(op.table), mode, 1)
+	op.Poll()
+	return op
+}
+
+// Poll advances the operation and returns its state. Safe to call after
+// completion.
+func (op *Op) Poll() OpState {
+	for {
+		if op.state != OpWaiting {
+			return op.state
+		}
+		st, err := op.pending.Status()
+		switch st {
+		case lockmgr.StatusWaiting:
+			return OpWaiting
+		case lockmgr.StatusDenied:
+			op.state, op.err = OpDenied, err
+			return op.state
+		}
+		// Granted: advance the phase.
+		if op.phase == 0 && op.rowOp {
+			op.phase = 1
+			op.pending = op.txn.mgr.locks.AcquireAsync(
+				op.txn.owner, lockmgr.RowName(op.table, op.row), op.mode, op.weight)
+			continue
+		}
+		op.state = OpGranted
+		if op.rowOp {
+			op.txn.rowsLocked++
+			if op.mode == lockmgr.ModeS {
+				op.txn.noteRead(storage.TableID(op.table), op.row)
+			}
+		}
+		return op.state
+	}
+}
+
+// Err returns the denial reason after OpDenied.
+func (op *Op) Err() error { return op.err }
+
+// LockRange blocks until a weighted row lock covering `rows` contiguous
+// rows starting at row is held (one lock request accounting `rows` lock
+// structures), plus the table intent lock. Range locks follow the write
+// discipline: they are held to commit regardless of isolation level.
+func (t *Txn) LockRange(ctx context.Context, table storage.TableID, row uint64, mode lockmgr.Mode, rows int) error {
+	if t.state != StateActive {
+		return ErrNotActive
+	}
+	if rows < 1 {
+		return fmt.Errorf("txn: invalid range weight %d", rows)
+	}
+	intent := lockmgr.IntentFor(mode)
+	if err := t.mgr.locks.Acquire(ctx, t.owner, lockmgr.TableName(uint32(table)), intent, 1); err != nil {
+		return fmt.Errorf("txn: intent lock: %w", err)
+	}
+	if err := t.mgr.locks.Acquire(ctx, t.owner, lockmgr.RowName(uint32(table), row), mode, rows); err != nil {
+		return err
+	}
+	t.rowsLocked += int64(rows)
+	return nil
+}

@@ -1,0 +1,345 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/lockmgr"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// TPC-C-shaped transactions. The paper's test database combined TPCC and
+// TPCH schemas; these clients produce the TPCC half's locking footprints —
+// the five transaction types with their standard mix — against the scaled
+// catalog of storage.CombinedTPCCTPCH. Row addressing follows the TPC-C
+// hierarchy (warehouse → district → customer; stock = warehouse × item), so
+// conflicts concentrate realistically on warehouse and district rows.
+
+// TPCCTables resolves the tables the transactions touch.
+type TPCCTables struct {
+	Warehouse, District, Customer, Stock, Item *storage.Table
+	Orders, OrderLine, NewOrder, History       *storage.Table
+}
+
+// LookupTPCCTables fetches the TPCC tables from a catalog.
+func LookupTPCCTables(cat *storage.Catalog) (TPCCTables, error) {
+	t := TPCCTables{
+		Warehouse: cat.ByName("warehouse"),
+		District:  cat.ByName("district"),
+		Customer:  cat.ByName("customer"),
+		Stock:     cat.ByName("stock"),
+		Item:      cat.ByName("item"),
+		Orders:    cat.ByName("orders"),
+		OrderLine: cat.ByName("order_line"),
+		NewOrder:  cat.ByName("new_order"),
+		History:   cat.ByName("history"),
+	}
+	for _, tab := range []*storage.Table{t.Warehouse, t.District, t.Customer, t.Stock,
+		t.Item, t.Orders, t.OrderLine, t.NewOrder, t.History} {
+		if tab == nil {
+			return TPCCTables{}, fmt.Errorf("workload: catalog is missing TPCC tables")
+		}
+	}
+	return t, nil
+}
+
+// TPCCTxnType enumerates the five transaction types.
+type TPCCTxnType uint8
+
+// The transaction types with their standard mix percentages.
+const (
+	TxnNewOrder    TPCCTxnType = iota // 45%
+	TxnPayment                        // 43%
+	TxnOrderStatus                    // 4%
+	TxnDelivery                       // 4%
+	TxnStockLevel                     // 4%
+	numTxnTypes
+)
+
+func (t TPCCTxnType) String() string {
+	switch t {
+	case TxnNewOrder:
+		return "new-order"
+	case TxnPayment:
+		return "payment"
+	case TxnOrderStatus:
+		return "order-status"
+	case TxnDelivery:
+		return "delivery"
+	case TxnStockLevel:
+		return "stock-level"
+	default:
+		return fmt.Sprintf("TPCCTxnType(%d)", uint8(t))
+	}
+}
+
+// lockStep is one row access of a transaction.
+type lockStep struct {
+	table *storage.Table
+	row   uint64
+	mode  lockmgr.Mode
+}
+
+// TPCCProfile parameterizes TPCC clients.
+type TPCCProfile struct {
+	// Warehouses is the home-warehouse spread (≤ the warehouse table's
+	// rows; default all 50).
+	Warehouses int
+	// StepsPerTick is the locking rate.
+	StepsPerTick int
+	// ThinkTicks / HoldTicks as in OLTPProfile.
+	ThinkTicks, HoldTicks int
+}
+
+// DefaultTPCCProfile returns sensible defaults for the scaled catalog.
+func DefaultTPCCProfile() TPCCProfile {
+	return TPCCProfile{Warehouses: 50, StepsPerTick: 40, ThinkTicks: 4, HoldTicks: 1}
+}
+
+// TPCC is one terminal running the five-transaction mix. It implements
+// sim.Client.
+type TPCC struct {
+	db     *engine.Database
+	tables TPCCTables
+	prof   TPCCProfile
+	rng    *rand.Rand
+
+	conn   *engine.Conn
+	tx     *txn.Txn
+	op     *txn.Op
+	state  clientState
+	active bool
+
+	steps     []lockStep
+	stepIdx   int
+	curType   TPCCTxnType
+	thinkLeft int
+	holdLeft  int
+
+	commits int64
+	aborts  int64
+	byType  [numTxnTypes]int64
+}
+
+// NewTPCC creates a terminal with a deterministic seed.
+func NewTPCC(db *engine.Database, prof TPCCProfile, seed int64) (*TPCC, error) {
+	tables, err := LookupTPCCTables(db.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	if prof.Warehouses <= 0 || uint64(prof.Warehouses) > tables.Warehouse.Rows {
+		prof.Warehouses = int(tables.Warehouse.Rows)
+	}
+	if prof.StepsPerTick <= 0 {
+		prof.StepsPerTick = 40
+	}
+	return &TPCC{db: db, tables: tables, prof: prof, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// SetActive activates/drains the terminal (sim.Client).
+func (c *TPCC) SetActive(active bool) { c.active = active }
+
+// Active reports whether the terminal occupies the system.
+func (c *TPCC) Active() bool { return c.active || c.state != stateDisconnected }
+
+// Commits returns committed transactions.
+func (c *TPCC) Commits() int64 { return c.commits }
+
+// Aborts returns aborted transactions.
+func (c *TPCC) Aborts() int64 { return c.aborts }
+
+// CountByType returns commits of one transaction type.
+func (c *TPCC) CountByType(t TPCCTxnType) int64 { return c.byType[t] }
+
+// Step advances the terminal one tick (sim.Client).
+func (c *TPCC) Step() {
+	switch c.state {
+	case stateDisconnected:
+		if !c.active {
+			return
+		}
+		c.conn = c.db.Connect()
+		c.state = stateThinking
+		c.thinkLeft = c.rng.Intn(c.prof.ThinkTicks + 1)
+	case stateThinking:
+		if !c.active {
+			if c.conn != nil {
+				_ = c.conn.Close()
+				c.conn = nil
+			}
+			c.state = stateDisconnected
+			return
+		}
+		c.thinkLeft--
+		if c.thinkLeft <= 0 {
+			c.begin()
+		}
+	case stateAcquiring:
+		c.acquire()
+	case stateHolding:
+		c.holdLeft--
+		if c.holdLeft <= 0 {
+			c.finish(true)
+		}
+	}
+}
+
+// sampleType draws a transaction type from the standard mix.
+func (c *TPCC) sampleType() TPCCTxnType {
+	v := c.rng.Intn(100)
+	switch {
+	case v < 45:
+		return TxnNewOrder
+	case v < 88:
+		return TxnPayment
+	case v < 92:
+		return TxnOrderStatus
+	case v < 96:
+		return TxnDelivery
+	default:
+		return TxnStockLevel
+	}
+}
+
+func (c *TPCC) begin() {
+	c.tx = c.conn.Begin()
+	typ := c.sampleType()
+	c.steps = c.buildSteps(typ)
+	c.byType[typ]++ // counted at start; decremented on abort
+	c.stepIdx = 0
+	c.op = nil
+	c.curType = typ
+	c.state = stateAcquiring
+	c.acquire()
+}
+
+// Row addressing helpers. The scaled catalog has 50 warehouses, 10
+// districts each, 3000 customers per district, 100k items, stock = w×item.
+func (c *TPCC) warehouse() uint64 { return uint64(c.rng.Intn(c.prof.Warehouses)) }
+func (c *TPCC) district(w uint64) uint64 {
+	return w*10 + uint64(c.rng.Intn(10))
+}
+func (c *TPCC) customer(d uint64) uint64 {
+	return (d*3000 + uint64(c.rng.Intn(3000))) % c.tables.Customer.Rows
+}
+func (c *TPCC) item() uint64 { return uint64(c.rng.Intn(int(c.tables.Item.Rows))) }
+func (c *TPCC) stock(w, item uint64) uint64 {
+	return (w*c.tables.Item.Rows + item) % c.tables.Stock.Rows
+}
+func (c *TPCC) anyRow(t *storage.Table) uint64 { return c.rng.Uint64() % t.Rows }
+
+func (c *TPCC) buildSteps(typ TPCCTxnType) []lockStep {
+	t := c.tables
+	var s []lockStep
+	add := func(tab *storage.Table, row uint64, mode lockmgr.Mode) {
+		s = append(s, lockStep{table: tab, row: row, mode: mode})
+	}
+	w := c.warehouse()
+	d := c.district(w)
+	switch typ {
+	case TxnNewOrder:
+		add(t.Warehouse, w, lockmgr.ModeS)
+		add(t.District, d, lockmgr.ModeX) // next order number
+		add(t.Customer, c.customer(d), lockmgr.ModeS)
+		lines := 5 + c.rng.Intn(11)
+		order := c.anyRow(t.Orders)
+		for i := 0; i < lines; i++ {
+			it := c.item()
+			add(t.Item, it, lockmgr.ModeS)
+			add(t.Stock, c.stock(w, it), lockmgr.ModeX)
+		}
+		add(t.Orders, order, lockmgr.ModeX)
+		add(t.NewOrder, order%t.NewOrder.Rows, lockmgr.ModeX)
+		for i := 0; i < lines; i++ {
+			add(t.OrderLine, (order*10+uint64(i))%t.OrderLine.Rows, lockmgr.ModeX)
+		}
+	case TxnPayment:
+		add(t.Warehouse, w, lockmgr.ModeX)
+		add(t.District, d, lockmgr.ModeX)
+		add(t.Customer, c.customer(d), lockmgr.ModeX)
+		add(t.History, c.anyRow(t.History), lockmgr.ModeX)
+	case TxnOrderStatus:
+		add(t.Customer, c.customer(d), lockmgr.ModeS)
+		order := c.anyRow(t.Orders)
+		add(t.Orders, order, lockmgr.ModeS)
+		for i := 0; i < 5+c.rng.Intn(11); i++ {
+			add(t.OrderLine, (order*10+uint64(i))%t.OrderLine.Rows, lockmgr.ModeS)
+		}
+	case TxnDelivery:
+		for dd := uint64(0); dd < 10; dd++ {
+			dist := w*10 + dd
+			order := c.anyRow(t.Orders)
+			add(t.NewOrder, order%t.NewOrder.Rows, lockmgr.ModeX)
+			add(t.Orders, order, lockmgr.ModeX)
+			for i := 0; i < 5; i++ {
+				add(t.OrderLine, (order*10+uint64(i))%t.OrderLine.Rows, lockmgr.ModeX)
+			}
+			add(t.Customer, c.customer(dist), lockmgr.ModeX)
+		}
+	case TxnStockLevel:
+		add(t.District, d, lockmgr.ModeS)
+		for i := 0; i < 20; i++ {
+			add(t.OrderLine, c.anyRow(t.OrderLine), lockmgr.ModeS)
+		}
+		for i := 0; i < 20; i++ {
+			add(t.Stock, c.stock(w, c.item()), lockmgr.ModeS)
+		}
+	}
+	return s
+}
+
+func (c *TPCC) acquire() {
+	budget := c.prof.StepsPerTick
+	for budget > 0 {
+		if c.op != nil {
+			switch c.op.Poll() {
+			case txn.OpWaiting:
+				return
+			case txn.OpDenied:
+				c.finish(false)
+				return
+			}
+			c.op = nil
+			c.stepIdx++
+			budget--
+			continue
+		}
+		if c.stepIdx >= len(c.steps) {
+			c.holdLeft = c.prof.HoldTicks
+			if c.holdLeft < 1 {
+				c.holdLeft = 1
+			}
+			c.state = stateHolding
+			return
+		}
+		st := c.steps[c.stepIdx]
+		c.db.TouchRow(st.table, st.row)
+		c.op = c.tx.AcquireRow(st.table.ID, st.row, st.mode, 1)
+	}
+}
+
+func (c *TPCC) finish(commit bool) {
+	if commit {
+		c.tx.Commit()
+		c.commits++
+	} else {
+		c.tx.Abort()
+		c.aborts++
+		c.byType[c.curType]--
+	}
+	c.tx, c.op, c.steps = nil, nil, nil
+	c.state = stateThinking
+	c.thinkLeft = c.prof.ThinkTicks
+	if !commit {
+		c.thinkLeft += 2
+	}
+	if !c.active {
+		if c.conn != nil {
+			_ = c.conn.Close()
+			c.conn = nil
+		}
+		c.state = stateDisconnected
+	}
+}

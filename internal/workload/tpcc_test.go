@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestLookupTPCCTables(t *testing.T) {
+	cat := storage.CombinedTPCCTPCH()
+	tabs, err := LookupTPCCTables(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tabs.Warehouse.Rows != 50 || tabs.District.Rows != 500 {
+		t.Fatalf("unexpected scale: %d warehouses, %d districts", tabs.Warehouse.Rows, tabs.District.Rows)
+	}
+	if _, err := LookupTPCCTables(storage.NewCatalog()); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+}
+
+func TestTxnTypeStrings(t *testing.T) {
+	want := map[TPCCTxnType]string{
+		TxnNewOrder: "new-order", TxnPayment: "payment", TxnOrderStatus: "order-status",
+		TxnDelivery: "delivery", TxnStockLevel: "stock-level",
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%d = %q, want %q", typ, typ.String(), s)
+		}
+	}
+	if TPCCTxnType(99).String() != "TPCCTxnType(99)" {
+		t.Fatal("unknown type string")
+	}
+}
+
+func TestTPCCRunsAndCommits(t *testing.T) {
+	db := newDB(t)
+	c, err := NewTPCC(db, DefaultTPCCProfile(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetActive(true)
+	for i := 0; i < 600; i++ {
+		c.Step()
+		db.Locks().DetectDeadlocks()
+	}
+	if c.Commits() < 20 {
+		t.Fatalf("commits = %d (aborts %d)", c.Commits(), c.Aborts())
+	}
+	// Drain cleanly.
+	c.SetActive(false)
+	for i := 0; i < 200 && c.Active(); i++ {
+		c.Step()
+	}
+	if got := db.Locks().UsedStructs(); got != 0 {
+		t.Fatalf("locks leaked: %d", got)
+	}
+	if db.Locks().NumApps() != 0 {
+		t.Fatal("connection leaked")
+	}
+}
+
+func TestTPCCMixMatchesStandard(t *testing.T) {
+	db := newDB(t)
+	c, err := NewTPCC(db, DefaultTPCCProfile(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample the type generator directly for a tight statistical check.
+	var counts [numTxnTypes]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[c.sampleType()]++
+	}
+	within := func(got int, wantPct, tol float64) bool {
+		frac := float64(got) / n * 100
+		return frac > wantPct-tol && frac < wantPct+tol
+	}
+	if !within(counts[TxnNewOrder], 45, 2) || !within(counts[TxnPayment], 43, 2) ||
+		!within(counts[TxnOrderStatus], 4, 1) || !within(counts[TxnDelivery], 4, 1) ||
+		!within(counts[TxnStockLevel], 4, 1) {
+		t.Fatalf("mix off: %v", counts)
+	}
+}
+
+func TestTPCCStepShapes(t *testing.T) {
+	db := newDB(t)
+	c, err := NewTPCC(db, DefaultTPCCProfile(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New-order: 3 header reads + lines×(item+stock) + order + neworder +
+	// lines orderlines, lines ∈ [5,15] → between 20 and 50 steps.
+	for i := 0; i < 50; i++ {
+		s := c.buildSteps(TxnNewOrder)
+		if len(s) < 20 || len(s) > 50 {
+			t.Fatalf("new-order steps = %d", len(s))
+		}
+	}
+	// Delivery is the heavyweight: 10 districts × 8 steps.
+	if got := len(c.buildSteps(TxnDelivery)); got != 80 {
+		t.Fatalf("delivery steps = %d, want 80", got)
+	}
+	if got := len(c.buildSteps(TxnPayment)); got != 4 {
+		t.Fatalf("payment steps = %d, want 4", got)
+	}
+	if got := len(c.buildSteps(TxnStockLevel)); got != 41 {
+		t.Fatalf("stock-level steps = %d, want 41", got)
+	}
+	// Every step's row is within its table.
+	for typ := TPCCTxnType(0); typ < numTxnTypes; typ++ {
+		for _, st := range c.buildSteps(typ) {
+			if st.row >= st.table.Rows {
+				t.Fatalf("%v: row %d out of range for %s (%d rows)", typ, st.row, st.table.Name, st.table.Rows)
+			}
+		}
+	}
+}
+
+func TestTPCCContentionOnDistricts(t *testing.T) {
+	db := newDB(t)
+	prof := DefaultTPCCProfile()
+	prof.Warehouses = 2 // concentrate on 20 district rows
+	clients := make([]*TPCC, 16)
+	for i := range clients {
+		c, err := NewTPCC(db, prof, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetActive(true)
+		clients[i] = c
+	}
+	for tick := 0; tick < 300; tick++ {
+		for _, c := range clients {
+			c.Step()
+		}
+		db.Locks().DetectDeadlocks()
+	}
+	if db.Locks().Stats().Waits == 0 {
+		t.Fatal("no contention on shared districts")
+	}
+	var commits int64
+	for _, c := range clients {
+		commits += c.Commits()
+	}
+	if commits == 0 {
+		t.Fatal("no progress under contention")
+	}
+}

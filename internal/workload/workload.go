@@ -1,0 +1,452 @@
+// Package workload provides the synthetic clients that reproduce the
+// paper's experiment loads: OLTP clients running short locking transactions
+// against the TPCC-like tables, and a decision-support (DSS) client running
+// one reporting query with massive row-lock requirements against the
+// TPCH-like fact table.
+//
+// Clients are deterministic state machines stepped once per simulation tick
+// (1 virtual second), so experiments are exactly reproducible. Activation
+// over time is controlled by a Schedule.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/lockmgr"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Schedule maps simulation time (seconds) to the desired number of active
+// clients.
+type Schedule func(seconds float64) int
+
+// Constant keeps n clients active for the whole run.
+func Constant(n int) Schedule {
+	return func(float64) int { return n }
+}
+
+// Ramp grows the client count linearly from `from` at startSec to `to` at
+// endSec (then holds at `to`).
+func Ramp(from, to int, startSec, endSec float64) Schedule {
+	return func(s float64) int {
+		switch {
+		case s <= startSec:
+			return from
+		case s >= endSec:
+			return to
+		default:
+			frac := (s - startSec) / (endSec - startSec)
+			return from + int(frac*float64(to-from))
+		}
+	}
+}
+
+// Step switches from `before` clients to `after` clients at atSec.
+func Step(before, after int, atSec float64) Schedule {
+	return func(s float64) int {
+		if s < atSec {
+			return before
+		}
+		return after
+	}
+}
+
+// OLTPProfile parameterizes the OLTP transaction mix.
+type OLTPProfile struct {
+	// Tables are the tables the transactions touch (weighted uniformly).
+	Tables []*storage.Table
+	// RowsMin/RowsMax bound the row locks acquired per transaction.
+	RowsMin, RowsMax int
+	// RowsPerTick is the locking rate while a transaction runs.
+	RowsPerTick int
+	// WriteFrac is the fraction of row locks taken in X mode (the rest
+	// are S).
+	WriteFrac float64
+	// HotRows confines a fraction of accesses to the first HotRows rows
+	// of each table, generating real lock conflicts. 0 disables.
+	HotRows uint64
+	// HotFrac is the probability an access goes to the hot set.
+	HotFrac float64
+	// ThinkTicks is the idle time between transactions.
+	ThinkTicks int
+	// HoldTicks holds all locks after acquisition before committing
+	// (simulating the transaction's non-locking work).
+	HoldTicks int
+	// SortPages, if > 0, reserves sort memory for the transaction's
+	// lifetime (ORDER BY work).
+	SortPages int
+	// WarmRows confines non-hot accesses to the first WarmRows rows of
+	// each table — the workload's cacheable working set. 0 means the
+	// whole table (effectively uncacheable).
+	WarmRows uint64
+	// MissPenalty adds this many hold ticks per buffer pool miss,
+	// modelling synchronous read I/O. It is what makes the buffer-pool
+	// size — and therefore memory stolen by an oversized LOCKLIST —
+	// matter to throughput.
+	MissPenalty float64
+	// Isolation is the transactions' isolation level (default
+	// RepeatableRead). CursorStability and UncommittedRead sharply
+	// reduce the client's lock-memory footprint.
+	Isolation txn.Isolation
+}
+
+// DefaultOLTPProfile returns the mix used by most experiments: modest
+// transactions whose aggregate demand at 130 clients sits near the
+// per-application minimum lock memory, as in the paper's Figures 9–12.
+func DefaultOLTPProfile(cat *storage.Catalog) OLTPProfile {
+	return OLTPProfile{
+		Tables: []*storage.Table{
+			cat.ByName("customer"),
+			cat.ByName("stock"),
+			cat.ByName("orders"),
+			cat.ByName("order_line"),
+		},
+		RowsMin:     40,
+		RowsMax:     90,
+		RowsPerTick: 30,
+		WriteFrac:   0.3,
+		HotRows:     4000,
+		HotFrac:     0.1,
+		ThinkTicks:  4,
+		HoldTicks:   2,
+		SortPages:   16,
+	}
+}
+
+type clientState uint8
+
+const (
+	stateDisconnected clientState = iota
+	stateThinking
+	stateAcquiring
+	stateHolding
+)
+
+// OLTP is one OLTP application client.
+type OLTP struct {
+	db   *engine.Database
+	prof OLTPProfile
+	rng  *rand.Rand
+
+	conn     *engine.Conn
+	tx       *txn.Txn
+	op       *txn.Op
+	sort     interface{ End() }
+	state    clientState
+	active   bool
+	slowdown int
+
+	rowsLeft  int
+	thinkLeft int
+	holdLeft  int
+	ioDebt    float64 // accumulated miss penalty for the current txn
+
+	commits int64
+	aborts  int64
+	denials int64
+}
+
+// NewOLTP creates a client with a deterministic seed.
+func NewOLTP(db *engine.Database, prof OLTPProfile, seed int64) *OLTP {
+	return &OLTP{db: db, prof: prof, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetActive marks the client as (in)active. A deactivated client finishes
+// its current transaction, then disconnects — dropping num_applications, as
+// in the Figure 12 load-shed experiment.
+func (c *OLTP) SetActive(active bool) { c.active = active }
+
+// Active reports whether the client still occupies the system: it is either
+// activated or connected-and-draining.
+func (c *OLTP) Active() bool { return c.active || c.state != stateDisconnected }
+
+// Commits returns the client's committed transaction count.
+func (c *OLTP) Commits() int64 { return c.commits }
+
+// Aborts returns the client's aborted transaction count.
+func (c *OLTP) Aborts() int64 { return c.aborts }
+
+// SetSlowdown adds extra think/hold ticks, modelling CPU and I/O
+// competition from concurrent heavy work (the DSS query in Figure 11).
+func (c *OLTP) SetSlowdown(ticks int) { c.slowdown = ticks }
+
+// Step advances the client by one tick.
+func (c *OLTP) Step() {
+	switch c.state {
+	case stateDisconnected:
+		if !c.active {
+			return
+		}
+		c.conn = c.db.Connect()
+		c.state = stateThinking
+		c.thinkLeft = c.rng.Intn(c.prof.ThinkTicks + 1)
+	case stateThinking:
+		if !c.active {
+			c.disconnect()
+			return
+		}
+		c.thinkLeft--
+		if c.thinkLeft <= 0 {
+			c.begin()
+		}
+	case stateAcquiring:
+		c.acquire()
+	case stateHolding:
+		c.holdLeft--
+		if c.holdLeft <= 0 {
+			c.finish(true)
+		}
+	}
+}
+
+func (c *OLTP) disconnect() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	c.state = stateDisconnected
+}
+
+func (c *OLTP) begin() {
+	c.tx = c.conn.Begin()
+	if c.prof.Isolation != txn.RepeatableRead {
+		_ = c.tx.SetIsolation(c.prof.Isolation)
+	}
+	span := c.prof.RowsMax - c.prof.RowsMin
+	c.rowsLeft = c.prof.RowsMin
+	if span > 0 {
+		c.rowsLeft += c.rng.Intn(span + 1)
+	}
+	if c.prof.SortPages > 0 {
+		c.sort = c.db.Sorts().Begin(c.prof.SortPages)
+	}
+	c.state = stateAcquiring
+	c.op = nil
+	c.acquire()
+}
+
+// acquire takes up to RowsPerTick row locks, stalling on a lock wait.
+func (c *OLTP) acquire() {
+	budget := c.prof.RowsPerTick
+	for budget > 0 {
+		if c.op != nil {
+			switch c.op.Poll() {
+			case txn.OpWaiting:
+				return // blocked; retry next tick
+			case txn.OpDenied:
+				c.denials++
+				c.finish(false)
+				return
+			}
+			c.op = nil
+			c.rowsLeft--
+			budget--
+			continue
+		}
+		if c.rowsLeft <= 0 {
+			// Accumulated miss penalty (synchronous read I/O) extends
+			// the transaction's work phase.
+			c.holdLeft = c.prof.HoldTicks + c.slowdown + int(c.ioDebt)
+			c.ioDebt = 0
+			c.state = stateHolding
+			return
+		}
+		table := c.prof.Tables[c.rng.Intn(len(c.prof.Tables))]
+		row := c.pickRow(table)
+		mode := lockmgr.ModeS
+		if c.rng.Float64() < c.prof.WriteFrac {
+			mode = lockmgr.ModeX
+		}
+		if !c.db.TouchRow(table, row) {
+			c.ioDebt += c.prof.MissPenalty
+		}
+		c.op = c.tx.AcquireRow(table.ID, row, mode, 1)
+	}
+}
+
+func (c *OLTP) pickRow(t *storage.Table) uint64 {
+	if c.prof.HotRows > 0 && c.rng.Float64() < c.prof.HotFrac {
+		return c.rng.Uint64() % min64(c.prof.HotRows, t.Rows)
+	}
+	if c.prof.WarmRows > 0 {
+		return c.rng.Uint64() % min64(c.prof.WarmRows, t.Rows)
+	}
+	return c.rng.Uint64() % t.Rows
+}
+
+func (c *OLTP) finish(commit bool) {
+	if c.sort != nil {
+		c.sort.End()
+		c.sort = nil
+	}
+	if commit {
+		c.tx.Commit()
+		c.commits++
+	} else {
+		c.tx.Abort()
+		c.aborts++
+	}
+	c.tx, c.op = nil, nil
+	c.state = stateThinking
+	think := c.prof.ThinkTicks + c.slowdown
+	if !commit {
+		think += 2 // back off after an abort
+	}
+	c.thinkLeft = think
+	if !c.active {
+		c.disconnect()
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DSSProfile parameterizes a bulk locking job: the Figure 11 reporting
+// query (share-mode scan), or — with Mode X — the "batch processing of
+// updates, inserts and deletes (rollout)" whose short-lived lock peaks
+// motivate the asynchronous shrink of section 3.4.
+type DSSProfile struct {
+	// Table is the fact table scanned (lineitem).
+	Table *storage.Table
+	// Mode is the row lock mode: ModeS (default) for the reporting
+	// query, ModeX for a batch update/delete rollout.
+	Mode lockmgr.Mode
+	// ChunkRows is the contiguous row range each lock request covers;
+	// the request consumes ChunkRows lock structures (see DESIGN.md §5 —
+	// identical memory accounting with tractable object counts).
+	ChunkRows int
+	// Chunks is the total number of chunk locks the query acquires.
+	Chunks int
+	// ChunksPerTick is the scan's locking rate.
+	ChunksPerTick int
+	// HoldTicks keeps the full lock set before the query completes
+	// (aggregation phase).
+	HoldTicks int
+	// SortPages reserves sort memory for the query's lifetime.
+	SortPages int
+}
+
+// mode returns the configured row mode, defaulting to S.
+func (p DSSProfile) mode() lockmgr.Mode {
+	if p.Mode == 0 {
+		return lockmgr.ModeS
+	}
+	return p.Mode
+}
+
+// DSS is the single reporting query client.
+type DSS struct {
+	db   *engine.Database
+	prof DSSProfile
+
+	conn     *engine.Conn
+	tx       *txn.Txn
+	op       *txn.Op
+	sort     interface{ End() }
+	active   bool
+	started  bool
+	doneFlag bool
+	acquired int
+	holdLeft int
+	denials  int64
+}
+
+// NewDSS creates the reporting-query client.
+func NewDSS(db *engine.Database, prof DSSProfile) *DSS {
+	return &DSS{db: db, prof: prof}
+}
+
+// SetActive starts (or, before start, cancels) the query.
+func (d *DSS) SetActive(active bool) { d.active = active }
+
+// Active reports whether the query is running.
+func (d *DSS) Active() bool { return d.active && !d.doneFlag }
+
+// Done reports whether the query completed.
+func (d *DSS) Done() bool { return d.doneFlag }
+
+// Commits returns 1 after successful completion.
+func (d *DSS) Commits() int64 {
+	if d.doneFlag && d.denials == 0 {
+		return 1
+	}
+	return 0
+}
+
+// LocksAcquired returns the chunk locks taken so far.
+func (d *DSS) LocksAcquired() int { return d.acquired }
+
+// Step advances the query by one tick.
+func (d *DSS) Step() {
+	if !d.active || d.doneFlag {
+		return
+	}
+	if !d.started {
+		d.conn = d.db.Connect()
+		d.tx = d.conn.Begin()
+		if d.prof.SortPages > 0 {
+			d.sort = d.db.Sorts().Begin(d.prof.SortPages)
+		}
+		d.started = true
+		d.holdLeft = d.prof.HoldTicks
+	}
+	budget := d.prof.ChunksPerTick
+	for budget > 0 && d.acquired < d.prof.Chunks {
+		if d.op != nil {
+			switch d.op.Poll() {
+			case txn.OpWaiting:
+				return
+			case txn.OpDenied:
+				d.denials++
+				d.complete(false)
+				return
+			}
+			d.op = nil
+			d.acquired++
+			budget--
+			continue
+		}
+		row := uint64(d.acquired) * uint64(d.prof.ChunkRows)
+		d.db.TouchRow(d.prof.Table, row)
+		d.op = d.tx.AcquireRow(d.prof.Table.ID, row, d.prof.mode(), d.prof.ChunkRows)
+	}
+	if d.op != nil {
+		// Drain the final in-flight request before holding.
+		switch d.op.Poll() {
+		case txn.OpWaiting:
+			return
+		case txn.OpDenied:
+			d.denials++
+			d.complete(false)
+			return
+		}
+		d.op = nil
+		d.acquired++
+	}
+	if d.acquired >= d.prof.Chunks {
+		d.holdLeft--
+		if d.holdLeft <= 0 {
+			d.complete(true)
+		}
+	}
+}
+
+func (d *DSS) complete(commit bool) {
+	if d.sort != nil {
+		d.sort.End()
+		d.sort = nil
+	}
+	if commit {
+		d.tx.Commit()
+	} else {
+		d.tx.Abort()
+	}
+	_ = d.conn.Close()
+	d.doneFlag = true
+}

@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/engine"
+	"repro/internal/lockmgr"
+	"repro/internal/txn"
+)
+
+func newDB(t *testing.T) *engine.Database {
+	t.Helper()
+	db, err := engine.Open(engine.Config{
+		Clock:       clock.NewSim(),
+		LockTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSchedules(t *testing.T) {
+	c := Constant(7)
+	if c(0) != 7 || c(1e9) != 7 {
+		t.Fatal("Constant wrong")
+	}
+	r := Ramp(10, 110, 100, 200)
+	if r(0) != 10 || r(50) != 10 {
+		t.Fatal("ramp before start")
+	}
+	if r(150) != 60 {
+		t.Fatalf("ramp midpoint = %d, want 60", r(150))
+	}
+	if r(200) != 110 || r(1e9) != 110 {
+		t.Fatal("ramp after end")
+	}
+	s := Step(50, 130, 1500)
+	if s(1499) != 50 || s(1500) != 130 {
+		t.Fatal("step wrong")
+	}
+}
+
+func TestOLTPLifecycle(t *testing.T) {
+	db := newDB(t)
+	prof := DefaultOLTPProfile(db.Catalog())
+	c := NewOLTP(db, prof, 1)
+
+	// Inactive client does nothing.
+	c.Step()
+	if db.Locks().NumApps() != 0 {
+		t.Fatal("inactive client connected")
+	}
+
+	c.SetActive(true)
+	for i := 0; i < 200; i++ {
+		c.Step()
+	}
+	if c.Commits() == 0 {
+		t.Fatalf("no commits after 200 ticks (aborts=%d)", c.Aborts())
+	}
+	if db.Locks().NumApps() != 1 {
+		t.Fatal("client not connected")
+	}
+
+	// Deactivate: the client drains and disconnects.
+	c.SetActive(false)
+	for i := 0; i < 100 && c.Active(); i++ {
+		c.Step()
+	}
+	if c.Active() {
+		t.Fatal("client did not drain")
+	}
+	if db.Locks().NumApps() != 0 {
+		t.Fatal("client did not disconnect")
+	}
+	if got := db.Locks().UsedStructs(); got != 0 {
+		t.Fatalf("locks leaked: %d structs", got)
+	}
+}
+
+func TestOLTPDeterminism(t *testing.T) {
+	run := func() int64 {
+		db := newDB(t)
+		prof := DefaultOLTPProfile(db.Catalog())
+		c := NewOLTP(db, prof, 42)
+		c.SetActive(true)
+		for i := 0; i < 300; i++ {
+			c.Step()
+		}
+		return c.Commits()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+}
+
+func TestOLTPSlowdownReducesThroughput(t *testing.T) {
+	run := func(slow int) int64 {
+		db := newDB(t)
+		prof := DefaultOLTPProfile(db.Catalog())
+		prof.HotRows = 0 // no conflicts: isolate the slowdown effect
+		c := NewOLTP(db, prof, 42)
+		c.SetSlowdown(slow)
+		c.SetActive(true)
+		for i := 0; i < 500; i++ {
+			c.Step()
+		}
+		return c.Commits()
+	}
+	fast, slow := run(0), run(5)
+	if slow >= fast {
+		t.Fatalf("slowdown had no effect: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestOLTPConflictsCauseWaits(t *testing.T) {
+	db := newDB(t)
+	prof := DefaultOLTPProfile(db.Catalog())
+	prof.HotRows = 10 // tiny hot set: guaranteed collisions
+	prof.HotFrac = 1.0
+	prof.WriteFrac = 1.0
+	clients := make([]*OLTP, 8)
+	for i := range clients {
+		clients[i] = NewOLTP(db, prof, int64(i))
+		clients[i].SetActive(true)
+	}
+	for tick := 0; tick < 200; tick++ {
+		for _, c := range clients {
+			c.Step()
+		}
+		db.Locks().DetectDeadlocks()
+	}
+	if db.Locks().Stats().Waits == 0 {
+		t.Fatal("hot-set writers produced no lock waits")
+	}
+}
+
+func TestDSSLifecycle(t *testing.T) {
+	db := newDB(t)
+	cat := db.Catalog()
+	d := NewDSS(db, DSSProfile{
+		Table:         cat.ByName("lineitem"),
+		ChunkRows:     64,
+		Chunks:        100,
+		ChunksPerTick: 10,
+		HoldTicks:     5,
+		SortPages:     64,
+	})
+	d.Step() // inactive: no-op
+	if d.Done() || db.Locks().NumApps() != 0 {
+		t.Fatal("inactive DSS did something")
+	}
+	d.SetActive(true)
+	ticks := 0
+	for !d.Done() && ticks < 100 {
+		d.Step()
+		ticks++
+	}
+	if !d.Done() {
+		t.Fatal("DSS did not complete")
+	}
+	if got := d.LocksAcquired(); got != 100 {
+		t.Fatalf("chunks = %d, want 100", got)
+	}
+	if d.Commits() != 1 {
+		t.Fatalf("commits = %d", d.Commits())
+	}
+	// Scan+hold takes at least chunks/rate + hold ticks.
+	if ticks < 100/10+5-2 {
+		t.Fatalf("completed suspiciously fast: %d ticks", ticks)
+	}
+	if got := db.Locks().UsedStructs(); got != 0 {
+		t.Fatalf("locks leaked after commit: %d", got)
+	}
+	if db.Locks().NumApps() != 0 {
+		t.Fatal("DSS connection not closed")
+	}
+}
+
+func TestDSSConsumesWeightedStructs(t *testing.T) {
+	db := newDB(t)
+	cat := db.Catalog()
+	d := NewDSS(db, DSSProfile{
+		Table:         cat.ByName("lineitem"),
+		ChunkRows:     64,
+		Chunks:        50,
+		ChunksPerTick: 50,
+		HoldTicks:     100, // hold so we can observe
+	})
+	d.SetActive(true)
+	d.Step()
+	d.Step()
+	// 50 chunks × 64 structs + 1 intent.
+	if got := db.Locks().UsedStructs(); got < 50*64 {
+		t.Fatalf("structs = %d, want >= %d", got, 50*64)
+	}
+}
+
+func TestBatchRolloutXMode(t *testing.T) {
+	db := newDB(t)
+	cat := db.Catalog()
+	batch := NewDSS(db, DSSProfile{
+		Table:         cat.ByName("order_line"),
+		Mode:          lockmgr.ModeX, // batch update/delete rollout
+		ChunkRows:     64,
+		Chunks:        40,
+		ChunksPerTick: 20,
+		HoldTicks:     50,
+	})
+	batch.SetActive(true)
+	batch.Step()
+	batch.Step()
+	batch.Step()
+
+	// The rollout holds X chunk locks under an IX table intent.
+	var sawX bool
+	for _, li := range db.Locks().DumpLocks() {
+		for _, h := range li.Holders {
+			if li.Name.Gran == lockmgr.GranRow && h.Mode == lockmgr.ModeX {
+				sawX = true
+			}
+		}
+	}
+	if !sawX {
+		t.Fatal("rollout did not take X row locks")
+	}
+	// A concurrent reader on a locked row must wait.
+	conn := db.Connect()
+	tx := conn.Begin()
+	op := tx.AcquireRow(cat.ByName("order_line").ID, 0, lockmgr.ModeS, 1)
+	if op.Poll() != txn.OpWaiting {
+		t.Fatalf("reader state = %v, want waiting behind the rollout", op.Poll())
+	}
+	tx.Abort()
+}
