@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench verify fmt vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector runs for the concurrency-sensitive packages: the sharded
+# lock table and its block-chain lease pools.
+race:
+	$(GO) test -race ./internal/lockmgr ./internal/memblock
+
+bench:
+	$(GO) test -run xxx -bench BenchmarkLockScalability -benchtime 1s .
+
+# verify is the tier-1 gate (see ROADMAP.md): formatting, vet, build, the
+# full test suite, and the race-detector pass over lockmgr/memblock.
+verify: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...

@@ -443,6 +443,7 @@ type Snapshot struct {
 	CapacityStructs int
 	FreeFraction    float64
 	LockStats       lockmgr.Stats
+	LockLatchWaits  int64
 	QuotaPercent    float64
 	Overflow        int
 	OverflowGoal    int
@@ -464,6 +465,7 @@ func (db *Database) Snapshot() Snapshot {
 		CapacityStructs: db.locks.CapacityStructs(),
 		FreeFraction:    db.locks.FreeFraction(),
 		LockStats:       db.locks.Stats(),
+		LockLatchWaits:  db.locks.LatchWaits(),
 		Overflow:        mem.Overflow,
 		OverflowGoal:    mem.OverflowGoal,
 		BufferPoolPages: mem.HeapPages["bufferpool"],

@@ -5,8 +5,14 @@ package lockmgr
 // convert deadlocks (two holders of IX both upgrading to X), which is part
 // of why Figure 8's throughput collapses; the detector keeps the simulated
 // system live enough to measure rather than wedging entirely.
+//
+// The sweep needs a consistent view of every wait queue at once, so it is
+// a stop-the-world operation on the sharded lock table: DetectDeadlocks
+// latches all shards (ascending, via runGlobal) and walks each shard's
+// waiting set.
 
-// waitEdges returns the owners blocking req. Caller holds m.mu.
+// waitEdges returns the owners blocking req. Caller holds all shard
+// latches (global mode).
 func (m *Manager) waitEdges(req *request) []*Owner {
 	h := req.header
 	if h == nil {
@@ -14,11 +20,12 @@ func (m *Manager) waitEdges(req *request) []*Owner {
 	}
 	var out []*Owner
 	want := req.effectiveMode()
-	for _, g := range h.granted {
+	h.eachGranted(func(g *request) bool {
 		if g.owner != req.owner && !Compatible(want, g.mode) {
 			out = append(out, g.owner)
 		}
-	}
+		return true
+	})
 	if !req.converting {
 		// FIFO discipline: a waiter is also behind every converter and
 		// every earlier waiter.
@@ -43,90 +50,91 @@ func (m *Manager) waitEdges(req *request) []*Owner {
 // the youngest owner (largest id), whose rollback is presumed cheapest. It
 // returns the number of victims denied.
 func (m *Manager) DetectDeadlocks() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	// Build the owner-level waits-for graph.
-	edges := make(map[*Owner]map[*Owner]struct{})
-	waitingBy := make(map[*Owner][]*request)
-	for req := range m.waiting {
-		if req.parked {
-			continue // parked requests hold no queue position
-		}
-		waitingBy[req.owner] = append(waitingBy[req.owner], req)
-		for _, to := range m.waitEdges(req) {
-			set := edges[req.owner]
-			if set == nil {
-				set = make(map[*Owner]struct{})
-				edges[req.owner] = set
-			}
-			set[to] = struct{}{}
-		}
-	}
-
-	const (
-		white = 0
-		grey  = 1
-		black = 2
-	)
-	color := make(map[*Owner]int)
-	var stack []*Owner
-	victims := make(map[*Owner]struct{})
-
-	var dfs func(o *Owner)
-	dfs = func(o *Owner) {
-		color[o] = grey
-		stack = append(stack, o)
-		for to := range edges[o] {
-			if _, dead := victims[to]; dead {
-				continue
-			}
-			switch color[to] {
-			case white:
-				dfs(to)
-			case grey:
-				// Cycle: pick the youngest owner on the stack
-				// segment forming the cycle.
-				victim := to
-				for i := len(stack) - 1; i >= 0; i-- {
-					if stack[i].id > victim.id {
-						victim = stack[i]
-					}
-					if stack[i] == to {
-						break
-					}
-				}
-				victims[victim] = struct{}{}
-			}
-		}
-		stack = stack[:len(stack)-1]
-		color[o] = black
-	}
-	for o := range edges {
-		if color[o] == white {
-			dfs(o)
-		}
-	}
-
 	n := 0
-	for v := range victims {
-		for _, req := range waitingBy[v] {
-			// Denying an earlier victim posts its queues, which may
-			// have granted or completed requests captured in this
-			// snapshot; a nil pending marks such stale entries.
-			if req.pending == nil {
-				continue
-			}
-			if st, _ := req.pending.Status(); st == StatusWaiting {
-				m.stats.Deadlocks++
-				if m.cfg.Events != nil {
-					m.cfg.Events.OnDeadlockVictim(v.app.id, v.id)
+	m.runGlobal(func() {
+		// Build the owner-level waits-for graph from every shard's
+		// waiting set.
+		edges := make(map[*Owner]map[*Owner]struct{})
+		waitingBy := make(map[*Owner][]*request)
+		for i := range m.shards {
+			for req := range m.shards[i].waiting {
+				if req.parked {
+					continue // parked requests hold no queue position
 				}
-				m.deny(req, ErrDeadlock)
-				n++
+				waitingBy[req.owner] = append(waitingBy[req.owner], req)
+				for _, to := range m.waitEdges(req) {
+					set := edges[req.owner]
+					if set == nil {
+						set = make(map[*Owner]struct{})
+						edges[req.owner] = set
+					}
+					set[to] = struct{}{}
+				}
 			}
 		}
-	}
-	m.drainGrants()
+
+		const (
+			white = 0
+			grey  = 1
+			black = 2
+		)
+		color := make(map[*Owner]int)
+		var stack []*Owner
+		victims := make(map[*Owner]struct{})
+
+		var dfs func(o *Owner)
+		dfs = func(o *Owner) {
+			color[o] = grey
+			stack = append(stack, o)
+			for to := range edges[o] {
+				if _, dead := victims[to]; dead {
+					continue
+				}
+				switch color[to] {
+				case white:
+					dfs(to)
+				case grey:
+					// Cycle: pick the youngest owner on the stack
+					// segment forming the cycle.
+					victim := to
+					for i := len(stack) - 1; i >= 0; i-- {
+						if stack[i].id > victim.id {
+							victim = stack[i]
+						}
+						if stack[i] == to {
+							break
+						}
+					}
+					victims[victim] = struct{}{}
+				}
+			}
+			stack = stack[:len(stack)-1]
+			color[o] = black
+		}
+		for o := range edges {
+			if color[o] == white {
+				dfs(o)
+			}
+		}
+
+		for v := range victims {
+			for _, req := range waitingBy[v] {
+				// Denying an earlier victim posts its queues, which may
+				// have granted or completed requests captured in this
+				// snapshot; a nil pending marks such stale entries.
+				if req.pending == nil {
+					continue
+				}
+				if st, _ := req.pending.Status(); st == StatusWaiting {
+					m.stats.deadlocks.Add(1)
+					if m.cfg.Events != nil {
+						m.cfg.Events.OnDeadlockVictim(v.app.id, v.id)
+					}
+					m.deny(req, ErrDeadlock)
+					n++
+				}
+			}
+		}
+	})
 	return n
 }

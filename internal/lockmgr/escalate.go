@@ -11,12 +11,17 @@ package lockmgr
 // holders; the triggering request is "parked" and retried once the
 // escalation completes (its row locks having been freed, or the new table
 // lock covering it outright).
+//
+// Escalation touches one owner's locks across many shards (the victim
+// table's rows hash anywhere), so it runs only in global mode: every
+// function in this file requires all shard latches (see runGlobal). The
+// continuations it schedules are likewise drained only under all latches.
 
 // escalate promotes o's row locks on its most structure-hungry table.
 // parked, if non-nil, is the request that triggered escalation; it is
 // retried after the escalation completes. Returns false when there is
 // nothing to escalate (the caller then denies the triggering request).
-// Caller holds m.mu.
+// Caller holds all shard latches (global mode).
 func (m *Manager) escalate(o *Owner, parked *request) bool {
 	// Victim selection: the owner's table with the most row lock
 	// structures, mirroring "promoting one or more row level locks to...
@@ -48,9 +53,9 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 		target = Supremum(target, parked.mode)
 	}
 
-	m.stats.Escalations++
+	m.stats.escalations.Add(1)
 	if target == ModeX {
-		m.stats.ExclusiveEscalations++
+		m.stats.exclusiveEscalations.Add(1)
 	}
 	if m.cfg.Events != nil {
 		m.cfg.Events.OnEscalation(o.app.id, victim, target)
@@ -59,7 +64,7 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 	if parked != nil {
 		parked.parked = true
 		parked.deadline = m.deadline()
-		m.waiting[parked] = struct{}{}
+		m.shardFor(parked.name).waiting[parked] = struct{}{}
 	}
 
 	continueAfter := func(m *Manager) {
@@ -88,7 +93,8 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 }
 
 // freeEscalatedRows releases every row lock o holds on the table; the
-// escalated table lock now covers them. Caller holds m.mu.
+// escalated table lock now covers them. Caller holds all shard latches
+// (global mode).
 func (m *Manager) freeEscalatedRows(o *Owner, table uint32) {
 	ot := o.byTable[table]
 	if ot == nil {
@@ -109,17 +115,19 @@ func (m *Manager) freeEscalatedRows(o *Owner, table uint32) {
 
 // retryParked re-runs the admission pipeline for a request that was parked
 // behind an escalation, unless it was denied (timed out) in the meantime.
-// Caller holds m.mu.
+// Caller holds all shard latches (global mode).
 func (m *Manager) retryParked(parked *request) {
 	if parked == nil {
 		return
 	}
-	delete(m.waiting, parked)
+	delete(m.shardFor(parked.name).waiting, parked)
 	if parked.pending == nil {
 		return // already denied (timed out) while parked
 	}
 	if st, _ := parked.pending.Status(); st != StatusWaiting {
 		return
 	}
-	m.startRequest(parked)
+	if !m.startRequest(m.shardFor(parked.name), parked, true) {
+		panic("lockmgr: global retry deferred admission")
+	}
 }

@@ -7,7 +7,9 @@ import (
 )
 
 // Introspection: point-in-time views of the lock table for operators and
-// tests, in the spirit of DB2's `db2pd -locks`.
+// tests, in the spirit of DB2's `db2pd -locks`. Both entry points are
+// stop-the-world over the sharded table (runGlobal) so the snapshot is a
+// single consistent cut.
 
 // LockInfo describes one lock table entry.
 type LockInfo struct {
@@ -37,31 +39,34 @@ type WaiterInfo struct {
 // DumpLocks returns every lock table entry, ordered by name, for
 // diagnostics. It is a snapshot: the table may change immediately after.
 func (m *Manager) DumpLocks() []LockInfo {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]LockInfo, 0, len(m.table))
-	for _, h := range m.table {
-		li := LockInfo{Name: h.name, GroupMode: h.groupMode}
-		for _, g := range h.granted {
-			li.Holders = append(li.Holders, HolderInfo{
-				OwnerID:    g.owner.id,
-				AppID:      g.owner.app.id,
-				Mode:       g.mode,
-				Weight:     g.weight,
-				Converting: g.converting,
-				ConvertTo:  g.convert,
-			})
+	var out []LockInfo
+	m.runGlobal(func() {
+		for i := range m.shards {
+			for _, h := range m.shards[i].table {
+				li := LockInfo{Name: h.name, GroupMode: h.groupMode}
+				h.eachGranted(func(g *request) bool {
+					li.Holders = append(li.Holders, HolderInfo{
+						OwnerID:    g.owner.id,
+						AppID:      g.owner.app.id,
+						Mode:       g.mode,
+						Weight:     g.weight,
+						Converting: g.converting,
+						ConvertTo:  g.convert,
+					})
+					return true
+				})
+				sort.Slice(li.Holders, func(i, j int) bool { return li.Holders[i].OwnerID < li.Holders[j].OwnerID })
+				for _, w := range append(append([]*request{}, h.converters...), h.waiters...) {
+					li.Waiters = append(li.Waiters, WaiterInfo{
+						OwnerID: w.owner.id,
+						AppID:   w.owner.app.id,
+						Mode:    w.effectiveMode(),
+					})
+				}
+				out = append(out, li)
+			}
 		}
-		sort.Slice(li.Holders, func(i, j int) bool { return li.Holders[i].OwnerID < li.Holders[j].OwnerID })
-		for _, w := range append(append([]*request{}, h.converters...), h.waiters...) {
-			li.Waiters = append(li.Waiters, WaiterInfo{
-				OwnerID: w.owner.id,
-				AppID:   w.owner.app.id,
-				Mode:    w.effectiveMode(),
-			})
-		}
-		out = append(out, li)
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Name, out[j].Name
 		if a.Table != b.Table {
@@ -104,80 +109,118 @@ func (li LockInfo) String() string {
 
 // CheckInvariants verifies internal consistency of the lock table; tests
 // and long-running simulations call it. It returns the first violation
-// found, or nil.
+// found, or nil. The check is stop-the-world: all shard latches are held,
+// so it also validates the cross-shard lease accounting that only has to
+// balance when the data path is quiescent.
 func (m *Manager) CheckInvariants() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	var err error
+	m.runGlobal(func() {
+		err = m.checkInvariantsLocked()
+	})
+	return err
+}
 
+// checkInvariantsLocked does the work. Caller holds all shard latches.
+func (m *Manager) checkInvariantsLocked() error {
 	appStructs := make(map[int]int)
-	for name, h := range m.table {
-		if h.name != name {
-			return fmt.Errorf("lockmgr: header name mismatch %v vs %v", h.name, name)
-		}
-		if h.empty() {
-			return fmt.Errorf("lockmgr: empty header %v not deleted", name)
-		}
-		// Granted group mutually compatible, and groupMode correct.
-		want := ModeNone
-		holders := make([]*request, 0, len(h.granted))
-		for o, g := range h.granted {
-			if g.owner != o {
-				return fmt.Errorf("lockmgr: %v granted map owner mismatch", name)
+	for i := range m.shards {
+		s := &m.shards[i]
+		for name, h := range s.table {
+			if h.name != name {
+				return fmt.Errorf("lockmgr: header name mismatch %v vs %v", h.name, name)
 			}
-			if !g.granted {
-				return fmt.Errorf("lockmgr: %v non-granted request in granted group", name)
+			if m.shardOf(name) != i {
+				return fmt.Errorf("lockmgr: %v hashed to shard %d but stored in %d", name, m.shardOf(name), i)
 			}
-			holders = append(holders, g)
-			want = Supremum(want, g.mode)
-			appStructs[g.owner.app.id] += g.handle.Structs()
-		}
-		for i := 0; i < len(holders); i++ {
-			for j := i + 1; j < len(holders); j++ {
-				if !Compatible(holders[i].mode, holders[j].mode) {
-					return fmt.Errorf("lockmgr: %v incompatible granted group: %v vs %v",
-						name, holders[i].mode, holders[j].mode)
+			if h.empty() {
+				return fmt.Errorf("lockmgr: empty header %v not deleted", name)
+			}
+			// Granted group mutually compatible, and groupMode correct.
+			// The overflow map (if any) must key by owner.
+			for o, g := range h.gmap {
+				if g.owner != o {
+					return fmt.Errorf("lockmgr: %v granted map owner mismatch", name)
 				}
 			}
-		}
-		if h.groupMode != want {
-			return fmt.Errorf("lockmgr: %v groupMode %v, want %v", name, h.groupMode, want)
-		}
-		// Every waiter is registered in the waiting set, and — FIFO
-		// soundness — the head waiter is genuinely blocked.
-		for _, c := range h.converters {
-			if _, ok := m.waiting[c]; !ok {
-				return fmt.Errorf("lockmgr: %v converter missing from waiting set", name)
+			want := ModeNone
+			holders := make([]*request, 0, h.grantedLen())
+			var grantErr error
+			h.eachGranted(func(g *request) bool {
+				if !g.granted {
+					grantErr = fmt.Errorf("lockmgr: %v non-granted request in granted group", name)
+					return false
+				}
+				holders = append(holders, g)
+				want = Supremum(want, g.mode)
+				appStructs[g.owner.app.id] += g.handle.Structs()
+				return true
+			})
+			if grantErr != nil {
+				return grantErr
 			}
-			if !c.converting {
-				return fmt.Errorf("lockmgr: %v non-converting request on converter queue", name)
+			for i := 0; i < len(holders); i++ {
+				for j := i + 1; j < len(holders); j++ {
+					if !Compatible(holders[i].mode, holders[j].mode) {
+						return fmt.Errorf("lockmgr: %v incompatible granted group: %v vs %v",
+							name, holders[i].mode, holders[j].mode)
+					}
+				}
 			}
-		}
-		for _, w := range h.waiters {
-			if _, ok := m.waiting[w]; !ok {
-				return fmt.Errorf("lockmgr: %v waiter missing from waiting set", name)
+			if h.groupMode != want {
+				return fmt.Errorf("lockmgr: %v groupMode %v, want %v", name, h.groupMode, want)
 			}
-			appStructs[w.owner.app.id] += w.handle.Structs()
-		}
-		if len(h.converters) == 0 && len(h.waiters) > 0 {
-			if Compatible(h.waiters[0].mode, h.groupMode) {
-				return fmt.Errorf("lockmgr: %v head waiter %v compatible with group %v but not granted",
-					name, h.waiters[0].mode, h.groupMode)
+			// Every waiter is registered in its shard's waiting set, and —
+			// FIFO soundness — the head waiter is genuinely blocked.
+			for _, c := range h.converters {
+				if _, ok := s.waiting[c]; !ok {
+					return fmt.Errorf("lockmgr: %v converter missing from waiting set", name)
+				}
+				if !c.converting {
+					return fmt.Errorf("lockmgr: %v non-converting request on converter queue", name)
+				}
+			}
+			for _, w := range h.waiters {
+				if _, ok := s.waiting[w]; !ok {
+					return fmt.Errorf("lockmgr: %v waiter missing from waiting set", name)
+				}
+				appStructs[w.owner.app.id] += w.handle.Structs()
+			}
+			if len(h.converters) == 0 && len(h.waiters) > 0 {
+				if Compatible(h.waiters[0].mode, h.groupMode) {
+					return fmt.Errorf("lockmgr: %v head waiter %v compatible with group %v but not granted",
+						name, h.waiters[0].mode, h.groupMode)
+				}
 			}
 		}
 	}
 
-	// Owner indexes agree with the lock table.
+	// Owner indexes agree with the lock table. ownersMu is a leaf lock,
+	// safe to take under the shard latches.
+	m.ownersMu.Lock()
+	owners := make([]*Owner, 0, len(m.owners))
 	for _, o := range m.owners {
-		for name, req := range o.held {
-			h := m.table[name]
-			if h == nil || h.granted[o] != req {
-				return fmt.Errorf("lockmgr: owner %d holds %v not present in table", o.id, name)
+		owners = append(owners, o)
+	}
+	apps := make(map[int]*App, len(m.apps))
+	for id, a := range m.apps {
+		apps[id] = a
+	}
+	m.ownersMu.Unlock()
+	for _, o := range owners {
+		var heldErr error
+		o.held.each(func(name Name, req *request) {
+			h := m.shardFor(name).table[name]
+			if h == nil || h.getGranted(o) != req {
+				heldErr = fmt.Errorf("lockmgr: owner %d holds %v not present in table", o.id, name)
 			}
+		})
+		if heldErr != nil {
+			return heldErr
 		}
 		for tid, ot := range o.byTable {
 			structs := 0
 			for row, r := range ot.rows {
-				if o.held[RowName(tid, row)] != r {
+				if hr, ok := o.held.get(RowName(tid, row)); !ok || hr != r {
 					return fmt.Errorf("lockmgr: owner %d byTable row %d desynced", o.id, row)
 				}
 				structs += r.weight
@@ -192,13 +235,32 @@ func (m *Manager) CheckInvariants() error {
 	// Per-application struct accounting matches the chain.
 	total := 0
 	for id, n := range appStructs {
-		if app := m.apps[id]; app != nil && app.structs != n {
-			return fmt.Errorf("lockmgr: app %d structs %d, want %d", id, app.structs, n)
+		if app := apps[id]; app != nil && app.structs.Load() != int64(n) {
+			return fmt.Errorf("lockmgr: app %d structs %d, want %d", id, app.structs.Load(), n)
 		}
 		total += n
 	}
 	if used := m.chain.Used(); used != total {
 		return fmt.Errorf("lockmgr: chain used %d, requests account for %d", used, total)
+	}
+
+	// Memory-chain internal consistency, and exact STMM-facing totals:
+	// Used + Free == Capacity must hold even mid-lease.
+	if err := m.chain.CheckInvariants(); err != nil {
+		return err
+	}
+	if u, f, c := m.chain.Used(), m.chain.FreeStructs(), m.chain.Capacity(); u+f != c {
+		return fmt.Errorf("lockmgr: used %d + free %d != capacity %d", u, f, c)
+	}
+
+	// Lease reconciliation: everything the chain has reserved beyond
+	// request-level usage must sit in exactly one shard's pool.
+	pooled := 0
+	for i := range m.shards {
+		pooled += m.shards[i].pool.Structs()
+	}
+	if leased := m.chain.Reserved() - m.chain.Used(); leased != pooled {
+		return fmt.Errorf("lockmgr: chain leases %d structs beyond use, shard pools hold %d", leased, pooled)
 	}
 	return nil
 }

@@ -23,17 +23,57 @@
 // to the supremum of its row-lock modes (S, SIX or X), which may itself have
 // to wait for incompatible holders — exactly the concurrency collapse of
 // Figures 7 and 8.
+//
+// # Concurrency: the striped lock table
+//
+// The lock table is striped across a power-of-two array of shards. A Name
+// hashes to exactly one shard, which owns that name's lock header, its FIFO
+// grant queues, its slice of the waiting set, and a lease pool of lock
+// structures batched out of the shared block chain. The per-lock FIFO
+// posting discipline is untouched by sharding: a lock's entire queue lives
+// in one shard, under one latch.
+//
+// Latching protocol, innermost last:
+//
+//  1. shard latches, always in ascending index order. Fast-path operations
+//     (Acquire, Release, conversions) take exactly one; cross-shard
+//     operations (deadlock detection, escalation, shrink, invariant checks)
+//     take all of them via runGlobal.
+//  2. Owner.mu — leaf lock guarding one owner's held/byTable indexes and
+//     the granted/converting/mode fields of its requests. Writers hold
+//     (home-shard latch + Owner.mu); readers hold either Owner.mu (the
+//     cross-shard coverage check) or all shard latches (global operations).
+//     Owner.mu is never held while acquiring a shard latch.
+//  3. Leaves of the leaves: chain.mu (inside pool refills and global
+//     allocation), contMu (continuation queue), ownersMu (app/owner
+//     registry), and the Pending mutex. None of these is ever held while
+//     taking a latch above it.
+//
+// Admission runs on a fast path that touches only the home shard: quota
+// check against atomic counters, then an allocation from the shard's lease
+// pool. If either step cannot be satisfied locally the fast path backs out
+// — having mutated nothing — and the request restarts in global mode, which
+// holds every shard latch and runs the original single-latch admission
+// logic verbatim: quota growth, pool repatriation (flushing all shard
+// leases back to the chain before declaring memory exhausted), synchronous
+// growth, then escalation. Escalation continuations (free the escalated
+// rows, retry the parked request) touch many shards, so grant/deny hooks
+// are queued and drained only while all latches are held.
 package lockmgr
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/memblock"
+	"repro/internal/metrics"
 )
 
 // Errors returned to lock requesters.
@@ -79,44 +119,82 @@ func (s Status) String() string {
 }
 
 // Pending is the handle for an asynchronous lock request. Done is closed
-// when the request leaves the waiting state.
+// when the request leaves the waiting state. The channel is created lazily
+// on the first Done call, so callers that poll Status (the common
+// immediate-grant case) never pay for a channel allocation; Status and
+// complete are mutex-free on that path.
 type Pending struct {
-	mu     sync.Mutex
+	// status holds a Status value; it transitions from StatusWaiting to a
+	// terminal state exactly once. err is written before the terminal
+	// store, so a reader that observes a terminal status also observes
+	// err (atomics establish happens-before).
+	status  atomic.Int32
+	err     error
+	hasDone atomic.Bool // true once done has been created
+
+	dmu    sync.Mutex // guards done and closed
 	done   chan struct{}
-	status Status
-	err    error
+	closed bool
 }
 
 func newPending() *Pending {
-	return &Pending{done: make(chan struct{})}
+	return &Pending{}
 }
 
 // Done returns a channel closed when the request is granted or denied.
-func (p *Pending) Done() <-chan struct{} { return p.done }
+func (p *Pending) Done() <-chan struct{} {
+	p.dmu.Lock()
+	defer p.dmu.Unlock()
+	if p.done == nil {
+		p.done = make(chan struct{})
+		p.hasDone.Store(true)
+		if Status(p.status.Load()) != StatusWaiting && !p.closed {
+			close(p.done)
+			p.closed = true
+		}
+	}
+	return p.done
+}
 
 // Status returns the current state and, for StatusDenied, the reason.
 func (p *Pending) Status() (Status, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.status, p.err
+	st := Status(p.status.Load())
+	if st == StatusWaiting {
+		return StatusWaiting, nil
+	}
+	return st, p.err
 }
 
+// complete moves p to a terminal state. Calls for one Pending are
+// serialized by its request's home shard latch (or happen before the
+// request is ever published), so the waiting-state check cannot race with
+// another completer; the Done interplay is covered by seq-cst atomics plus
+// dmu (whichever of complete/Done runs second observes the other's store
+// and performs the close, with closed deduplicating).
 func (p *Pending) complete(st Status, err error) {
-	p.mu.Lock()
-	if p.status != StatusWaiting {
-		p.mu.Unlock()
+	if Status(p.status.Load()) != StatusWaiting {
 		return
 	}
-	p.status = st
 	p.err = err
-	p.mu.Unlock()
-	close(p.done)
+	p.status.Store(int32(st))
+	if p.hasDone.Load() {
+		p.dmu.Lock()
+		if p.done != nil && !p.closed {
+			close(p.done)
+			p.closed = true
+		}
+		p.dmu.Unlock()
+	}
 }
 
 // QuotaProvider supplies the live lockPercentPerApplication value. The
 // manager consults it on every allocation of new lock structures; the
 // provider decides whether the refresh period has elapsed (core.QuotaTracker
 // implements this policy). A nil provider means "no quota" (100%).
+//
+// Providers must be safe for concurrent use and idempotent for repeated
+// calls with the same structRequests value: the fast admission path and the
+// global fallback may both consult the quota for one request.
 type QuotaProvider interface {
 	// QuotaPercent returns the percentage of total lock memory the given
 	// application may hold, given the cumulative number of lock-structure
@@ -142,8 +220,8 @@ func prefersEscalation(q QuotaProvider, appID int) bool {
 
 // EventSink receives notifications of noteworthy lock-manager events for
 // diagnostics (the engine forwards them to its trace ring). Methods are
-// invoked with the manager latch held: implementations must be fast and
-// must not call back into the Manager.
+// invoked with one or more shard latches held: implementations must be fast
+// and must not call back into the Manager.
 type EventSink interface {
 	OnEscalation(appID int, table uint32, to Mode)
 	OnDeadlockVictim(appID int, ownerID uint64)
@@ -161,7 +239,7 @@ type Config struct {
 	// LockTimeout denies waits older than this at each SweepTimeouts
 	// call. Zero disables timeouts.
 	LockTimeout time.Duration
-	// GrowSync, if non-nil, is called (with the manager latch held) when
+	// GrowSync, if non-nil, is called (with the shard latches held) when
 	// an allocation fails; it should grant up to needPages of database
 	// overflow memory and return the pages granted (0 = none).
 	GrowSync func(needPages int) int
@@ -169,12 +247,20 @@ type Config struct {
 	Quota QuotaProvider
 	// Events, if non-nil, receives diagnostic event notifications.
 	Events EventSink
+	// Shards is the number of lock-table shards. Zero selects a default
+	// derived from GOMAXPROCS; other values are rounded up to a power of
+	// two and clamped to [1, 1024].
+	Shards int
+	// LeaseChunk is the batch size, in lock structures, of per-shard
+	// leases from the block chain. Zero selects
+	// memblock.DefaultLeaseChunk.
+	LeaseChunk int
 }
 
 // App is a connected application, the unit of quota accounting.
 type App struct {
 	id      int
-	structs int // lock structures held; guarded by Manager.mu
+	structs atomic.Int64 // lock structures held
 }
 
 // ID returns the application's identifier.
@@ -182,13 +268,105 @@ func (a *App) ID() int { return a.id }
 
 // Owner is a lock requester — one transaction. All of an owner's locks are
 // released together by ReleaseAll at commit or abort (strict two-phase
-// locking).
+// locking). An owner's lock requests must be issued from a single goroutine
+// (the transaction), but distinct owners operate fully in parallel.
 type Owner struct {
-	id       uint64
-	app      *App
-	held     map[Name]*request
+	id  uint64
+	app *App
+
+	// mu guards held, byTable, released, and the owner-visible request
+	// fields (granted/converting/convert/mode) of this owner's requests.
+	// It is a leaf lock: never held while acquiring a shard latch.
+	mu       sync.Mutex
+	held     heldSet
 	byTable  map[uint32]*ownerTable
 	released bool // set by ReleaseAll; further requests are rejected
+}
+
+// heldSmallMax is the number of locks an owner indexes in the inline array
+// before spilling to a map. Most OLTP transactions hold a handful of locks;
+// a linear scan over ≤16 entries beats a Name-keyed map's hash+probe, and
+// insert/delete become an append and a swap-remove.
+const heldSmallMax = 16
+
+type heldEntry struct {
+	name Name
+	req  *request
+}
+
+// heldSet indexes one owner's granted requests by name: a small array for
+// the common case, spilling to a map once the owner exceeds heldSmallMax
+// locks (it never shrinks back; the owner is discarded at ReleaseAll). The
+// zero value is ready to use. Guarded by the owner's mu like the map it
+// replaces.
+type heldSet struct {
+	arr []heldEntry
+	m   map[Name]*request // nil until spill
+}
+
+func (hs *heldSet) get(name Name) (*request, bool) {
+	if hs.m != nil {
+		r, ok := hs.m[name]
+		return r, ok
+	}
+	for i := range hs.arr {
+		if hs.arr[i].name == name {
+			return hs.arr[i].req, true
+		}
+	}
+	return nil, false
+}
+
+func (hs *heldSet) set(name Name, r *request) {
+	if hs.m != nil {
+		hs.m[name] = r
+		return
+	}
+	for i := range hs.arr {
+		if hs.arr[i].name == name {
+			hs.arr[i].req = r
+			return
+		}
+	}
+	if len(hs.arr) < heldSmallMax {
+		hs.arr = append(hs.arr, heldEntry{name, r})
+		return
+	}
+	hs.m = make(map[Name]*request, 2*heldSmallMax)
+	for _, e := range hs.arr {
+		hs.m[e.name] = e.req
+	}
+	hs.arr = nil
+	hs.m[name] = r
+}
+
+func (hs *heldSet) del(name Name) {
+	if hs.m != nil {
+		delete(hs.m, name)
+		return
+	}
+	for i := range hs.arr {
+		if hs.arr[i].name == name {
+			last := len(hs.arr) - 1
+			hs.arr[i] = hs.arr[last]
+			hs.arr[last] = heldEntry{}
+			hs.arr = hs.arr[:last]
+			return
+		}
+	}
+}
+
+// each calls f for every (name, request) pair. f must not mutate the set.
+func (hs *heldSet) each(f func(Name, *request)) {
+	if hs.m != nil {
+		for n, r := range hs.m {
+			f(n, r)
+		}
+		return
+	}
+	for i := range hs.arr {
+		f(hs.arr[i].name, hs.arr[i].req)
+	}
 }
 
 // ID returns the owner (transaction) identifier.
@@ -198,7 +376,8 @@ func (o *Owner) ID() uint64 { return o.id }
 func (o *Owner) App() *App { return o.app }
 
 // ownerTable tracks one owner's locks on one table, for coverage checks and
-// escalation victim selection.
+// escalation victim selection. Entries are kept (empty) after their last
+// lock is released so churning transactions reuse the maps.
 type ownerTable struct {
 	tableReq   *request
 	rows       map[uint64]*request
@@ -223,8 +402,18 @@ type request struct {
 
 	pending  *Pending
 	deadline time.Time
-	onGrant  func(m *Manager)            // run under m.mu after grant
-	onDeny   func(m *Manager, err error) // run under m.mu after denial
+	onGrant  func(m *Manager)            // queued continuation, drained under all latches
+	onDeny   func(m *Manager, err error) // queued continuation, drained under all latches
+}
+
+// requestAndPending co-allocates a request with its Pending so the
+// AcquireAsync fast path costs a single heap object. The Pending outlives
+// the request's table membership (the caller holds it), which keeps the
+// whole box alive; requests are small, so this trades no meaningful memory
+// for one less malloc per acquire.
+type requestAndPending struct {
+	req  request
+	pend Pending
 }
 
 // effectiveMode is the mode the request currently holds (for granted
@@ -236,24 +425,93 @@ func (r *request) effectiveMode() Mode {
 	return r.mode
 }
 
-// lockHeader is the lock table entry for one Name.
+// lockHeader is the lock table entry for one Name. The granted group is a
+// single inline slot (g0) plus a lazily allocated overflow map: most locks
+// have exactly one holder, and the inline slot spares that case a map
+// assign+delete (and the iteration seeding of range-over-map) per
+// acquire/release cycle.
 type lockHeader struct {
 	name       Name
-	granted    map[*Owner]*request
+	g0         *request            // single-holder fast slot
+	gmap       map[*Owner]*request // overflow holders; nil until needed
 	groupMode  Mode
 	converters []*request // FIFO, priority over waiters
 	waiters    []*request // FIFO
 }
 
-func (h *lockHeader) recomputeGroupMode() {
-	h.groupMode = ModeNone
-	for _, g := range h.granted {
-		h.groupMode = Supremum(h.groupMode, g.mode)
+// addGranted records r as a holder. Caller guarantees r's owner is not
+// already in the granted group (re-requests go through conversion).
+func (h *lockHeader) addGranted(r *request) {
+	if h.g0 == nil {
+		h.g0 = r
+		return
+	}
+	if h.gmap == nil {
+		h.gmap = make(map[*Owner]*request, 4)
+	}
+	h.gmap[r.owner] = r
+}
+
+// removeGranted drops o's granted request, if any.
+func (h *lockHeader) removeGranted(o *Owner) {
+	if h.g0 != nil && h.g0.owner == o {
+		h.g0 = nil
+		return
+	}
+	delete(h.gmap, o)
+}
+
+// getGranted returns o's granted request, or nil.
+func (h *lockHeader) getGranted(o *Owner) *request {
+	if h.g0 != nil && h.g0.owner == o {
+		return h.g0
+	}
+	return h.gmap[o]
+}
+
+// grantedLen returns the number of holders.
+func (h *lockHeader) grantedLen() int {
+	n := len(h.gmap)
+	if h.g0 != nil {
+		n++
+	}
+	return n
+}
+
+// eachGranted calls f for every holder until f returns false.
+func (h *lockHeader) eachGranted(f func(*request) bool) {
+	if h.g0 != nil && !f(h.g0) {
+		return
+	}
+	for _, g := range h.gmap {
+		if !f(g) {
+			return
+		}
 	}
 }
 
+func (h *lockHeader) recomputeGroupMode() {
+	if len(h.gmap) == 0 {
+		// Fast path: zero or one holder.
+		if h.g0 != nil {
+			h.groupMode = h.g0.mode
+		} else {
+			h.groupMode = ModeNone
+		}
+		return
+	}
+	mode := ModeNone
+	if h.g0 != nil {
+		mode = h.g0.mode
+	}
+	for _, g := range h.gmap {
+		mode = Supremum(mode, g.mode)
+	}
+	h.groupMode = mode
+}
+
 func (h *lockHeader) empty() bool {
-	return len(h.granted) == 0 && len(h.converters) == 0 && len(h.waiters) == 0
+	return h.g0 == nil && len(h.gmap) == 0 && len(h.converters) == 0 && len(h.waiters) == 0
 }
 
 // Stats is a snapshot of the manager's event counters.
@@ -270,26 +528,80 @@ type Stats struct {
 	SyncGrowthPages      int64
 }
 
+// statCounters is the live, lock-free form of Stats.
+type statCounters struct {
+	grants               atomic.Int64
+	waits                atomic.Int64
+	timeouts             atomic.Int64
+	deadlocks            atomic.Int64
+	escalations          atomic.Int64
+	exclusiveEscalations atomic.Int64
+	memoryDenials        atomic.Int64
+	quotaDenials         atomic.Int64
+	syncGrowths          atomic.Int64
+	syncGrowthPages      atomic.Int64
+}
+
+// headerFreelistCap bounds each shard's recycled lock-header stack.
+const headerFreelistCap = 64
+
+// shard is one stripe of the lock table.
+type shard struct {
+	mu      sync.Mutex
+	table   map[Name]*lockHeader
+	waiting map[*request]struct{}
+	pool    *memblock.Pool // lease cache; guarded by mu
+	hfree   []*lockHeader  // recycled headers (with empty granted maps)
+}
+
 // Manager is the lock manager. All public methods are safe for concurrent
-// use.
+// use by distinct owners; a single owner's requests must come from one
+// goroutine.
 type Manager struct {
-	mu    sync.Mutex
 	chain *memblock.Chain
 	clk   clock.Clock
 	cfg   Config
 
-	table   map[Name]*lockHeader
-	apps    map[int]*App
-	owners  map[uint64]*Owner
-	waiting map[*request]struct{}
+	shards    []shard
+	shardMask uint64
 
+	ownersMu  sync.Mutex // registry of apps and owners
+	apps      map[int]*App
+	owners    map[uint64]*Owner
 	nextApp   int
 	nextOwner uint64
+	numApps   atomic.Int64
 
-	grantQueue []*request
-	draining   bool
+	// Deferred grant/deny continuations (escalation steps). They touch
+	// many shards, so they run only under all latches: enqueued anywhere,
+	// drained by runGlobal.
+	contMu sync.Mutex
+	conts  []func(*Manager)
+	contN  atomic.Int64
 
-	stats Stats
+	latchWaits *metrics.ShardCounters
+
+	stats statCounters
+}
+
+// defaultShards picks the shard count for Config.Shards == 0: enough
+// stripes that GOMAXPROCS goroutines rarely collide, clamped to [8, 512].
+func defaultShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 512 {
+		n = 512
+	}
+	return nextPow2(n)
+}
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
 }
 
 // New creates a lock manager with the given configuration.
@@ -297,56 +609,155 @@ func New(cfg Config) *Manager {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
-	return &Manager{
-		chain:   memblock.New(cfg.InitialPages),
-		clk:     cfg.Clock,
-		cfg:     cfg,
-		table:   make(map[Name]*lockHeader),
-		apps:    make(map[int]*App),
-		owners:  make(map[uint64]*Owner),
-		waiting: make(map[*request]struct{}),
+	ns := cfg.Shards
+	if ns <= 0 {
+		ns = defaultShards()
+	}
+	if ns > 1024 {
+		ns = 1024
+	}
+	ns = nextPow2(ns)
+	m := &Manager{
+		chain:      memblock.New(cfg.InitialPages),
+		clk:        cfg.Clock,
+		cfg:        cfg,
+		shards:     make([]shard, ns),
+		shardMask:  uint64(ns - 1),
+		apps:       make(map[int]*App),
+		owners:     make(map[uint64]*Owner),
+		latchWaits: metrics.NewShardCounters("lock table latch waits", ns),
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.table = make(map[Name]*lockHeader)
+		s.waiting = make(map[*request]struct{})
+		s.pool = m.chain.NewPool(cfg.LeaseChunk)
+	}
+	return m
+}
+
+// hashName mixes a Name into a well-distributed 64-bit value
+// (splitmix64-style finalizer).
+func hashName(n Name) uint64 {
+	x := n.Row*0x9E3779B97F4A7C15 ^ uint64(n.Table)*0xBF58476D1CE4E5B9 ^ uint64(n.Gran)<<56
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// shardOf returns the index of the shard owning name.
+func (m *Manager) shardOf(name Name) int {
+	return int(hashName(name) & m.shardMask)
+}
+
+// shardFor returns the shard owning name without latching it.
+func (m *Manager) shardFor(name Name) *shard {
+	return &m.shards[m.shardOf(name)]
+}
+
+// lockShard latches shard i, counting contended acquisitions.
+func (m *Manager) lockShard(i int) *shard {
+	s := &m.shards[i]
+	if !s.mu.TryLock() {
+		m.latchWaits.Shard(i).Inc()
+		s.mu.Lock()
+	}
+	return s
+}
+
+// runGlobal executes f with every shard latch held (taken in ascending
+// index order), then drains the continuation queue before unlatching.
+func (m *Manager) runGlobal(f func()) {
+	for i := range m.shards {
+		m.lockShard(i)
+	}
+	f()
+	m.drainConts()
+	for i := len(m.shards) - 1; i >= 0; i-- {
+		m.shards[i].mu.Unlock()
+	}
+}
+
+// enqueueCont defers a continuation to the next global drain.
+func (m *Manager) enqueueCont(f func(*Manager)) {
+	m.contMu.Lock()
+	m.conts = append(m.conts, f)
+	m.contMu.Unlock()
+	m.contN.Add(1)
+}
+
+// drainConts runs queued continuations FIFO until none remain. Caller holds
+// all shard latches; continuations may enqueue further continuations.
+func (m *Manager) drainConts() {
+	for m.contN.Load() > 0 {
+		m.contMu.Lock()
+		if len(m.conts) == 0 {
+			m.contMu.Unlock()
+			return
+		}
+		f := m.conts[0]
+		m.conts = m.conts[1:]
+		if len(m.conts) == 0 {
+			m.conts = nil
+		}
+		m.contMu.Unlock()
+		m.contN.Add(-1)
+		f(m)
+	}
+}
+
+// flushConts drains pending continuations, if any, by briefly entering
+// global mode. Fast-path operations call it after releasing their shard
+// latch.
+func (m *Manager) flushConts() {
+	if m.contN.Load() > 0 {
+		m.runGlobal(func() {})
 	}
 }
 
 // RegisterApp adds a connected application.
 func (m *Manager) RegisterApp() *App {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.ownersMu.Lock()
+	defer m.ownersMu.Unlock()
 	m.nextApp++
 	a := &App{id: m.nextApp}
 	m.apps[a.id] = a
+	m.numApps.Add(1)
 	return a
 }
 
 // UnregisterApp removes an application. The caller must have released all
 // of its owners' locks first.
 func (m *Manager) UnregisterApp(a *App) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if a.structs != 0 {
-		return fmt.Errorf("lockmgr: app %d still holds %d lock structures", a.id, a.structs)
+	m.ownersMu.Lock()
+	defer m.ownersMu.Unlock()
+	if n := a.structs.Load(); n != 0 {
+		return fmt.Errorf("lockmgr: app %d still holds %d lock structures", a.id, n)
 	}
-	delete(m.apps, a.id)
+	if _, ok := m.apps[a.id]; ok {
+		delete(m.apps, a.id)
+		m.numApps.Add(-1)
+	}
 	return nil
 }
 
 // NumApps returns the number of connected applications — the
-// num_applications input of minLockMemory.
+// num_applications input of minLockMemory. It is lock-free.
 func (m *Manager) NumApps() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.apps)
+	return int(m.numApps.Load())
 }
 
 // NewOwner creates a lock owner (transaction) for an application.
 func (m *Manager) NewOwner(a *App) *Owner {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.ownersMu.Lock()
+	defer m.ownersMu.Unlock()
 	m.nextOwner++
 	o := &Owner{
 		id:      m.nextOwner,
 		app:     a,
-		held:    make(map[Name]*request),
 		byTable: make(map[uint32]*ownerTable),
 	}
 	m.owners[o.id] = o
@@ -358,7 +769,11 @@ func (m *Manager) NewOwner(a *App) *Owner {
 // lock contiguous row chunks that account as multiple structures). The
 // returned Pending may already be complete.
 func (m *Manager) AcquireAsync(o *Owner, name Name, mode Mode, weight int) *Pending {
-	p := newPending()
+	// The request and its Pending are one allocation: the dominant cost
+	// of an uncontended acquire on the fast path is the allocator, not
+	// the latch.
+	box := &requestAndPending{}
+	p := &box.pend
 	if !mode.Valid() || weight < 1 {
 		p.complete(StatusDenied, fmt.Errorf("lockmgr: invalid request mode=%v weight=%d", mode, weight))
 		return p
@@ -367,17 +782,27 @@ func (m *Manager) AcquireAsync(o *Owner, name Name, mode Mode, weight int) *Pend
 		p.complete(StatusDenied, errors.New("lockmgr: table locks have weight 1"))
 		return p
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	req := &request{
-		owner:   o,
-		name:    name,
-		mode:    mode,
-		weight:  weight,
-		pending: p,
+	req := &box.req
+	req.owner = o
+	req.name = name
+	req.mode = mode
+	req.weight = weight
+	req.pending = p
+	s := m.lockShard(m.shardOf(name))
+	ok := m.startRequest(s, req, false)
+	s.mu.Unlock()
+	if !ok {
+		// The fast path backed out (quota or lease shortfall) without
+		// mutating anything; re-run the full admission pipeline with
+		// every latch held.
+		m.runGlobal(func() {
+			if !m.startRequest(s, req, true) {
+				panic("lockmgr: global admission deferred")
+			}
+		})
+		return p
 	}
-	m.startRequest(req)
-	m.drainGrants()
+	m.flushConts()
 	return p
 }
 
@@ -385,6 +810,12 @@ func (m *Manager) AcquireAsync(o *Owner, name Name, mode Mode, weight int) *Pend
 // cancellation. On cancellation the request is withdrawn.
 func (m *Manager) Acquire(ctx context.Context, o *Owner, name Name, mode Mode, weight int) error {
 	p := m.AcquireAsync(o, name, mode, weight)
+	if st, err := p.Status(); st != StatusWaiting {
+		if st == StatusDenied {
+			return err
+		}
+		return nil
+	}
 	select {
 	case <-p.Done():
 		_, err := p.Status()
@@ -402,36 +833,47 @@ func (m *Manager) Acquire(ctx context.Context, o *Owner, name Name, mode Mode, w
 }
 
 // startRequest runs the admission pipeline for a new or parked request:
-// coverage, conversion, quota, allocation, grant-or-enqueue. Caller holds
-// m.mu.
-func (m *Manager) startRequest(req *request) {
+// coverage, conversion, quota, allocation, grant-or-enqueue. s must be
+// name's home shard. In fast mode (global == false) the caller holds only
+// that latch; a false return means the request could not be admitted
+// locally and nothing was mutated — the caller restarts it in global mode,
+// where the caller holds every latch and startRequest always returns true.
+func (m *Manager) startRequest(s *shard, req *request, global bool) bool {
 	o, name := req.owner, req.name
 	req.parked = false
 
+	o.mu.Lock()
 	if o.released {
 		// Use-after-release: the transaction already committed or
 		// aborted. Granting would leak a lock with no one to free it.
+		o.mu.Unlock()
 		req.pending.complete(StatusDenied,
 			fmt.Errorf("lockmgr: owner %d already released", o.id))
-		return
+		return true
 	}
 
 	// Coverage: a table lock the owner already holds may subsume a row
-	// request (notably right after this owner escalated).
+	// request (notably right after this owner escalated). The table lock
+	// may live in another shard; its owner-visible fields are stable
+	// under o.mu.
 	if name.Gran == GranRow {
 		if ot := o.byTable[name.Table]; ot != nil && ot.tableReq != nil && ot.tableReq.granted &&
 			!ot.tableReq.converting && covers(ot.tableReq.mode, req.mode) {
+			o.mu.Unlock()
 			m.grant(req)
-			return
+			return true
 		}
 	}
+	cur, isHeld := o.held.get(name)
 
-	// Conversion: the owner already holds this lock.
-	if cur, ok := o.held[name]; ok && cur.granted {
+	// Conversion: the owner already holds this lock. cur is homed in this
+	// very shard, so its queue state is stable under the latch we hold.
+	if isHeld && cur.granted {
+		o.mu.Unlock()
 		target := Supremum(cur.mode, req.mode)
 		if target == cur.mode {
 			m.grant(req) // already strong enough; nothing to do
-			return
+			return true
 		}
 		if cur.converting {
 			// One conversion at a time per lock keeps the protocol
@@ -439,37 +881,81 @@ func (m *Manager) startRequest(req *request) {
 			// transaction-layer bug.
 			req.pending.complete(StatusDenied,
 				fmt.Errorf("lockmgr: %v already converting", name))
-			return
+			return true
 		}
 		m.startConversion(cur, target, req.pending, req.onGrant, req.onDeny)
-		return
+		return true
 	}
 
-	// New lock: enforce the application quota, then allocate structures.
-	if !m.admitStructs(req) {
-		return // admitStructs completed the pending (denied or parked)
+	if global {
+		// The full admission pipeline may escalate, which re-enters this
+		// owner's state (releaseGranted takes o.mu); drop o.mu first.
+		o.mu.Unlock()
+		switch m.admitStructsGlobal(req) {
+		case admitDone:
+			return true // pipeline completed the pending (denied/parked)
+		default:
+		}
+		h := s.headerFor(name)
+		if len(h.converters) == 0 && len(h.waiters) == 0 && Compatible(req.mode, h.groupMode) {
+			m.installGranted(h, req)
+			m.grant(req)
+			return true
+		}
+		req.deadline = m.deadline()
+		h.waiters = append(h.waiters, req)
+		req.header = h
+		s.waiting[req] = struct{}{}
+		m.stats.waits.Add(1)
+		return true
 	}
 
-	h := m.headerFor(name)
+	// Fast path: quota check and allocation touch only atomics and the
+	// latched shard's lease pool, so o.mu stays held straight through the
+	// grant — one critical section instead of two. On any obstacle, back
+	// out with nothing mutated and let the caller go global.
+	app := o.app
+	if over, _ := m.overQuota(app, req.weight); over {
+		o.mu.Unlock()
+		return false // quota growth/escalation needs all latches
+	}
+	hdl, ok := s.pool.Alloc(req.weight)
+	if !ok {
+		// The shard lease could not be refilled: free structures may be
+		// stranded in other shards' pools, or memory is genuinely
+		// exhausted. Either way the global path decides (flush, grow,
+		// escalate).
+		o.mu.Unlock()
+		return false
+	}
+	req.handle = hdl
+	app.structs.Add(int64(req.weight))
+	h := s.headerFor(name)
 	if len(h.converters) == 0 && len(h.waiters) == 0 && Compatible(req.mode, h.groupMode) {
-		m.installGranted(h, req)
+		m.installGrantedLocked(h, req)
+		o.mu.Unlock()
 		m.grant(req)
-		return
+		return true
 	}
+	o.mu.Unlock()
 	req.deadline = m.deadline()
 	h.waiters = append(h.waiters, req)
 	req.header = h
-	m.waiting[req] = struct{}{}
-	m.stats.Waits++
+	s.waiting[req] = struct{}{}
+	m.stats.waits.Add(1)
+	return true
 }
 
 // startConversion upgrades a granted request to target mode, waiting in the
 // converter queue if incompatible holders exist. extra pending/handlers are
-// attached to the conversion outcome.
+// attached to the conversion outcome. Caller holds cur's home shard latch.
 func (m *Manager) startConversion(cur *request, target Mode, p *Pending, onGrant func(*Manager), onDeny func(*Manager, error)) {
 	h := cur.header
+	o := cur.owner
+	o.mu.Lock()
 	cur.converting = true
 	cur.convert = target
+	o.mu.Unlock()
 	cur.pending = p
 	cur.onGrant = onGrant
 	cur.onDeny = onDeny
@@ -479,35 +965,50 @@ func (m *Manager) startConversion(cur *request, target Mode, p *Pending, onGrant
 	}
 	cur.deadline = m.deadline()
 	h.converters = append(h.converters, cur)
-	m.waiting[cur] = struct{}{}
-	m.stats.Waits++
+	m.shardFor(cur.name).waiting[cur] = struct{}{}
+	m.stats.waits.Add(1)
 }
 
 // canConvert reports whether cur can convert to target given the other
-// granted holders. Caller holds m.mu.
+// granted holders. Caller holds cur's home shard latch.
 func (m *Manager) canConvert(cur *request, target Mode) bool {
-	for _, g := range cur.header.granted {
+	ok := true
+	cur.header.eachGranted(func(g *request) bool {
 		if g != cur && !Compatible(target, g.mode) {
+			ok = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return ok
 }
 
 func (m *Manager) finishConversion(cur *request) {
+	o := cur.owner
+	o.mu.Lock()
 	cur.mode = cur.convert
 	cur.converting = false
 	cur.convert = ModeNone
+	o.mu.Unlock()
 	cur.header.recomputeGroupMode()
 	m.grant(cur)
 }
 
-// admitStructs enforces the per-application quota and allocates weight
-// structures for req, escalating or growing synchronously as needed. It
-// returns true when the request may proceed to the lock table. On false the
-// pending has been completed or the request parked behind an escalation.
-// Caller holds m.mu.
-func (m *Manager) admitStructs(req *request) bool {
+// admitResult is the outcome of the admission/allocation step.
+type admitResult uint8
+
+const (
+	// admitOK — structures allocated; proceed to the lock table.
+	admitOK admitResult = iota
+	// admitDone — the pending was completed (denied) or the request was
+	// parked behind an escalation; nothing further to do.
+	admitDone
+)
+
+// admitStructsGlobal is the full admission pipeline — quota growth,
+// escalation, pool repatriation, synchronous growth — run with every shard
+// latch held. It never returns admitRetryGlobal.
+func (m *Manager) admitStructsGlobal(req *request) admitResult {
 	app := req.owner.app
 
 	if over, quota := m.overQuota(app, req.weight); over {
@@ -518,16 +1019,12 @@ func (m *Manager) admitStructs(req *request) bool {
 		// Applications that declared a preference for escalation skip
 		// the growth and escalate directly.
 		if m.cfg.GrowSync != nil && quota > 0 && !prefersEscalation(m.cfg.Quota, app.id) {
-			needCap := int(float64(app.structs+req.weight)*100/quota) + 1
+			needCap := int(float64(app.structs.Load()+int64(req.weight))*100/quota) + 1
 			needBlocks := (needCap - m.chain.Capacity() + memblock.StructsPerBlock - 1) / memblock.StructsPerBlock
 			if needBlocks > 0 {
 				if granted := m.cfg.GrowSync(needBlocks * memblock.BlockPages); granted > 0 {
 					m.chain.Grow(granted)
-					m.stats.SyncGrowths++
-					m.stats.SyncGrowthPages += int64(granted)
-					if m.cfg.Events != nil {
-						m.cfg.Events.OnSyncGrowth(granted)
-					}
+					m.noteSyncGrowth(granted)
 				}
 			}
 			over, quota = m.overQuota(app, req.weight)
@@ -537,24 +1034,28 @@ func (m *Manager) admitStructs(req *request) bool {
 			// escalate this application's largest table, then retry
 			// the request.
 			if m.escalate(req.owner, req) {
-				return false // parked behind the escalation
+				return admitDone // parked behind the escalation
 			}
 			// Nothing to escalate: the request alone exceeds the quota.
-			m.stats.QuotaDenials++
+			m.stats.quotaDenials.Add(1)
 			if m.cfg.Events != nil {
 				m.cfg.Events.OnDenial(app.id, ErrQuotaExceeded)
 			}
 			req.pending.complete(StatusDenied, fmt.Errorf("%w: %d structs held + %d requested > %.1f%% of %d",
-				ErrQuotaExceeded, app.structs, req.weight, quota, m.chain.Capacity()))
-			return false
+				ErrQuotaExceeded, app.structs.Load(), req.weight, quota, m.chain.Capacity()))
+			return admitDone
 		}
 	}
 
-	h, err := m.chain.Alloc(req.weight)
-	if err == nil {
+	// Repatriate per-shard leases before the allocation of last resort, so
+	// structures idling in pools never masquerade as memory pressure.
+	if m.chain.Unreserved() < req.weight {
+		m.flushPools()
+	}
+	if h, err := m.chain.Alloc(req.weight); err == nil {
 		req.handle = h
-		app.structs += req.weight
-		return true
+		app.structs.Add(int64(req.weight))
+		return admitOK
 	}
 
 	// Memory exhausted: grow synchronously from overflow memory. Requests
@@ -565,30 +1066,42 @@ func (m *Manager) admitStructs(req *request) bool {
 		needPages := needBlocks * memblock.BlockPages
 		if granted := m.cfg.GrowSync(needPages); granted > 0 {
 			m.chain.Grow(granted)
-			m.stats.SyncGrowths++
-			m.stats.SyncGrowthPages += int64(granted)
-			if m.cfg.Events != nil {
-				m.cfg.Events.OnSyncGrowth(granted)
-			}
+			m.noteSyncGrowth(granted)
 			if h, err := m.chain.Alloc(req.weight); err == nil {
 				req.handle = h
-				app.structs += req.weight
-				return true
+				app.structs.Add(int64(req.weight))
+				return admitOK
 			}
 		}
 	}
 
 	// Still constrained: escalate to free structures.
 	if m.escalate(req.owner, req) {
-		return false // parked; retried after the escalation completes
+		return admitDone // parked; retried after the escalation completes
 	}
 
-	m.stats.MemoryDenials++
+	m.stats.memoryDenials.Add(1)
 	if m.cfg.Events != nil {
 		m.cfg.Events.OnDenial(app.id, ErrLockMemory)
 	}
 	req.pending.complete(StatusDenied, ErrLockMemory)
-	return false
+	return admitDone
+}
+
+func (m *Manager) noteSyncGrowth(pages int) {
+	m.stats.syncGrowths.Add(1)
+	m.stats.syncGrowthPages.Add(int64(pages))
+	if m.cfg.Events != nil {
+		m.cfg.Events.OnSyncGrowth(pages)
+	}
+}
+
+// flushPools returns every shard's lease to the chain. Caller holds all
+// shard latches.
+func (m *Manager) flushPools() {
+	for i := range m.shards {
+		m.shards[i].pool.Flush()
+	}
 }
 
 // overQuota reports whether adding weight structures would put the app above
@@ -599,32 +1112,46 @@ func (m *Manager) overQuota(app *App, weight int) (bool, float64) {
 	}
 	quota := m.cfg.Quota.QuotaPercent(app.id, m.chain.Requests(), m.chain.Used())
 	limit := quota / 100 * float64(m.chain.Capacity())
-	return float64(app.structs+weight) > limit, quota
+	return float64(app.structs.Load()+int64(weight)) > limit, quota
 }
 
-// headerFor returns (creating if necessary) the lock table entry for name.
-func (m *Manager) headerFor(name Name) *lockHeader {
-	h, ok := m.table[name]
+// headerFor returns (creating if necessary) the lock table entry for name,
+// recycling headers from the shard's freelist. Caller holds the shard latch.
+func (s *shard) headerFor(name Name) *lockHeader {
+	h, ok := s.table[name]
 	if !ok {
-		h = &lockHeader{name: name, granted: make(map[*Owner]*request)}
-		m.table[name] = h
+		if n := len(s.hfree); n > 0 {
+			h = s.hfree[n-1]
+			s.hfree[n-1] = nil
+			s.hfree = s.hfree[:n-1]
+			h.name = name
+		} else {
+			h = &lockHeader{name: name}
+		}
+		s.table[name] = h
 	}
 	return h
 }
 
-// installGranted records req as a granted holder of h.
+// installGranted records req as a granted holder of h. Caller holds the
+// home shard latch.
 func (m *Manager) installGranted(h *lockHeader, req *request) {
-	req.header = h
-	req.granted = true
-	h.granted[req.owner] = req
-	h.groupMode = Supremum(h.groupMode, req.mode)
-	m.indexOwner(req)
+	o := req.owner
+	o.mu.Lock()
+	m.installGrantedLocked(h, req)
+	o.mu.Unlock()
 }
 
-// indexOwner wires req into its owner's held/byTable maps.
-func (m *Manager) indexOwner(req *request) {
+// installGrantedLocked is installGranted for callers already holding the
+// owner's mutex (the fast acquire path). Caller holds the home shard latch
+// and req.owner.mu.
+func (m *Manager) installGrantedLocked(h *lockHeader, req *request) {
+	req.header = h
+	h.addGranted(req)
+	h.groupMode = Supremum(h.groupMode, req.mode)
 	o := req.owner
-	o.held[req.name] = req
+	req.granted = true
+	o.held.set(req.name, req)
 	ot := o.byTable[req.name.Table]
 	if ot == nil {
 		ot = &ownerTable{rows: make(map[uint64]*request)}
@@ -639,44 +1166,29 @@ func (m *Manager) indexOwner(req *request) {
 }
 
 // grant completes req's pending as granted and queues its continuation (if
-// any) for drainGrants. Covered and no-op grants hold no structures and are
-// not registered in the lock table; they pass through here all the same.
+// any) for the next global drain. Covered and no-op grants hold no
+// structures and are not registered in the lock table; they pass through
+// here all the same.
 func (m *Manager) grant(req *request) {
-	m.stats.Grants++
+	m.stats.grants.Add(1)
 	p := req.pending
+	og := req.onGrant
 	req.pending = nil
-	req.onDeny = nil
+	req.onGrant, req.onDeny = nil, nil
 	if p != nil {
 		p.complete(StatusGranted, nil)
 	}
-	if req.onGrant != nil {
-		m.grantQueue = append(m.grantQueue, req)
+	if og != nil {
+		m.enqueueCont(og)
 	}
-}
-
-// drainGrants runs deferred onGrant continuations (escalation steps)
-// iteratively to avoid recursion through post(). Caller holds m.mu.
-func (m *Manager) drainGrants() {
-	if m.draining {
-		return
-	}
-	m.draining = true
-	for len(m.grantQueue) > 0 {
-		req := m.grantQueue[0]
-		m.grantQueue = m.grantQueue[1:]
-		og := req.onGrant
-		req.onGrant = nil
-		if og != nil {
-			og(m)
-		}
-	}
-	m.draining = false
 }
 
 // deny completes a waiting request with err, reverting conversions and
-// freeing structures of never-granted requests. Caller holds m.mu.
+// freeing structures of never-granted requests. Caller holds the home shard
+// latch.
 func (m *Manager) deny(req *request, err error) {
-	delete(m.waiting, req)
+	s := m.shardFor(req.name)
+	delete(s.waiting, req)
 	if req.granted && !req.converting {
 		// Defensive: the request was granted between being selected as
 		// a victim and this call; there is nothing left to deny.
@@ -691,11 +1203,14 @@ func (m *Manager) deny(req *request, err error) {
 				break
 			}
 		}
+		o := req.owner
+		o.mu.Lock()
 		req.converting = false
 		req.convert = ModeNone
+		o.mu.Unlock()
 		// The dead converter may have been the head of the priority
 		// queue, blocking requests that are now grantable.
-		m.post(h)
+		m.post(s, h)
 	} else if h != nil {
 		for i, w := range h.waiters {
 			if w == req {
@@ -703,49 +1218,69 @@ func (m *Manager) deny(req *request, err error) {
 				break
 			}
 		}
-		m.freeRequestStructs(req)
+		m.freeRequestStructs(s, req)
 		// Likewise: an incompatible head waiter's removal can unblock
 		// the requests queued behind it.
-		m.post(h)
-		m.maybeDeleteHeader(h)
+		m.post(s, h)
+		s.cacheOrEvict(h)
+	} else {
+		// Parked request: never entered a queue, but may hold structures
+		// if it was parked after allocation (it is not today; keep the
+		// accounting safe regardless).
+		m.freeRequestStructs(s, req)
 	}
 	p := req.pending
-	req.pending = nil
 	od := req.onDeny
+	req.pending = nil
 	req.onGrant, req.onDeny = nil, nil
 	if p != nil {
 		p.complete(StatusDenied, err)
 	}
 	if od != nil {
-		od(m, err)
+		m.enqueueCont(func(mm *Manager) { od(mm, err) })
 	}
 }
 
-func (m *Manager) freeRequestStructs(req *request) {
+// freeRequestStructs returns req's structures to its home shard's lease
+// pool. s must be req's home shard; the caller holds its latch.
+func (m *Manager) freeRequestStructs(s *shard, req *request) {
 	if req.handle.Structs() > 0 {
-		m.chain.Free(req.handle)
-		req.owner.app.structs -= req.weight
+		s.pool.Free(req.handle)
+		req.owner.app.structs.Add(-int64(req.weight))
 		req.handle = memblock.Handle{}
 	}
 }
 
-func (m *Manager) maybeDeleteHeader(h *lockHeader) {
-	if h != nil && h.empty() {
-		delete(m.table, h.name)
+// cacheOrEvict removes an empty header from the shard's table and recycles
+// it on the bounded freelist (its emptied granted map is reused by the next
+// header the shard creates). Caller holds the shard latch.
+func (s *shard) cacheOrEvict(h *lockHeader) {
+	if h == nil || !h.empty() {
+		return
+	}
+	delete(s.table, h.name)
+	if len(s.hfree) < headerFreelistCap {
+		h.groupMode = ModeNone
+		h.converters = nil
+		h.waiters = nil
+		s.hfree = append(s.hfree, h)
 	}
 }
 
 // post wakes queued requests on h after a release or conversion, in strict
 // FIFO order: converters first, then waiters, stopping at the first
-// incompatible request. Caller holds m.mu.
-func (m *Manager) post(h *lockHeader) {
+// incompatible request. s is h's shard; the caller holds its latch.
+func (m *Manager) post(s *shard, h *lockHeader) {
+	if len(h.converters) == 0 && len(h.waiters) == 0 {
+		return
+	}
 	for len(h.converters) > 0 {
 		c := h.converters[0]
 		if !m.canConvert(c, c.convert) {
 			return // converters have priority; nothing else may jump
 		}
 		h.converters = h.converters[1:]
-		delete(m.waiting, c)
+		delete(s.waiting, c)
 		m.finishConversion(c)
 	}
 	for len(h.waiters) > 0 {
@@ -754,19 +1289,28 @@ func (m *Manager) post(h *lockHeader) {
 			return
 		}
 		h.waiters = h.waiters[1:]
-		delete(m.waiting, w)
+		delete(s.waiting, w)
 		m.installGranted(h, w)
 		m.grant(w)
 	}
 }
 
 // releaseGranted removes a granted request from the lock table, frees its
-// structures, and posts the queue. Caller holds m.mu.
+// structures, and posts the queue. Caller holds the home shard latch.
 func (m *Manager) releaseGranted(req *request) {
-	h := req.header
+	s := m.shardFor(req.name)
 	o := req.owner
-	delete(h.granted, o)
-	delete(o.held, req.name)
+	o.mu.Lock()
+	m.releaseOwnerStateLocked(req)
+	o.mu.Unlock()
+	m.finishRelease(s, req)
+}
+
+// releaseOwnerStateLocked unlinks req from its owner's indexes. Caller
+// holds the home shard latch and req.owner.mu.
+func (m *Manager) releaseOwnerStateLocked(req *request) {
+	o := req.owner
+	o.held.del(req.name)
 	if ot := o.byTable[req.name.Table]; ot != nil {
 		if req.name.Gran == GranTable {
 			ot.tableReq = nil
@@ -774,32 +1318,53 @@ func (m *Manager) releaseGranted(req *request) {
 			delete(ot.rows, req.name.Row)
 			ot.rowStructs -= req.weight
 		}
-		if ot.tableReq == nil && len(ot.rows) == 0 {
-			delete(o.byTable, req.name.Table)
-		}
+		// The (now possibly empty) ownerTable entry is kept: a
+		// transaction cycling locks on the same table reuses it and its
+		// rows map instead of reallocating both every time.
 	}
 	req.granted = false
-	m.freeRequestStructs(req)
+}
+
+// finishRelease completes a release after the owner state is unlinked:
+// lock-table removal, structure free, FIFO posting. s must be req's home
+// shard; the caller holds its latch (and NOT req.owner.mu — posting may
+// take other owners' mutexes).
+func (m *Manager) finishRelease(s *shard, req *request) {
+	h := req.header
+	h.removeGranted(req.owner)
+	m.freeRequestStructs(s, req)
 	h.recomputeGroupMode()
-	m.post(h)
-	m.maybeDeleteHeader(h)
+	m.post(s, h)
+	s.cacheOrEvict(h)
 }
 
 // Release drops one granted lock, or cancels a waiting request for name.
 // Strict 2PL callers use ReleaseAll instead; Release supports weaker
 // isolation (e.g. cursor-stability read locks released at fetch).
 func (m *Manager) Release(o *Owner, name Name) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	req, ok := o.held[name]
+	s := m.lockShard(m.shardOf(name))
+	o.mu.Lock()
+	req, ok := o.held.get(name)
 	if !ok {
+		o.mu.Unlock()
+		s.mu.Unlock()
 		return fmt.Errorf("lockmgr: owner %d does not hold %v", o.id, name)
 	}
 	if req.converting {
+		// Rare path: withdraw the in-flight conversion first. deny and
+		// releaseGranted take o.mu themselves.
+		o.mu.Unlock()
 		m.deny(req, ErrCanceled)
+		m.releaseGranted(req)
+		s.mu.Unlock()
+		m.flushConts()
+		return nil
 	}
-	m.releaseGranted(req)
-	m.drainGrants()
+	m.releaseOwnerStateLocked(req)
+	o.mu.Unlock()
+	m.finishRelease(s, req)
+	s.mu.Unlock()
+	m.flushConts()
 	return nil
 }
 
@@ -807,49 +1372,72 @@ func (m *Manager) Release(o *Owner, name Name) error {
 // parked request, or an in-flight conversion (which reverts to its granted
 // mode).
 func (m *Manager) cancel(o *Owner, name Name) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for req := range m.waiting {
+	s := m.lockShard(m.shardOf(name))
+	for req := range s.waiting {
 		if req.owner == o && req.name == name {
 			m.deny(req, ErrCanceled)
 			break
 		}
 	}
-	m.drainGrants()
+	s.mu.Unlock()
+	m.flushConts()
 }
 
 // ReleaseAll releases every lock held or requested by the owner and removes
-// the owner. Called at transaction commit or abort.
+// the owner. Called at transaction commit or abort. Shards are visited one
+// at a time in ascending order; per-lock FIFO posting happens as each shard
+// is processed.
 func (m *Manager) ReleaseAll(o *Owner) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	o.mu.Lock()
+	o.released = true
+	o.mu.Unlock()
+
 	// Cancel outstanding waits first (abort path).
-	for req := range m.waiting {
-		if req.owner == o {
+	for i := range m.shards {
+		s := m.lockShard(i)
+		var victims []*request
+		for req := range s.waiting {
+			if req.owner == o {
+				victims = append(victims, req)
+			}
+		}
+		for _, req := range victims {
 			m.deny(req, ErrCanceled)
 		}
+		s.mu.Unlock()
 	}
 	// Release row locks before table locks so coverage bookkeeping stays
 	// consistent, then everything else.
-	for _, req := range snapshotHeld(o, GranRow) {
-		m.releaseGranted(req)
-	}
-	for _, req := range snapshotHeld(o, GranTable) {
-		m.releaseGranted(req)
-	}
-	o.released = true
+	m.releaseAllGran(o, GranRow)
+	m.releaseAllGran(o, GranTable)
+
+	m.ownersMu.Lock()
 	delete(m.owners, o.id)
-	m.drainGrants()
+	m.ownersMu.Unlock()
+	m.flushConts()
 }
 
-func snapshotHeld(o *Owner, g Granularity) []*request {
-	out := make([]*request, 0, len(o.held))
-	for _, r := range o.held {
-		if r.name.Gran == g {
-			out = append(out, r)
+// releaseAllGran releases every granted lock of one granularity, shard by
+// shard. The snapshot of each shard's requests is taken under that shard's
+// latch (plus o.mu), so a concurrent escalation continuation cannot leave a
+// stale request in the batch.
+func (m *Manager) releaseAllGran(o *Owner, g Granularity) {
+	var batch []*request
+	for i := range m.shards {
+		s := m.lockShard(i)
+		batch = batch[:0]
+		o.mu.Lock()
+		o.held.each(func(_ Name, r *request) {
+			if r.name.Gran == g && m.shardOf(r.name) == i {
+				batch = append(batch, r)
+			}
+		})
+		o.mu.Unlock()
+		for _, r := range batch {
+			m.releaseGranted(r)
 		}
+		s.mu.Unlock()
 	}
-	return out
 }
 
 // deadline computes the wait deadline for a new waiter.
@@ -862,51 +1450,62 @@ func (m *Manager) deadline() time.Time {
 
 // SweepTimeouts denies waiting requests whose deadline has passed and
 // returns how many were denied. The simulation calls this each tick; a
-// real-time deployment calls it from a ticker goroutine.
+// real-time deployment calls it from a ticker goroutine. Each shard is
+// swept independently.
 func (m *Manager) SweepTimeouts() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.cfg.LockTimeout <= 0 {
 		return 0
 	}
 	now := m.clk.Now()
-	var victims []*request
-	for req := range m.waiting {
-		if !req.deadline.IsZero() && now.After(req.deadline) {
-			victims = append(victims, req)
-		}
-	}
 	denied := 0
-	for _, req := range victims {
-		// An earlier denial's queue post may have granted this one.
-		if req.pending == nil {
-			continue
+	for i := range m.shards {
+		s := m.lockShard(i)
+		var victims []*request
+		for req := range s.waiting {
+			if !req.deadline.IsZero() && now.After(req.deadline) {
+				victims = append(victims, req)
+			}
 		}
-		if st, _ := req.pending.Status(); st != StatusWaiting {
-			continue
+		for _, req := range victims {
+			// An earlier denial's queue post may have granted this one.
+			if req.pending == nil {
+				continue
+			}
+			if st, _ := req.pending.Status(); st != StatusWaiting {
+				continue
+			}
+			m.stats.timeouts.Add(1)
+			if m.cfg.Events != nil {
+				m.cfg.Events.OnTimeout(req.owner.app.id)
+			}
+			m.deny(req, ErrTimeout)
+			denied++
 		}
-		m.stats.Timeouts++
-		if m.cfg.Events != nil {
-			m.cfg.Events.OnTimeout(req.owner.app.id)
-		}
-		m.deny(req, ErrTimeout)
-		denied++
+		s.mu.Unlock()
 	}
-	m.drainGrants()
+	m.flushConts()
 	return denied
 }
 
 // Resize grows or shrinks the lock memory toward targetPages. Growth is
 // exact (whole blocks); shrinking is best-effort, limited to entirely free
-// blocks, per the section 2.2 protocol. It returns the new size in pages.
+// blocks, per the section 2.2 protocol — shard leases are flushed first so
+// idle pool reservations never pin blocks against the tuner. It returns the
+// new size in pages.
 func (m *Manager) Resize(targetPages int) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	cur := m.chain.Pages()
 	switch {
 	case targetPages > cur:
 		m.chain.Grow(targetPages - cur)
 	case targetPages < cur:
+		// Flush each shard's lease under its latch, then shrink. A pool
+		// may re-lease between its flush and the shrink; ShrinkBest is
+		// best-effort either way.
+		for i := range m.shards {
+			s := m.lockShard(i)
+			s.pool.Flush()
+			s.mu.Unlock()
+		}
 		m.chain.ShrinkBest(cur - targetPages)
 	}
 	return m.chain.Pages()
@@ -915,49 +1514,136 @@ func (m *Manager) Resize(targetPages int) int {
 // GrowPages grows the lock memory by exactly the given pages (rounded up to
 // blocks); used when synchronous growth is managed externally.
 func (m *Manager) GrowPages(pages int) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.chain.Grow(pages)
 }
 
-// Pages returns the current lock memory size in pages.
+// Pages returns the current lock memory size in pages. Lock-free.
 func (m *Manager) Pages() int { return m.chain.Pages() }
 
-// UsedStructs returns the lock structures in use.
+// UsedStructs returns the lock structures in use. Lock-free; structures
+// leased to shard pools but not serving a request count as free.
 func (m *Manager) UsedStructs() int { return m.chain.Used() }
 
 // CapacityStructs returns the lock structures the allocation can hold.
+// Lock-free.
 func (m *Manager) CapacityStructs() int { return m.chain.Capacity() }
 
+// FreeStructs returns the lock structures not serving a request, including
+// those leased to shard pools. UsedStructs + FreeStructs ==
+// CapacityStructs holds at all times. Lock-free.
+func (m *Manager) FreeStructs() int { return m.chain.FreeStructs() }
+
 // FreeFraction returns the fraction of lock structures that are free.
+// Lock-free.
 func (m *Manager) FreeFraction() float64 { return m.chain.FreeFraction() }
 
 // StructRequests returns the cumulative lock-structure request count.
+// Lock-free.
 func (m *Manager) StructRequests() int64 { return m.chain.Requests() }
 
-// UsedPages returns lock-structure usage in whole pages.
+// UsedPages returns lock-structure usage in whole pages. Lock-free.
 func (m *Manager) UsedPages() int { return m.chain.UsedPages() }
 
 // AppStructs returns the lock structures currently held by an application.
+// Lock-free.
 func (m *Manager) AppStructs(a *App) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return a.structs
+	return int(a.structs.Load())
 }
 
-// Stats returns a snapshot of the event counters.
+// Stats returns a snapshot of the event counters. Lock-free: the snapshot
+// is not a single atomic cut across counters, which monitoring tolerates.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Grants:               m.stats.grants.Load(),
+		Waits:                m.stats.waits.Load(),
+		Timeouts:             m.stats.timeouts.Load(),
+		Deadlocks:            m.stats.deadlocks.Load(),
+		Escalations:          m.stats.escalations.Load(),
+		ExclusiveEscalations: m.stats.exclusiveEscalations.Load(),
+		MemoryDenials:        m.stats.memoryDenials.Load(),
+		QuotaDenials:         m.stats.quotaDenials.Load(),
+		SyncGrowths:          m.stats.syncGrowths.Load(),
+		SyncGrowthPages:      m.stats.syncGrowthPages.Load(),
+	}
 }
 
 // HeldMode returns the mode the owner currently holds on name, or ModeNone.
 func (m *Manager) HeldMode(o *Owner, name Name) Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if req, ok := o.held[name]; ok && req.granted {
+	s := m.lockShard(m.shardOf(name))
+	defer s.mu.Unlock()
+	o.mu.Lock()
+	req, ok := o.held.get(name)
+	o.mu.Unlock()
+	if ok && req.granted {
 		return req.mode
 	}
 	return ModeNone
+}
+
+// NumShards returns the number of lock-table shards.
+func (m *Manager) NumShards() int { return len(m.shards) }
+
+// LatchWaits returns the total number of contended shard-latch
+// acquisitions — the direct measure of lock-table latch contention the
+// striping is meant to eliminate. Lock-free.
+func (m *Manager) LatchWaits() int64 { return m.latchWaits.Total() }
+
+// LatchWaitCounters exposes the per-shard latch-wait counters for metrics
+// wiring.
+func (m *Manager) LatchWaitCounters() *metrics.ShardCounters { return m.latchWaits }
+
+// ShardStats is a point-in-time view of one lock-table shard.
+type ShardStats struct {
+	// LatchWaits is the number of contended latch acquisitions.
+	LatchWaits int64
+	// LeaseRefills is the number of lease batches taken from the chain.
+	LeaseRefills int64
+	// LeaseReturns is the number of lease batches given back.
+	LeaseReturns int64
+	// PooledStructs is the shard's current idle lease balance.
+	PooledStructs int
+	// Locks is the number of lock headers in the shard.
+	Locks int
+	// Waiting is the number of requests waiting in the shard.
+	Waiting int
+}
+
+// ShardStatsSnapshot captures each shard's counters, latching shards one at
+// a time.
+func (m *Manager) ShardStatsSnapshot() []ShardStats {
+	out := make([]ShardStats, len(m.shards))
+	for i := range m.shards {
+		s := m.lockShard(i)
+		out[i] = ShardStats{
+			LatchWaits:    m.latchWaits.Shard(i).Value(),
+			LeaseRefills:  s.pool.Refills(),
+			LeaseReturns:  s.pool.Returns(),
+			PooledStructs: s.pool.Structs(),
+			Locks:         len(s.table),
+			Waiting:       len(s.waiting),
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// LeaseRefills returns the cumulative number of lease batches shards have
+// taken from the chain; with LeaseReturns it measures how often the chain
+// mutex appears on the data path.
+func (m *Manager) LeaseRefills() int64 {
+	var n int64
+	for i := range m.shards {
+		n += m.shards[i].pool.Refills()
+	}
+	return n
+}
+
+// LeaseReturns returns the cumulative number of lease batches given back to
+// the chain.
+func (m *Manager) LeaseReturns() int64 {
+	var n int64
+	for i := range m.shards {
+		n += m.shards[i].pool.Returns()
+	}
+	return n
 }

@@ -19,6 +19,18 @@
 //     structures, sets them aside, and frees them only if enough were found;
 //     otherwise the set-aside blocks are reintegrated and the request fails.
 //
+// Concurrency model. The block lists are guarded by a single mutex, but the
+// hot counters — structures in use, capacity, cumulative requests — are
+// atomics, so the introspection surface (Used, Capacity, FreeStructs,
+// FreeFraction, Requests, Pages) never contends with allocation. On top of
+// the chain sit per-shard lease Pools: a Pool reserves structures from the
+// chain in batches (block inUse accounting moves at lease granularity) and
+// then serves allocations and frees without touching the chain mutex at
+// all, adjusting only the atomic used counter. Reserved-but-unused
+// structures still count as free in Used/FreeStructs — the accounting the
+// STMM tuner sees is exact request-level usage, and
+// Used + FreeStructs == Capacity holds at all times.
+//
 // The simulation accounts memory virtually — no 128 KB buffers are really
 // allocated — but the block-list mechanics, counts and failure modes are the
 // real algorithm.
@@ -28,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Memory layout constants shared by the whole system.
@@ -75,7 +88,7 @@ const (
 type block struct {
 	prev, next *block
 	list       listID
-	inUse      int // structures currently allocated from this block
+	inUse      int // structures reserved from this block (used or pooled)
 }
 
 // list is an intrusive doubly linked list of blocks.
@@ -130,14 +143,52 @@ type part struct {
 // Handle represents one allocation of lock structures. A single allocation
 // may span blocks when it straddles the exhaustion of the head block. Free a
 // handle exactly once; the zero Handle is valid and frees nothing.
+//
+// The first part is stored inline so the common case — an allocation served
+// from a single block — performs no heap allocation at all. Only multi-block
+// allocations spill into the extra slice.
 type Handle struct {
-	parts []part
+	p0    part
+	extra []part
+}
+
+// add appends structures taken from one block, merging with the most recent
+// part when it references the same block.
+func (h *Handle) add(pt part) {
+	if pt.n <= 0 {
+		return
+	}
+	if h.p0.b == nil {
+		h.p0 = pt
+		return
+	}
+	if len(h.extra) == 0 {
+		if h.p0.b == pt.b {
+			h.p0.n += pt.n
+			return
+		}
+	} else if last := &h.extra[len(h.extra)-1]; last.b == pt.b {
+		last.n += pt.n
+		return
+	}
+	h.extra = append(h.extra, pt)
+}
+
+// allParts returns the handle's parts as one slice; it allocates and is
+// meant for tests and diagnostics, not the hot path.
+func (h Handle) allParts() []part {
+	if h.p0.b == nil {
+		return nil
+	}
+	out := make([]part, 0, 1+len(h.extra))
+	out = append(out, h.p0)
+	return append(out, h.extra...)
 }
 
 // Structs returns the number of lock structures covered by the handle.
 func (h Handle) Structs() int {
-	n := 0
-	for _, p := range h.parts {
+	n := h.p0.n
+	for _, p := range h.extra {
 		n += p.n
 	}
 	return n
@@ -148,8 +199,11 @@ type Chain struct {
 	mu        sync.Mutex
 	avail     list // blocks with at least one free structure (or untouched)
 	exhausted list // fully in-use blocks ("empty block" list in the paper)
-	used      int  // structures in use across all blocks
-	requests  int64
+	reserved  int  // structures reserved across all blocks (sum of inUse); guarded by mu
+
+	used     atomic.Int64 // structures allocated to requests (exact usage)
+	capacity atomic.Int64 // total structures across all blocks
+	requests atomic.Int64 // cumulative request-allocation attempts
 }
 
 // New creates a chain sized to the given number of 4 KB pages, rounded up to
@@ -180,68 +234,93 @@ func (c *Chain) Grow(pages int) int {
 	for i := 0; i < nb; i++ {
 		c.avail.pushTail(&block{}, onAvail)
 	}
+	c.capacity.Add(int64(nb) * StructsPerBlock)
 	c.mu.Unlock()
 	return nb * BlockPages
 }
 
-// Alloc takes n lock structures from the chain, preferring the head block.
-// It returns ErrNoMemory — without allocating anything — if fewer than n
-// structures are free in total. Every call counts as one lock-structure
-// request for the purposes of refreshPeriodForAppPercent.
-func (c *Chain) Alloc(n int) (Handle, error) {
-	if n <= 0 {
-		return Handle{}, fmt.Errorf("memblock: invalid allocation size %d", n)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.requests++
-	if c.freeLocked() < n {
-		return Handle{}, ErrNoMemory
-	}
-	var h Handle
-	remaining := n
-	for remaining > 0 {
+// reserveLocked takes up to n structures from the blocks, preferring the
+// head block, and appends the parts to h. It returns the structures actually
+// reserved. Caller holds c.mu.
+func (c *Chain) reserveLocked(n int, h *Handle) int {
+	got := 0
+	for got < n {
 		b := c.avail.head
-		free := StructsPerBlock - b.inUse
-		take := free
-		if take > remaining {
-			take = remaining
+		if b == nil {
+			break
+		}
+		take := StructsPerBlock - b.inUse
+		if take > n-got {
+			take = n - got
 		}
 		b.inUse += take
-		c.used += take
-		h.parts = append(h.parts, part{b: b, n: take})
-		remaining -= take
+		c.reserved += take
+		h.add(part{b: b, n: take})
+		got += take
 		if b.inUse == StructsPerBlock {
 			c.avail.remove(b)
 			c.exhausted.pushHead(b, onExhausted)
 		}
 	}
+	return got
+}
+
+// unreserveLocked returns the reservation covered by h to its blocks. A
+// block that receives structures back returns to the head of the available
+// list, per the paper. Caller holds c.mu.
+func (c *Chain) unreserveLocked(h Handle) {
+	if h.p0.b != nil {
+		c.unreservePart(h.p0)
+	}
+	for _, p := range h.extra {
+		c.unreservePart(p)
+	}
+}
+
+func (c *Chain) unreservePart(p part) {
+	if p.n <= 0 {
+		return
+	}
+	if p.b.inUse < p.n {
+		panic(fmt.Sprintf("memblock: double free (block inUse=%d, freeing %d)", p.b.inUse, p.n))
+	}
+	p.b.inUse -= p.n
+	c.reserved -= p.n
+	if p.b.list == onExhausted {
+		c.exhausted.remove(p.b)
+		c.avail.pushHead(p.b, onAvail)
+	}
+}
+
+// Alloc takes n lock structures from the chain, preferring the head block.
+// It returns ErrNoMemory — without allocating anything — if fewer than n
+// structures are unreserved in total. Every call counts as one lock-structure
+// request for the purposes of refreshPeriodForAppPercent.
+func (c *Chain) Alloc(n int) (Handle, error) {
+	if n <= 0 {
+		return Handle{}, fmt.Errorf("memblock: invalid allocation size %d", n)
+	}
+	c.requests.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(c.capacity.Load())-c.reserved < n {
+		return Handle{}, ErrNoMemory
+	}
+	var h Handle
+	c.reserveLocked(n, &h)
+	c.used.Add(int64(n))
 	return h, nil
 }
 
-// Free releases the structures covered by h back to their blocks. A block
-// that receives freed structures returns to the head of the available list,
-// per the paper, so it will satisfy the next request before untouched blocks.
+// Free releases the structures covered by h back to their blocks.
 func (c *Chain) Free(h Handle) {
-	if len(h.parts) == 0 {
+	if h.p0.b == nil {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, p := range h.parts {
-		if p.n <= 0 {
-			continue
-		}
-		if p.b.inUse < p.n {
-			panic(fmt.Sprintf("memblock: double free (block inUse=%d, freeing %d)", p.b.inUse, p.n))
-		}
-		p.b.inUse -= p.n
-		c.used -= p.n
-		if p.b.list == onExhausted {
-			c.exhausted.remove(p.b)
-			c.avail.pushHead(p.b, onAvail)
-		}
-	}
+	c.unreserveLocked(h)
+	c.mu.Unlock()
+	c.used.Add(int64(-h.Structs()))
 }
 
 // Shrink releases enough entirely free blocks to give back the requested
@@ -271,6 +350,7 @@ func (c *Chain) Shrink(pages int) (int, error) {
 	for _, b := range setAside {
 		c.avail.remove(b)
 	}
+	c.capacity.Add(int64(-nb) * StructsPerBlock)
 	return nb * BlockPages, nil
 }
 
@@ -294,22 +374,13 @@ func (c *Chain) ShrinkBest(pages int) int {
 		}
 		b = prev
 	}
+	c.capacity.Add(int64(-freed) * StructsPerBlock)
 	return freed * BlockPages
-}
-
-func (c *Chain) freeLocked() int {
-	return c.capacityLocked() - c.used
-}
-
-func (c *Chain) capacityLocked() int {
-	return (c.avail.n + c.exhausted.n) * StructsPerBlock
 }
 
 // Blocks returns the total number of blocks in the chain.
 func (c *Chain) Blocks() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.avail.n + c.exhausted.n
+	return int(c.capacity.Load()) / StructsPerBlock
 }
 
 // Pages returns the chain size in 4 KB pages.
@@ -319,40 +390,35 @@ func (c *Chain) Pages() int {
 
 // Capacity returns the total number of lock structures the chain can hold.
 func (c *Chain) Capacity() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.capacityLocked()
+	return int(c.capacity.Load())
 }
 
-// Used returns the number of lock structures currently allocated.
+// Used returns the number of lock structures currently allocated to
+// requests. Structures leased to pools but not yet serving a request do not
+// count: Used + FreeStructs == Capacity at all times.
 func (c *Chain) Used() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.used
+	return int(c.used.Load())
 }
 
-// FreeStructs returns the number of unallocated lock structures.
+// FreeStructs returns the number of lock structures not serving a request.
 func (c *Chain) FreeStructs() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.freeLocked()
+	return int(c.capacity.Load() - c.used.Load())
 }
 
 // FreeFraction returns the fraction of lock structures that are allocated
 // but unused — the quantity the tuner holds between minFreeLockMemory and
 // maxFreeLockMemory. An empty chain reports 0.
 func (c *Chain) FreeFraction() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cap := c.capacityLocked()
+	cap := c.capacity.Load()
 	if cap == 0 {
 		return 0
 	}
-	return float64(cap-c.used) / float64(cap)
+	return float64(cap-c.used.Load()) / float64(cap)
 }
 
 // WhollyFreeBlocks returns the number of blocks with no structures in use —
-// the candidates for shrinking.
+// the candidates for shrinking. Blocks pinned by outstanding pool leases
+// count as in use; call Pool.Flush first for an exact shrinkability figure.
 func (c *Chain) WhollyFreeBlocks() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -368,28 +434,53 @@ func (c *Chain) WhollyFreeBlocks() int {
 // UsedPages returns the lock-structure usage expressed in whole 4 KB pages,
 // rounded up. This is the "used lock memory" figure the tuner works with.
 func (c *Chain) UsedPages() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.used == 0 {
+	used := int(c.used.Load())
+	if used == 0 {
 		return 0
 	}
-	return (c.used + StructsPerPage - 1) / StructsPerPage
+	return (used + StructsPerPage - 1) / StructsPerPage
 }
 
-// Requests returns the cumulative number of Alloc calls — the paper's
-// "requests for new lock structures", which clocks the recomputation of
-// lockPercentPerApplication.
+// Requests returns the cumulative number of request allocations — the
+// paper's "requests for new lock structures", which clocks the recomputation
+// of lockPercentPerApplication.
 func (c *Chain) Requests() int64 {
+	return c.requests.Load()
+}
+
+// Reserved returns the structures currently reserved from blocks — request
+// usage plus outstanding pool leases. Reserved - Used is exactly the number
+// of structures sitting idle in lease pools.
+func (c *Chain) Reserved() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.requests
+	return c.reserved
+}
+
+// Unreserved returns the structures available for immediate reservation
+// (capacity minus reservations, including pool leases). Callers that find
+// Unreserved short of a request flush the lease pools first: the flushed
+// structures become unreserved again and Unreserved rises back to
+// FreeStructs.
+func (c *Chain) Unreserved() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int(c.capacity.Load()) - c.reserved
+}
+
+// CheckInvariants verifies internal consistency — block-list tags, the
+// reserved/capacity/used accounting identities — and returns the first
+// violation found. The lock manager's own CheckInvariants calls it so a
+// single self-check covers both layers.
+func (c *Chain) CheckInvariants() error {
+	return c.checkInvariants()
 }
 
 // checkInvariants verifies internal consistency; used by tests.
 func (c *Chain) checkInvariants() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	used := 0
+	reserved, blocks := 0, 0
 	for b := c.avail.head; b != nil; b = b.next {
 		if b.list != onAvail {
 			return errors.New("block on avail list with wrong tag")
@@ -397,7 +488,8 @@ func (c *Chain) checkInvariants() error {
 		if b.inUse >= StructsPerBlock {
 			return errors.New("fully used block on avail list")
 		}
-		used += b.inUse
+		reserved += b.inUse
+		blocks++
 	}
 	for b := c.exhausted.head; b != nil; b = b.next {
 		if b.list != onExhausted {
@@ -406,10 +498,177 @@ func (c *Chain) checkInvariants() error {
 		if b.inUse != StructsPerBlock {
 			return errors.New("non-full block on exhausted list")
 		}
-		used += b.inUse
+		reserved += b.inUse
+		blocks++
 	}
-	if used != c.used {
-		return fmt.Errorf("used mismatch: sum=%d tracked=%d", used, c.used)
+	if reserved != c.reserved {
+		return fmt.Errorf("reserved mismatch: sum=%d tracked=%d", reserved, c.reserved)
+	}
+	if cap := int(c.capacity.Load()); cap != blocks*StructsPerBlock {
+		return fmt.Errorf("capacity mismatch: atomic=%d blocks=%d", cap, blocks*StructsPerBlock)
+	}
+	if used := int(c.used.Load()); used > reserved {
+		return fmt.Errorf("used %d exceeds reserved %d", used, reserved)
 	}
 	return nil
 }
+
+// ---------------------------------------------------------------------------
+// Lease pools
+
+// DefaultLeaseChunk is the number of structures a Pool leases from the chain
+// at a time: 1/16 of a block. Small enough that idle pools pin little
+// memory, large enough to amortize the chain mutex over many allocations.
+const DefaultLeaseChunk = StructsPerBlock / 16
+
+// Pool is a lease cache in front of a Chain: it reserves structures from
+// the chain in chunks and then serves Alloc/Free without the chain mutex,
+// adjusting only the chain's atomic usage counter. Each lock-table shard
+// owns one Pool.
+//
+// A Pool is NOT safe for concurrent use — the owning shard's latch guards
+// it. Flush is called by cross-shard operations (shrink, allocation of last
+// resort) with that same latch held.
+//
+// Parts are kept in a LIFO stack with adjacent same-block merging, so a
+// steady acquire/release workload reuses the same reservation indefinitely
+// and the pool's behaviour is deterministic (no map iteration).
+type Pool struct {
+	c     *Chain
+	parts []part
+	n     int // structures currently pooled
+	chunk int
+
+	refills atomic.Int64 // chain leases taken (refill batches)
+	returns atomic.Int64 // chain leases returned (overflow batches)
+}
+
+// NewPool creates a lease pool over the chain. chunk <= 0 selects
+// DefaultLeaseChunk.
+func (c *Chain) NewPool(chunk int) *Pool {
+	if chunk <= 0 {
+		chunk = DefaultLeaseChunk
+	}
+	return &Pool{c: c, chunk: chunk}
+}
+
+// push adds a part to the pool, merging with the top part when it
+// references the same block.
+func (p *Pool) push(pt part) {
+	if pt.n <= 0 {
+		return
+	}
+	if len(p.parts) > 0 && p.parts[len(p.parts)-1].b == pt.b {
+		p.parts[len(p.parts)-1].n += pt.n
+	} else {
+		p.parts = append(p.parts, pt)
+	}
+	p.n += pt.n
+}
+
+// take removes up to n structures from the pool stack and appends them to h.
+func (p *Pool) take(n int, h *Handle) {
+	for n > 0 {
+		top := &p.parts[len(p.parts)-1]
+		t := top.n
+		if t > n {
+			t = n
+		}
+		h.add(part{b: top.b, n: t})
+		top.n -= t
+		p.n -= t
+		n -= t
+		if top.n == 0 {
+			p.parts = p.parts[:len(p.parts)-1]
+		}
+	}
+}
+
+// Alloc takes n structures from the pool, refilling from the chain in chunk
+// batches when short. It returns ok=false — allocating nothing — when even
+// a refill cannot cover the request; the caller falls back to the chain
+// allocation of last resort (which reclaims other pools' leases first).
+// A successful Alloc counts as one lock-structure request.
+func (p *Pool) Alloc(n int) (Handle, bool) {
+	if n <= 0 {
+		return Handle{}, false
+	}
+	if p.n < n {
+		want := n - p.n
+		if want < p.chunk {
+			want = p.chunk
+		}
+		var lease Handle
+		p.c.mu.Lock()
+		p.c.reserveLocked(want, &lease)
+		p.c.mu.Unlock()
+		p.refills.Add(1)
+		if lease.p0.b != nil {
+			p.push(lease.p0)
+		}
+		for _, pt := range lease.extra {
+			p.push(pt)
+		}
+		if p.n < n {
+			return Handle{}, false
+		}
+	}
+	var h Handle
+	p.take(n, &h)
+	p.c.used.Add(int64(n))
+	p.c.requests.Add(1)
+	return h, true
+}
+
+// Free returns the structures covered by h to the pool. When the pool holds
+// more than 4 chunks it returns the excess above one chunk to the chain, so
+// idle shards do not pin lock memory against shrinking.
+func (p *Pool) Free(h Handle) {
+	total := h.Structs()
+	if total == 0 {
+		return
+	}
+	if h.p0.b != nil {
+		p.push(h.p0)
+	}
+	for _, pt := range h.extra {
+		p.push(pt)
+	}
+	p.c.used.Add(int64(-total))
+	if p.n > 4*p.chunk {
+		p.release(p.n - p.chunk)
+	}
+}
+
+// release returns n pooled structures to the chain.
+func (p *Pool) release(n int) {
+	if n <= 0 || p.n == 0 {
+		return
+	}
+	if n > p.n {
+		n = p.n
+	}
+	var h Handle
+	p.take(n, &h)
+	p.c.mu.Lock()
+	p.c.unreserveLocked(h)
+	p.c.mu.Unlock()
+	p.returns.Add(1)
+}
+
+// Flush returns every pooled structure to the chain. Cross-shard operations
+// call it (with the shard latch held) before shrinking or before the
+// allocation of last resort, so free structures stranded in per-shard pools
+// become visible to the whole system.
+func (p *Pool) Flush() {
+	p.release(p.n)
+}
+
+// Structs returns the number of structures currently pooled.
+func (p *Pool) Structs() int { return p.n }
+
+// Refills returns the cumulative number of chain lease batches taken.
+func (p *Pool) Refills() int64 { return p.refills.Load() }
+
+// Returns returns the cumulative number of lease batches given back.
+func (p *Pool) Returns() int64 { return p.returns.Load() }

@@ -94,8 +94,8 @@ func TestAllocSpansBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(h.parts) != 2 {
-		t.Fatalf("allocation spanning blocks has %d parts, want 2", len(h.parts))
+	if len(h.allParts()) != 2 {
+		t.Fatalf("allocation spanning blocks has %d parts, want 2", len(h.allParts()))
 	}
 	if got := c.Used(); got != StructsPerBlock+10 {
 		t.Fatalf("used = %d", got)
@@ -119,7 +119,7 @@ func TestHeadReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hB.parts[0].b == hA.parts[0].b {
+	if hB.allParts()[0].b == hA.allParts()[0].b {
 		t.Fatal("allocation after exhaustion should come from block B")
 	}
 	// Free A's structures: A returns to the head.
@@ -128,7 +128,7 @@ func TestHeadReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hA2.parts[0].b != hA.parts[0].b {
+	if hA2.allParts()[0].b != hA.allParts()[0].b {
 		t.Fatal("after freeing, new requests must be satisfied from block A again")
 	}
 	if err := c.checkInvariants(); err != nil {
@@ -265,7 +265,7 @@ func TestGrowAddsToTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h2.parts[0].b != h.parts[0].b {
+	if h2.allParts()[0].b != h.allParts()[0].b {
 		t.Fatal("growth must append to the tail; head allocation order changed")
 	}
 }

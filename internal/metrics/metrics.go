@@ -50,6 +50,51 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// ShardCounters is a fixed-width array of counters, one per shard of a
+// striped data structure (e.g. the lock manager's latch-wait counts). Each
+// shard increments its own cache line-distant counter; readers aggregate
+// with Total or inspect the distribution with Values. All methods are safe
+// for concurrent use.
+type ShardCounters struct {
+	name string
+	cs   []Counter
+}
+
+// NewShardCounters creates a counter per shard. shards must be positive.
+func NewShardCounters(name string, shards int) *ShardCounters {
+	if shards < 1 {
+		shards = 1
+	}
+	return &ShardCounters{name: name, cs: make([]Counter, shards)}
+}
+
+// Name returns the collection's name.
+func (s *ShardCounters) Name() string { return s.name }
+
+// Len returns the number of shards.
+func (s *ShardCounters) Len() int { return len(s.cs) }
+
+// Shard returns the counter for one shard.
+func (s *ShardCounters) Shard(i int) *Counter { return &s.cs[i] }
+
+// Total returns the sum across all shards.
+func (s *ShardCounters) Total() int64 {
+	var t int64
+	for i := range s.cs {
+		t += s.cs[i].Value()
+	}
+	return t
+}
+
+// Values returns a snapshot of every shard's count.
+func (s *ShardCounters) Values() []int64 {
+	out := make([]int64, len(s.cs))
+	for i := range s.cs {
+		out[i] = s.cs[i].Value()
+	}
+	return out
+}
+
 // Sample is one observation of a series: a value at a simulation time
 // expressed in seconds since the start of the run.
 type Sample struct {

@@ -97,6 +97,7 @@ func Run(cfg Config) *Result {
 	quota := set.Series("lockPercentPerApplication", "%")
 	overflow := set.Series("overflow", "pages")
 	bufferPool := set.Series("bufferpool", "pages")
+	latchWaits := set.Series("latch waits", "count")
 
 	res := &Result{Series: set}
 	var lastCommits int64
@@ -168,6 +169,7 @@ func Run(cfg Config) *Result {
 			quota.Record(now, snap.QuotaPercent)
 			overflow.Record(now, float64(snap.Overflow))
 			bufferPool.Record(now, float64(snap.BufferPoolPages))
+			latchWaits.Record(now, float64(snap.LockLatchWaits))
 		}
 	}
 

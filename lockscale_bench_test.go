@@ -1,0 +1,252 @@
+package repro
+
+// BenchmarkLockScalability measures raw lock-manager throughput as the
+// number of client goroutines grows — the latch-contention regime the
+// sharded lock table is designed to open up. Three workloads:
+//
+//   - disjoint: every goroutine locks its own table's rows (no logical
+//     conflicts); measures pure latch/allocator scalability.
+//   - hotkey: all goroutines fight over a small set of rows with exclusive
+//     locks; measures queueing behaviour under genuine conflicts.
+//   - tpcc: a contended TPC-C-shaped mix (IX table intents + X row updates
+//     against a handful of warehouses, S reads on a shared item table)
+//     released transactionally via ReleaseAll.
+//
+// Each sub-benchmark reports grants/sec and the lock-table latch-wait count
+// (0 on implementations without per-shard contention counters). Set
+// BENCH_JSON=path to append one JSON record per run — the BENCH_*.json
+// trajectory format:
+//
+//	{"bench":"LockScalability","workload":"disjoint","goroutines":16,
+//	 "ns_per_op":123.4,"grants_per_sec":8.1e6,"latch_waits":42}
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lockmgr"
+)
+
+// latchWaitCounter is implemented by lock managers that export lock-table
+// latch contention counts (the sharded manager); the single-latch manager
+// predates it, so the benchmark degrades gracefully via type assertion.
+type latchWaitCounter interface {
+	LatchWaits() int64
+}
+
+func latchWaits(m *lockmgr.Manager) int64 {
+	if c, ok := interface{}(m).(latchWaitCounter); ok {
+		return c.LatchWaits()
+	}
+	return 0
+}
+
+type scaleRecord struct {
+	Bench        string  `json:"bench"`
+	Workload     string  `json:"workload"`
+	Goroutines   int     `json:"goroutines"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	GrantsPerSec float64 `json:"grants_per_sec"`
+	LatchWaits   int64   `json:"latch_waits"`
+}
+
+// emitScaleJSON appends rec to the file named by BENCH_JSON (one JSON object
+// per line), if set. Failures are reported but do not fail the benchmark.
+func emitScaleJSON(b *testing.B, rec scaleRecord) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		b.Logf("BENCH_JSON: %v", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(rec); err != nil {
+		b.Logf("BENCH_JSON: %v", err)
+	}
+}
+
+// reportScale converts a finished run into bench metrics plus the JSON line.
+func reportScale(b *testing.B, workload string, goroutines int, grants int64, elapsed time.Duration, waits int64) {
+	b.Helper()
+	if grants <= 0 || elapsed <= 0 {
+		return
+	}
+	gps := float64(grants) / elapsed.Seconds()
+	nsop := float64(elapsed.Nanoseconds()) / float64(grants)
+	b.ReportMetric(gps, "grants/sec")
+	b.ReportMetric(float64(waits), "latch-waits")
+	emitScaleJSON(b, scaleRecord{
+		Bench:        "LockScalability",
+		Workload:     workload,
+		Goroutines:   goroutines,
+		NsPerOp:      nsop,
+		GrantsPerSec: gps,
+		LatchWaits:   waits,
+	})
+}
+
+var scaleGoroutines = []int{1, 4, 16, 64}
+
+// BenchmarkLockScalability/disjoint: per-goroutine private key ranges.
+// Every operation is an uncontended acquire+release pair; any slowdown with
+// more goroutines is pure lock-manager overhead (latches, allocator).
+func BenchmarkLockScalability(b *testing.B) {
+	for _, g := range scaleGoroutines {
+		g := g
+		b.Run(fmt.Sprintf("disjoint/goroutines=%d", g), func(b *testing.B) {
+			m := lockmgr.New(lockmgr.Config{InitialPages: 32 * 256})
+			var wg sync.WaitGroup
+			perG := b.N/g + 1
+			start := make(chan struct{})
+			b.ResetTimer()
+			t0 := time.Now()
+			for i := 0; i < g; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					o := m.NewOwner(m.RegisterApp())
+					table := uint32(id + 1)
+					<-start
+					for n := 0; n < perG; n++ {
+						name := lockmgr.RowName(table, uint64(n%4096))
+						p := m.AcquireAsync(o, name, lockmgr.ModeX, 1)
+						if st, err := p.Status(); st != lockmgr.StatusGranted {
+							b.Error(err)
+							return
+						}
+						if err := m.Release(o, name); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					m.ReleaseAll(o)
+				}(i)
+			}
+			close(start)
+			wg.Wait()
+			elapsed := time.Since(t0)
+			b.StopTimer()
+			reportScale(b, "disjoint", g, int64(g*perG), elapsed, latchWaits(m))
+		})
+	}
+	for _, g := range scaleGoroutines {
+		g := g
+		b.Run(fmt.Sprintf("hotkey/goroutines=%d", g), func(b *testing.B) {
+			m := lockmgr.New(lockmgr.Config{InitialPages: 32 * 64})
+			var wg sync.WaitGroup
+			perG := b.N/g + 1
+			start := make(chan struct{})
+			ctx := context.Background()
+			b.ResetTimer()
+			t0 := time.Now()
+			for i := 0; i < g; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					o := m.NewOwner(m.RegisterApp())
+					<-start
+					for n := 0; n < perG; n++ {
+						// 64 hot rows shared by everyone, exclusive mode:
+						// real FIFO queueing on every collision.
+						name := lockmgr.RowName(1, uint64((n+id)%64))
+						if err := m.Acquire(ctx, o, name, lockmgr.ModeX, 1); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := m.Release(o, name); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					m.ReleaseAll(o)
+				}(i)
+			}
+			close(start)
+			wg.Wait()
+			elapsed := time.Since(t0)
+			b.StopTimer()
+			reportScale(b, "hotkey", g, int64(g*perG), elapsed, latchWaits(m))
+		})
+	}
+	for _, g := range scaleGoroutines {
+		g := g
+		b.Run(fmt.Sprintf("tpcc/goroutines=%d", g), func(b *testing.B) {
+			benchTPCCContended(b, g)
+		})
+	}
+}
+
+// benchTPCCContended runs a TPC-C-shaped transaction mix directly against
+// the lock manager: 4 warehouses shared by all terminals, each transaction
+// taking IX intents, X row updates in its district, and S reads on a shared
+// item table, then committing via ReleaseAll. Rows are locked in ascending
+// order so the mix is deadlock-free by construction.
+func benchTPCCContended(b *testing.B, g int) {
+	const (
+		warehouses  = 4
+		itemTable   = 100
+		updatesPer  = 5
+		readsPer    = 5
+		grantsPerTx = 2 + updatesPer + readsPer // IX wh + IX items... see below
+	)
+	m := lockmgr.New(lockmgr.Config{InitialPages: 32 * 256})
+	var wg sync.WaitGroup
+	perG := b.N/g + 1
+	start := make(chan struct{})
+	ctx := context.Background()
+	b.ResetTimer()
+	t0 := time.Now()
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			o := m.NewOwner(m.RegisterApp())
+			<-start
+			for n := 0; n < perG; n++ {
+				wh := uint32(1 + (id+n)%warehouses)
+				// Intent locks first (multigranularity discipline).
+				if err := m.Acquire(ctx, o, lockmgr.TableName(wh), lockmgr.ModeIX, 1); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := m.Acquire(ctx, o, lockmgr.TableName(itemTable), lockmgr.ModeIS, 1); err != nil {
+					b.Error(err)
+					return
+				}
+				// X updates on the terminal's district slice (contended
+				// across terminals sharing the warehouse), ascending.
+				base := uint64(id%10) * 100
+				for u := 0; u < updatesPer; u++ {
+					if err := m.Acquire(ctx, o, lockmgr.RowName(wh, base+uint64(u)), lockmgr.ModeX, 1); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				// S reads on the shared item table (compatible).
+				for r := 0; r < readsPer; r++ {
+					if err := m.Acquire(ctx, o, lockmgr.RowName(itemTable, uint64((n*readsPer+r)%1000)), lockmgr.ModeS, 1); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				m.ReleaseAll(o)
+				o = m.NewOwner(o.App())
+			}
+			m.ReleaseAll(o)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	b.StopTimer()
+	reportScale(b, "tpcc", g, int64(g*perG)*grantsPerTx, elapsed, latchWaits(m))
+}
