@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench verify fmt vet
+.PHONY: all build test race bench bench-lock bench-engine verify fmt vet
 
 all: build
 
@@ -11,15 +11,31 @@ test:
 	$(GO) test ./...
 
 # Race-detector runs for the concurrency-sensitive packages: the sharded
-# lock table and its block-chain lease pools.
+# lock table, its block-chain lease pools, and the engine facade that
+# exposes the latch-free snapshot path.
 race:
-	$(GO) test -race ./internal/lockmgr ./internal/memblock
+	$(GO) test -race ./internal/lockmgr ./internal/memblock ./internal/engine
 
-bench:
-	$(GO) test -run xxx -bench BenchmarkLockScalability -benchtime 1s .
+bench: bench-lock
+
+# bench-lock measures raw lock-table scalability (grant/release fast path
+# across goroutine counts). BENCH_JSON captures one record per run so
+# before/after numbers can be checked in (BENCH_LOCKSCALE_*.json).
+bench-lock:
+	BENCH_JSON=$${BENCH_JSON:-BENCH_LOCKSCALE.json} \
+		$(GO) test -run xxx -bench BenchmarkLockScalability -benchtime 1s .
+
+# bench-engine measures end-to-end engine commit throughput with the
+# control plane (deadlock detector + timeout sweep) off and on at the
+# simulator cadence. The detector-on/off gap is the cost of the control
+# plane; BENCH_ENGINE_*.json records the before/after evidence.
+bench-engine:
+	BENCH_JSON=$${BENCH_JSON:-BENCH_ENGINE.json} \
+		$(GO) test -run xxx -bench BenchmarkEngineThroughput -benchtime 1s .
 
 # verify is the tier-1 gate (see ROADMAP.md): formatting, vet, build, the
-# full test suite, and the race-detector pass over lockmgr/memblock.
+# full test suite, and the race-detector pass over the concurrency-
+# sensitive packages.
 verify: fmt vet build test race
 
 fmt:

@@ -444,15 +444,22 @@ type Snapshot struct {
 	FreeFraction    float64
 	LockStats       lockmgr.Stats
 	LockLatchWaits  int64
-	QuotaPercent    float64
-	Overflow        int
-	OverflowGoal    int
-	BufferPoolPages int
-	SortHeapPages   int
-	Commits, Aborts int64
-	ActiveTxns      int
-	NumApps         int
-	LMOC            int
+	// LockGlobalRuns counts all-shard latch acquisitions by the lock
+	// manager's control plane; LockGlobalHoldMax is the longest any single
+	// one froze the fast path (wall clock). Together they bound the stall
+	// the control plane has ever caused — in steady state neither should
+	// advance between snapshots.
+	LockGlobalRuns    int64
+	LockGlobalHoldMax time.Duration
+	QuotaPercent      float64
+	Overflow          int
+	OverflowGoal      int
+	BufferPoolPages   int
+	SortHeapPages     int
+	Commits, Aborts   int64
+	ActiveTxns        int
+	NumApps           int
+	LMOC              int
 }
 
 // Snapshot captures the current engine state.
@@ -460,20 +467,22 @@ func (db *Database) Snapshot() Snapshot {
 	mem := db.set.Snapshot()
 	commits, aborts, active := db.txns.Stats()
 	s := Snapshot{
-		LockPages:       db.locks.Pages(),
-		UsedStructs:     db.locks.UsedStructs(),
-		CapacityStructs: db.locks.CapacityStructs(),
-		FreeFraction:    db.locks.FreeFraction(),
-		LockStats:       db.locks.Stats(),
-		LockLatchWaits:  db.locks.LatchWaits(),
-		Overflow:        mem.Overflow,
-		OverflowGoal:    mem.OverflowGoal,
-		BufferPoolPages: mem.HeapPages["bufferpool"],
-		SortHeapPages:   mem.HeapPages["sortheap"],
-		Commits:         commits,
-		Aborts:          aborts,
-		ActiveTxns:      active,
-		NumApps:         db.locks.NumApps(),
+		LockPages:         db.locks.Pages(),
+		UsedStructs:       db.locks.UsedStructs(),
+		CapacityStructs:   db.locks.CapacityStructs(),
+		FreeFraction:      db.locks.FreeFraction(),
+		LockStats:         db.locks.Stats(),
+		LockLatchWaits:    db.locks.LatchWaits(),
+		LockGlobalRuns:    db.locks.GlobalRuns(),
+		LockGlobalHoldMax: db.locks.GlobalHoldMax(),
+		Overflow:          mem.Overflow,
+		OverflowGoal:      mem.OverflowGoal,
+		BufferPoolPages:   mem.HeapPages["bufferpool"],
+		SortHeapPages:     mem.HeapPages["sortheap"],
+		Commits:           commits,
+		Aborts:            aborts,
+		ActiveTxns:        active,
+		NumApps:           db.locks.NumApps(),
 	}
 	if db.ctl != nil {
 		s.QuotaPercent = db.ctl.CurrentQuota()

@@ -1,18 +1,51 @@
 package lockmgr
 
+import "sort"
+
 // Deadlock detection: a periodic waits-for-graph sweep, complementing lock
 // wait timeouts. Escalations to exclusive table locks readily produce
 // convert deadlocks (two holders of IX both upgrading to X), which is part
 // of why Figure 8's throughput collapses; the detector keeps the simulated
 // system live enough to measure rather than wedging entirely.
 //
-// The sweep needs a consistent view of every wait queue at once, so it is
-// a stop-the-world operation on the sharded lock table: DetectDeadlocks
-// latches all shards (ascending, via runGlobal) and walks each shard's
-// waiting set.
+// # Concurrent (epoch-snapshot) detection
+//
+// The sweep used to be stop-the-world: runGlobal latched every shard so the
+// graph was one consistent cut, periodically freezing the fast path the
+// sharding had just unblocked. It now runs in three phases and never takes
+// the all-shard latch:
+//
+//  1. Export. Each shard's wait-for edges (waiting request → blocking
+//     owners) are read under that shard's latch alone. waitEdges only
+//     touches the request's header — granted group, converter queue,
+//     earlier waiters — and a lock's entire queue lives in its home shard,
+//     so a single latch suffices. The result is a fuzzy snapshot: shards
+//     are sampled at different instants.
+//  2. Search. The owner-level graph is assembled and DFS cycle detection
+//     runs with no latches held at all. Each candidate cycle is kept as an
+//     explicit edge list, every edge carrying the waiting request that
+//     witnessed it.
+//  3. Re-validation. A fuzzy snapshot can contain phantom cycles (an edge
+//     observed in shard A may be gone by the time shard B is sampled), so
+//     no one is denied on snapshot evidence. For each candidate cycle the
+//     detector latches just the home shards of the cycle's witness
+//     requests — a handful, taken in ascending index order like every
+//     multi-shard path — and recomputes every edge fresh. Only if all
+//     edges hold simultaneously under those latches does the cycle exist
+//     at that instant, and a wait cycle that exists at an instant is a
+//     genuine deadlock: no false victims. Any edge that evaporated (a
+//     grant, release, timeout, or cancellation beat the detector) voids
+//     the cycle at the cost of a few latch acquisitions; a real deadlock
+//     is permanent and will validate on this pass or the next.
+//
+// The victim policy is unchanged: the youngest owner (largest id) on each
+// validated cycle is denied — all of its waiting requests, each counted —
+// and its granted locks survive (a denied conversion reverts to its granted
+// mode), so the transaction layer can roll it back.
 
-// waitEdges returns the owners blocking req. Caller holds all shard
-// latches (global mode).
+// waitEdges returns the owners blocking req. Caller holds req's home shard
+// latch (which owns req.header and every request queued on it); no other
+// latches are needed.
 func (m *Manager) waitEdges(req *request) []*Owner {
 	h := req.header
 	if h == nil {
@@ -46,95 +79,206 @@ func (m *Manager) waitEdges(req *request) []*Owner {
 	return out
 }
 
+// waitEdge is one observed owner→owner wait, witnessed by the waiting
+// request that produced it.
+type waitEdge struct {
+	from *Owner
+	to   *Owner
+	via  *request
+}
+
+// stillWaiting reports whether via is still a live queued request. Caller
+// holds via's home shard latch.
+func (m *Manager) stillWaiting(via *request) bool {
+	if via.pending == nil || via.parked {
+		return false
+	}
+	if st, _ := via.pending.Status(); st != StatusWaiting {
+		return false
+	}
+	_, ok := m.shardFor(via.name).waiting[via]
+	return ok
+}
+
+// blocksOn reports whether via (still waiting) is currently blocked by
+// owner to. Caller holds via's home shard latch.
+func (m *Manager) blocksOn(via *request, to *Owner) bool {
+	for _, o := range m.waitEdges(via) {
+		if o == to {
+			return true
+		}
+	}
+	return false
+}
+
 // DetectDeadlocks finds wait-for cycles and denies one victim per cycle —
 // the youngest owner (largest id), whose rollback is presumed cheapest. It
-// returns the number of victims denied.
+// returns the number of waiting requests denied. Steady-state cost is one
+// latch per shard, held briefly and one at a time; the all-shard latch is
+// never taken (GlobalRuns does not advance).
 func (m *Manager) DetectDeadlocks() int {
+	// Phase 1: export each shard's edges under its own latch.
+	edges := make(map[*Owner]map[*Owner]*request)
+	waitingBy := make(map[*Owner][]*request)
+	for i := range m.shards {
+		s := m.lockShard(i)
+		for req := range s.waiting {
+			if req.parked {
+				continue // parked requests hold no queue position
+			}
+			waitingBy[req.owner] = append(waitingBy[req.owner], req)
+			for _, to := range m.waitEdges(req) {
+				set := edges[req.owner]
+				if set == nil {
+					set = make(map[*Owner]*request)
+					edges[req.owner] = set
+				}
+				if set[to] == nil {
+					set[to] = req // first witness wins; any suffices
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+
+	// Phase 2: latch-free DFS over the snapshot graph, collecting each
+	// cycle as an explicit edge list.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[*Owner]int)
+	index := make(map[*Owner]int) // stack position of grey owners
+	var stack []*Owner
+	var cycles [][]waitEdge
+
+	var dfs func(o *Owner)
+	dfs = func(o *Owner) {
+		color[o] = grey
+		index[o] = len(stack)
+		stack = append(stack, o)
+		for to, via := range edges[o] {
+			switch color[to] {
+			case white:
+				dfs(to)
+			case grey:
+				// Cycle: the stack segment from to..o plus the closing
+				// edge o→to. Consecutive stack entries are connected by
+				// the edges DFS descended through.
+				seg := stack[index[to]:]
+				cyc := make([]waitEdge, 0, len(seg))
+				for k := 0; k+1 < len(seg); k++ {
+					cyc = append(cyc, waitEdge{
+						from: seg[k],
+						to:   seg[k+1],
+						via:  edges[seg[k]][seg[k+1]],
+					})
+				}
+				cyc = append(cyc, waitEdge{from: o, to: to, via: via})
+				cycles = append(cycles, cyc)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		delete(index, o)
+		color[o] = black
+	}
+	for o := range edges {
+		if color[o] == white {
+			dfs(o)
+		}
+	}
+
+	// Phase 3: re-validate each candidate cycle under only its own shards'
+	// latches; deny the youngest owner of each cycle that survives.
 	n := 0
-	m.runGlobal(func() {
-		// Build the owner-level waits-for graph from every shard's
-		// waiting set.
-		edges := make(map[*Owner]map[*Owner]struct{})
-		waitingBy := make(map[*Owner][]*request)
-		for i := range m.shards {
-			for req := range m.shards[i].waiting {
-				if req.parked {
-					continue // parked requests hold no queue position
-				}
-				waitingBy[req.owner] = append(waitingBy[req.owner], req)
-				for _, to := range m.waitEdges(req) {
-					set := edges[req.owner]
-					if set == nil {
-						set = make(map[*Owner]struct{})
-						edges[req.owner] = set
-					}
-					set[to] = struct{}{}
-				}
-			}
-		}
-
-		const (
-			white = 0
-			grey  = 1
-			black = 2
-		)
-		color := make(map[*Owner]int)
-		var stack []*Owner
-		victims := make(map[*Owner]struct{})
-
-		var dfs func(o *Owner)
-		dfs = func(o *Owner) {
-			color[o] = grey
-			stack = append(stack, o)
-			for to := range edges[o] {
-				if _, dead := victims[to]; dead {
-					continue
-				}
-				switch color[to] {
-				case white:
-					dfs(to)
-				case grey:
-					// Cycle: pick the youngest owner on the stack
-					// segment forming the cycle.
-					victim := to
-					for i := len(stack) - 1; i >= 0; i-- {
-						if stack[i].id > victim.id {
-							victim = stack[i]
-						}
-						if stack[i] == to {
-							break
-						}
-					}
-					victims[victim] = struct{}{}
-				}
-			}
-			stack = stack[:len(stack)-1]
-			color[o] = black
-		}
-		for o := range edges {
-			if color[o] == white {
-				dfs(o)
-			}
-		}
-
-		for v := range victims {
-			for _, req := range waitingBy[v] {
-				// Denying an earlier victim posts its queues, which may
-				// have granted or completed requests captured in this
-				// snapshot; a nil pending marks such stale entries.
-				if req.pending == nil {
-					continue
-				}
-				if st, _ := req.pending.Status(); st == StatusWaiting {
-					m.stats.deadlocks.Add(1)
-					if m.cfg.Events != nil {
-						m.cfg.Events.OnDeadlockVictim(v.app.id, v.id)
-					}
-					m.deny(req, ErrDeadlock)
-					n++
-				}
-			}
-		}
-	})
+	for _, cyc := range cycles {
+		n += m.validateAndBreak(cyc, waitingBy)
+	}
+	m.flushConts()
 	return n
+}
+
+// validateAndBreak re-checks one candidate cycle under the latches of the
+// shards hosting its witness requests and, if every edge still holds,
+// denies all waiting requests of the cycle's youngest owner. It returns the
+// number of requests denied (0 for a stale cycle).
+func (m *Manager) validateAndBreak(cyc []waitEdge, waitingBy map[*Owner][]*request) int {
+	// Collect the distinct home shards of the cycle's witnesses and latch
+	// them in ascending order — the same protocol runGlobal uses, so
+	// concurrent global sections and other validations cannot deadlock
+	// against us.
+	shardSet := make(map[int]struct{}, len(cyc))
+	for _, e := range cyc {
+		shardSet[m.shardOf(e.via.name)] = struct{}{}
+	}
+	shards := make([]int, 0, len(shardSet))
+	for i := range shardSet {
+		shards = append(shards, i)
+	}
+	sort.Ints(shards)
+	for _, i := range shards {
+		m.lockShard(i)
+	}
+	unlatch := func() {
+		for k := len(shards) - 1; k >= 0; k-- {
+			m.shards[shards[k]].mu.Unlock()
+		}
+	}
+
+	// Every edge must hold simultaneously under the held latches;
+	// otherwise some transaction in the candidate made progress and there
+	// is no deadlock here now.
+	var victim *Owner
+	for _, e := range cyc {
+		if !m.stillWaiting(e.via) || !m.blocksOn(e.via, e.to) {
+			unlatch()
+			return 0
+		}
+		if victim == nil || e.from.id > victim.id {
+			victim = e.from
+		}
+	}
+
+	// The cycle is proven. Deny the victim's waiting requests: those homed
+	// in already-latched shards now, the rest after unlatching (each under
+	// its own shard latch). The victim's in-cycle witness is necessarily in
+	// a latched shard, so the cycle is broken before the latches drop.
+	n := 0
+	var rest []*request
+	for _, req := range waitingBy[victim] {
+		if _, held := shardSet[m.shardOf(req.name)]; !held {
+			rest = append(rest, req)
+			continue
+		}
+		n += m.denyVictimReq(victim, req)
+	}
+	unlatch()
+	for _, req := range rest {
+		s := m.lockShard(m.shardOf(req.name))
+		n += m.denyVictimReq(victim, req)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// denyVictimReq denies one waiting request of a deadlock victim, if it is
+// still waiting, and updates the counters. Caller holds req's home shard
+// latch.
+func (m *Manager) denyVictimReq(v *Owner, req *request) int {
+	// Denying an earlier request posts its queues, which may have granted
+	// or completed requests captured in the snapshot; a nil pending (or a
+	// terminal status) marks such stale entries.
+	if req.pending == nil {
+		return 0
+	}
+	if st, _ := req.pending.Status(); st != StatusWaiting {
+		return 0
+	}
+	m.stats.deadlocks.Add(1)
+	if m.cfg.Events != nil {
+		m.cfg.Events.OnDeadlockVictim(v.app.id, v.id)
+	}
+	m.deny(req, ErrDeadlock)
+	return 1
 }

@@ -12,10 +12,16 @@ package lockmgr
 // escalation completes (its row locks having been freed, or the new table
 // lock covering it outright).
 //
-// Escalation touches one owner's locks across many shards (the victim
-// table's rows hash anywhere), so it runs only in global mode: every
-// function in this file requires all shard latches (see runGlobal). The
-// continuations it schedules are likewise drained only under all latches.
+// escalate itself still runs in global mode: it is reached only from the
+// admission pipeline of last resort (admitStructsGlobal), whose quota and
+// memory decisions need a consistent view of every pool and the chain. The
+// continuations it schedules — free the escalated rows, retry the parked
+// request, abandon it on failure — do NOT: they are drained with no latches
+// held and latch the shards they touch themselves, re-validating each
+// target under its latch. A row released, a transaction committed, or a
+// parked request timed out between enqueue and drain is simply observed and
+// skipped; stale snapshot entries cost a latch acquisition, never
+// correctness.
 
 // escalate promotes o's row locks on its most structure-hungry table.
 // parked, if non-nil, is the request that triggered escalation; it is
@@ -64,7 +70,7 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 	if parked != nil {
 		parked.parked = true
 		parked.deadline = m.deadline()
-		m.shardFor(parked.name).waiting[parked] = struct{}{}
+		m.shardFor(parked.name).addWaiting(parked)
 	}
 
 	continueAfter := func(m *Manager) {
@@ -72,19 +78,15 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 		m.retryParked(parked)
 	}
 	abandon := func(m *Manager, err error) {
-		// parked.pending is nil when the parked request was already
-		// completed (e.g. it timed out before the escalation did).
-		if parked != nil && parked.pending != nil {
-			if st, _ := parked.pending.Status(); st == StatusWaiting {
-				m.deny(parked, err)
-			}
-		}
+		m.abandonParked(parked, err)
 	}
 
 	if Supremum(victimOT.tableReq.mode, target) == victimOT.tableReq.mode {
 		// The table lock is already strong enough (e.g. a prior
-		// escalation); just shed the redundant row locks.
-		continueAfter(m)
+		// escalation); just shed the redundant row locks. The continuation
+		// self-latches, so it cannot run here under every latch — it is
+		// queued and drained as soon as the global section ends.
+		m.enqueueCont(continueAfter)
 		return true
 	}
 
@@ -93,41 +95,106 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 }
 
 // freeEscalatedRows releases every row lock o holds on the table; the
-// escalated table lock now covers them. Caller holds all shard latches
-// (global mode).
+// escalated table lock now covers them. It runs as a continuation with no
+// latches held: the row set is snapshotted under o.mu, grouped by home
+// shard, and every row is re-validated under its shard's latch (plus o.mu
+// for the map read) before release — rows the owner released or converted
+// in the meantime are skipped.
 func (m *Manager) freeEscalatedRows(o *Owner, table uint32) {
+	o.mu.Lock()
 	ot := o.byTable[table]
-	if ot == nil {
+	var rows []*request
+	if ot != nil {
+		rows = make([]*request, 0, len(ot.rows))
+		for _, r := range ot.rows {
+			rows = append(rows, r)
+		}
+	}
+	o.mu.Unlock()
+	if len(rows) == 0 {
 		return
 	}
-	rows := make([]*request, 0, len(ot.rows))
-	for _, r := range ot.rows {
-		rows = append(rows, r)
-	}
+
+	// Group by home shard so each shard is latched once.
+	byShard := make(map[int][]*request)
 	for _, r := range rows {
-		if r.converting {
-			// A row conversion in flight is subsumed by the table lock.
-			m.deny(r, ErrCanceled)
+		i := m.shardOf(r.name)
+		byShard[i] = append(byShard[i], r)
+	}
+	for i, batch := range byShard {
+		s := m.lockShard(i)
+		// Re-validate under the latch: a row request's granted/converting
+		// state and its ot.rows membership only change under its home
+		// shard latch (held) plus o.mu (taken for the map read), so the
+		// filtered batch is accurate for as long as we hold the latch.
+		live := batch[:0]
+		o.mu.Lock()
+		for _, r := range batch {
+			if ot.rows[r.name.Row] == r && r.granted {
+				live = append(live, r)
+			}
 		}
-		m.releaseGranted(r)
+		o.mu.Unlock()
+		for _, r := range live {
+			if r.converting {
+				// A row conversion in flight is subsumed by the table lock.
+				m.deny(r, ErrCanceled)
+			}
+			m.releaseGranted(r)
+		}
+		s.mu.Unlock()
 	}
 }
 
 // retryParked re-runs the admission pipeline for a request that was parked
 // behind an escalation, unless it was denied (timed out) in the meantime.
-// Caller holds all shard latches (global mode).
+// It runs as a continuation with no latches held: it latches the parked
+// request's home shard, re-checks that the request is still pending, and
+// first attempts fast-path admission — the escalation just freed structures,
+// so the common case grants locally. Only if the fast path backs out does
+// it fall back to the global pipeline.
 func (m *Manager) retryParked(parked *request) {
 	if parked == nil {
 		return
 	}
-	delete(m.shardFor(parked.name).waiting, parked)
+	s := m.lockShard(m.shardOf(parked.name))
+	s.delWaiting(parked)
 	if parked.pending == nil {
+		s.mu.Unlock()
 		return // already denied (timed out) while parked
 	}
 	if st, _ := parked.pending.Status(); st != StatusWaiting {
+		s.mu.Unlock()
 		return
 	}
-	if !m.startRequest(m.shardFor(parked.name), parked, true) {
-		panic("lockmgr: global retry deferred admission")
+	ok := m.startRequest(s, parked, false)
+	s.mu.Unlock()
+	if !ok {
+		// runGlobal survivor: same admission-of-last-resort rationale as
+		// AcquireAsync — the retry may itself need quota growth or a
+		// further escalation, which require every latch.
+		m.runGlobal(func() {
+			if !m.startRequest(s, parked, true) {
+				panic("lockmgr: global retry deferred admission")
+			}
+		})
 	}
+}
+
+// abandonParked denies a parked request after its escalation failed. It
+// runs as a continuation with no latches held; the deny happens under the
+// parked request's home shard latch, and a request that was already
+// completed (e.g. it timed out before the escalation did) is left alone.
+func (m *Manager) abandonParked(parked *request, err error) {
+	if parked == nil {
+		return
+	}
+	s := m.lockShard(m.shardOf(parked.name))
+	// parked.pending is nil when the parked request was already completed.
+	if parked.pending != nil {
+		if st, _ := parked.pending.Status(); st == StatusWaiting {
+			m.deny(parked, err)
+		}
+	}
+	s.mu.Unlock()
 }

@@ -36,35 +36,68 @@
 // Latching protocol, innermost last:
 //
 //  1. shard latches, always in ascending index order. Fast-path operations
-//     (Acquire, Release, conversions) take exactly one; cross-shard
-//     operations (deadlock detection, escalation, shrink, invariant checks)
-//     take all of them via runGlobal.
+//     (Acquire, Release, conversions) take exactly one; the few surviving
+//     cross-shard operations (the admission pipeline of last resort,
+//     invariant checks) take all of them via runGlobal. Multi-shard readers
+//     that need a simultaneous view of a handful of shards (deadlock-cycle
+//     re-validation) latch only those shards, still in ascending order, so
+//     they cannot deadlock against runGlobal or each other.
 //  2. Owner.mu — leaf lock guarding one owner's held/byTable indexes and
 //     the granted/converting/mode fields of its requests. Writers hold
 //     (home-shard latch + Owner.mu); readers hold either Owner.mu (the
-//     cross-shard coverage check) or all shard latches (global operations).
-//     Owner.mu is never held while acquiring a shard latch.
+//     cross-shard coverage check) or the relevant shard latches. Owner.mu
+//     is never held while acquiring a shard latch.
 //  3. Leaves of the leaves: chain.mu (inside pool refills and global
 //     allocation), contMu (continuation queue), ownersMu (app/owner
 //     registry), and the Pending mutex. None of these is ever held while
 //     taking a latch above it.
 //
 // Admission runs on a fast path that touches only the home shard: quota
-// check against atomic counters, then an allocation from the shard's lease
-// pool. If either step cannot be satisfied locally the fast path backs out
-// — having mutated nothing — and the request restarts in global mode, which
-// holds every shard latch and runs the original single-latch admission
-// logic verbatim: quota growth, pool repatriation (flushing all shard
-// leases back to the chain before declaring memory exhausted), synchronous
-// growth, then escalation. Escalation continuations (free the escalated
-// rows, retry the parked request) touch many shards, so grant/deny hooks
-// are queued and drained only while all latches are held.
+// check against a cached lockPercentPerApplication (refreshed at most once
+// per quotaRefreshStride lock-structure requests, so the provider's mutex
+// stays off the per-acquire path), then an allocation from the shard's
+// lease pool. If either step cannot be satisfied locally the fast path
+// backs out — having mutated nothing — and the request restarts in global
+// mode, which holds every shard latch and runs the original single-latch
+// admission logic verbatim: quota growth (with a fresh quota read), pool
+// repatriation (flushing all shard leases back to the chain before
+// declaring memory exhausted), synchronous growth, then escalation.
+//
+// # The concurrent control plane
+//
+// Control-plane work — deadlock detection, statistics, introspection,
+// escalation continuations — deliberately stays off the all-shard latch in
+// steady state, so observing and policing the lock table does not
+// periodically freeze the fast path it polices:
+//
+//   - DetectDeadlocks exports wait-for edges one shard latch at a time,
+//     finds cycles latch-free, and re-validates each candidate cycle under
+//     only the latches of the shards hosting that cycle's waiting requests
+//     (see deadlock.go for the no-false-victims argument).
+//   - Snapshot-style reads (Stats, ShardStatsSnapshot, LatchWaits, the
+//     memory accessors) come from atomic counters and per-shard
+//     sequence-stamped summaries; they take no latches at all.
+//   - Escalation continuations (free the escalated rows, retry the parked
+//     request) are enqueued anywhere and drained with no latches held; each
+//     continuation re-latches the shards it touches and re-validates its
+//     targets under those latches, so a release, grant, or timeout racing
+//     the drain is observed rather than clobbered (see escalate.go).
+//
+// runGlobal survives for exactly two jobs: the admission pipeline of last
+// resort (quota growth, escalation, and synchronous growth need a
+// consistent view of every lease pool and the chain) and CheckInvariants
+// (whose cross-shard accounting only balances when the table is quiescent).
+// Every runGlobal records its all-shard hold time in a max gauge
+// (GlobalHoldMax — the fast-path stall ceiling) and bumps a run counter
+// (GlobalRuns) that tests use to prove steady-state detection and
+// observation never touch the global path.
 package lockmgr
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -402,8 +435,8 @@ type request struct {
 
 	pending  *Pending
 	deadline time.Time
-	onGrant  func(m *Manager)            // queued continuation, drained under all latches
-	onDeny   func(m *Manager, err error) // queued continuation, drained under all latches
+	onGrant  func(m *Manager)            // self-latching continuation, drained with no latches held
+	onDeny   func(m *Manager, err error) // self-latching continuation, drained with no latches held
 }
 
 // requestAndPending co-allocates a request with its Pending so the
@@ -552,6 +585,34 @@ type shard struct {
 	waiting map[*request]struct{}
 	pool    *memblock.Pool // lease cache; guarded by mu
 	hfree   []*lockHeader  // recycled headers (with empty granted maps)
+
+	// seq stamps the shard's published summary: it is bumped (under mu)
+	// whenever lock-table membership or wait-queue membership changes, so
+	// latch-free observers can tell whether two reads straddled a
+	// mutation. nLocks and nWaiting mirror len(table) and len(waiting)
+	// for those same observers.
+	seq      atomic.Uint64
+	nLocks   atomic.Int64
+	nWaiting atomic.Int64
+}
+
+// addWaiting registers a queued request in the shard's waiting set and
+// republishes the latch-free summary. Caller holds the shard latch.
+func (s *shard) addWaiting(r *request) {
+	s.waiting[r] = struct{}{}
+	s.nWaiting.Store(int64(len(s.waiting)))
+	s.seq.Add(1)
+}
+
+// delWaiting removes a request from the waiting set (no-op if absent) and
+// republishes the latch-free summary. Caller holds the shard latch.
+func (s *shard) delWaiting(r *request) {
+	if _, ok := s.waiting[r]; !ok {
+		return
+	}
+	delete(s.waiting, r)
+	s.nWaiting.Store(int64(len(s.waiting)))
+	s.seq.Add(1)
 }
 
 // Manager is the lock manager. All public methods are safe for concurrent
@@ -572,12 +633,32 @@ type Manager struct {
 	nextOwner uint64
 	numApps   atomic.Int64
 
-	// Deferred grant/deny continuations (escalation steps). They touch
-	// many shards, so they run only under all latches: enqueued anywhere,
-	// drained by runGlobal.
+	// Deferred grant/deny continuations (escalation steps). Each
+	// continuation latches the shards it touches itself, so the queue is
+	// enqueued anywhere and drained by flushConts with no latches held.
 	contMu sync.Mutex
 	conts  []func(*Manager)
 	contN  atomic.Int64
+
+	// Control-plane observability. globalRuns counts runGlobal entries —
+	// all-shard latch acquisitions — and globalHold records the maximum
+	// wall-clock time any single one held every latch: together they are
+	// the evidence that steady-state detection and observation stay off
+	// the global path, and the ceiling on the stall they cause when they
+	// do not.
+	globalRuns atomic.Int64
+	globalHold metrics.MaxGauge
+
+	// Cached lockPercentPerApplication for the fast admission path. The
+	// cache holds Float64bits of the last quota percent read
+	// (quotaPct) and the chain.Requests() value at which it should next
+	// be refreshed (quotaNext); capacity changes force a refresh by
+	// zeroing quotaNext. Staleness is bounded by quotaRefreshStride
+	// requests — the same bounded-staleness contract as the paper's
+	// QuotaTracker refresh period — and only affects the fast path: the
+	// global admission pipeline always reads the provider fresh.
+	quotaPct  atomic.Uint64
+	quotaNext atomic.Int64
 
 	latchWaits *metrics.ShardCounters
 
@@ -669,16 +750,37 @@ func (m *Manager) lockShard(i int) *shard {
 }
 
 // runGlobal executes f with every shard latch held (taken in ascending
-// index order), then drains the continuation queue before unlatching.
+// index order). It is the stop-the-world primitive the concurrent control
+// plane works to avoid: every entry bumps GlobalRuns and its latches-held
+// wall time feeds the GlobalHoldMax stall gauge, so callers are observable.
+// Continuations are NOT drained here — they self-latch and must run with no
+// latches held (flushConts).
 func (m *Manager) runGlobal(f func()) {
+	m.globalRuns.Add(1)
 	for i := range m.shards {
 		m.lockShard(i)
 	}
+	t0 := time.Now()
 	f()
-	m.drainConts()
+	m.globalHold.Observe(int64(time.Since(t0)))
 	for i := len(m.shards) - 1; i >= 0; i-- {
 		m.shards[i].mu.Unlock()
 	}
+}
+
+// GlobalRuns returns how many times the all-shard latch has been taken
+// (runGlobal entries) since the manager was created. Steady-state
+// control-plane operations — DetectDeadlocks, SweepTimeouts, Stats,
+// ShardStatsSnapshot, DumpLocks — leave it unchanged; tests assert on that
+// directly instead of relying on timing. Lock-free.
+func (m *Manager) GlobalRuns() int64 { return m.globalRuns.Load() }
+
+// GlobalHoldMax returns the maximum wall-clock duration any single
+// all-shard critical section has held every latch — the worst fast-path
+// stall the control plane has caused. Lock-free; Observe-only high
+// watermark (it never decays).
+func (m *Manager) GlobalHoldMax() time.Duration {
+	return time.Duration(m.globalHold.Value())
 }
 
 // enqueueCont defers a continuation to the next global drain.
@@ -689,8 +791,11 @@ func (m *Manager) enqueueCont(f func(*Manager)) {
 	m.contN.Add(1)
 }
 
-// drainConts runs queued continuations FIFO until none remain. Caller holds
-// all shard latches; continuations may enqueue further continuations.
+// drainConts runs queued continuations FIFO until none remain. The caller
+// must hold NO shard latches: continuations latch the shards they touch
+// themselves (and may call runGlobal). Continuations may enqueue further
+// continuations; the loop picks those up too. Concurrent drainers are safe
+// — each continuation is popped, and therefore run, exactly once.
 func (m *Manager) drainConts() {
 	for m.contN.Load() > 0 {
 		m.contMu.Lock()
@@ -709,12 +814,15 @@ func (m *Manager) drainConts() {
 	}
 }
 
-// flushConts drains pending continuations, if any, by briefly entering
-// global mode. Fast-path operations call it after releasing their shard
-// latch.
+// flushConts drains pending continuations, if any, with no latches held.
+// Operations call it after releasing their shard latch(es); the atomic
+// counter makes the common no-continuations case a single load. This used
+// to enter global mode (runGlobal with an empty body) purely to get the
+// continuations run under all latches — now that continuations self-latch,
+// the drain costs only the shards each continuation actually touches.
 func (m *Manager) flushConts() {
 	if m.contN.Load() > 0 {
-		m.runGlobal(func() {})
+		m.drainConts()
 	}
 }
 
@@ -794,12 +902,16 @@ func (m *Manager) AcquireAsync(o *Owner, name Name, mode Mode, weight int) *Pend
 	if !ok {
 		// The fast path backed out (quota or lease shortfall) without
 		// mutating anything; re-run the full admission pipeline with
-		// every latch held.
+		// every latch held. runGlobal survivor: quota growth, pool
+		// repatriation, synchronous growth, and escalation all need a
+		// consistent simultaneous view of every lease pool and the chain —
+		// no per-shard protocol can decide "memory is truly exhausted".
 		m.runGlobal(func() {
 			if !m.startRequest(s, req, true) {
 				panic("lockmgr: global admission deferred")
 			}
 		})
+		m.flushConts() // escalation continuations run after the latches drop
 		return p
 	}
 	m.flushConts()
@@ -905,7 +1017,7 @@ func (m *Manager) startRequest(s *shard, req *request, global bool) bool {
 		req.deadline = m.deadline()
 		h.waiters = append(h.waiters, req)
 		req.header = h
-		s.waiting[req] = struct{}{}
+		s.addWaiting(req)
 		m.stats.waits.Add(1)
 		return true
 	}
@@ -915,7 +1027,7 @@ func (m *Manager) startRequest(s *shard, req *request, global bool) bool {
 	// grant — one critical section instead of two. On any obstacle, back
 	// out with nothing mutated and let the caller go global.
 	app := o.app
-	if over, _ := m.overQuota(app, req.weight); over {
+	if m.overQuotaFast(app, req.weight) {
 		o.mu.Unlock()
 		return false // quota growth/escalation needs all latches
 	}
@@ -941,7 +1053,7 @@ func (m *Manager) startRequest(s *shard, req *request, global bool) bool {
 	req.deadline = m.deadline()
 	h.waiters = append(h.waiters, req)
 	req.header = h
-	s.waiting[req] = struct{}{}
+	s.addWaiting(req)
 	m.stats.waits.Add(1)
 	return true
 }
@@ -965,7 +1077,7 @@ func (m *Manager) startConversion(cur *request, target Mode, p *Pending, onGrant
 	}
 	cur.deadline = m.deadline()
 	h.converters = append(h.converters, cur)
-	m.shardFor(cur.name).waiting[cur] = struct{}{}
+	m.shardFor(cur.name).addWaiting(cur)
 	m.stats.waits.Add(1)
 }
 
@@ -1091,6 +1203,7 @@ func (m *Manager) admitStructsGlobal(req *request) admitResult {
 func (m *Manager) noteSyncGrowth(pages int) {
 	m.stats.syncGrowths.Add(1)
 	m.stats.syncGrowthPages.Add(int64(pages))
+	m.invalidateQuotaCache()
 	if m.cfg.Events != nil {
 		m.cfg.Events.OnSyncGrowth(pages)
 	}
@@ -1105,7 +1218,10 @@ func (m *Manager) flushPools() {
 }
 
 // overQuota reports whether adding weight structures would put the app above
-// lockPercentPerApplication, and returns the quota used.
+// lockPercentPerApplication, and returns the quota used. It reads the
+// provider fresh — and therefore pays the provider's synchronization — so it
+// is reserved for the global admission pipeline and for applications with
+// per-app quota bias; the fast path uses overQuotaFast.
 func (m *Manager) overQuota(app *App, weight int) (bool, float64) {
 	if m.cfg.Quota == nil {
 		return false, 100
@@ -1113,6 +1229,51 @@ func (m *Manager) overQuota(app *App, weight int) (bool, float64) {
 	quota := m.cfg.Quota.QuotaPercent(app.id, m.chain.Requests(), m.chain.Used())
 	limit := quota / 100 * float64(m.chain.Capacity())
 	return float64(app.structs.Load()+int64(weight)) > limit, quota
+}
+
+// quotaRefreshStride is how many lock-structure requests may elapse between
+// fast-path refreshes of the cached quota percent. The paper's own
+// QuotaTracker already tolerates a refresh period of 128 requests, so a
+// 64-request cache stride adds no staleness class the tuning loop does not
+// already absorb; it removes the provider's mutex from the per-acquire path.
+const quotaRefreshStride = 64
+
+// overQuotaFast is the admission fast path's quota check: it consults a
+// cached quota percent, refreshing from the provider only when
+// chain.Requests() has advanced past the stride watermark (or after a
+// capacity change zeroed the watermark). The limit itself is always
+// computed against the live capacity, so resizes take effect immediately
+// even between refreshes. Applications with a per-app escalation bias
+// bypass the cache entirely — the cached percent is the unbiased value and
+// would overstate their quota. A stale answer is never load-bearing: "over"
+// merely diverts the request to the global pipeline, which re-reads the
+// provider fresh, and "under" admits at most a stride's worth of requests
+// against a quota the provider would already have let drift that long.
+func (m *Manager) overQuotaFast(app *App, weight int) bool {
+	q := m.cfg.Quota
+	if q == nil {
+		return false
+	}
+	if prefersEscalation(q, app.id) {
+		over, _ := m.overQuota(app, weight)
+		return over
+	}
+	reqs := m.chain.Requests()
+	if reqs >= m.quotaNext.Load() {
+		pct := q.QuotaPercent(app.id, reqs, m.chain.Used())
+		m.quotaPct.Store(math.Float64bits(pct))
+		m.quotaNext.Store(reqs + quotaRefreshStride)
+	}
+	quota := math.Float64frombits(m.quotaPct.Load())
+	limit := quota / 100 * float64(m.chain.Capacity())
+	return float64(app.structs.Load()+int64(weight)) > limit
+}
+
+// invalidateQuotaCache forces the next fast-path quota check to re-read the
+// provider. Called whenever lock-memory capacity changes, since the
+// provider's percent may be a function of capacity.
+func (m *Manager) invalidateQuotaCache() {
+	m.quotaNext.Store(0)
 }
 
 // headerFor returns (creating if necessary) the lock table entry for name,
@@ -1129,6 +1290,8 @@ func (s *shard) headerFor(name Name) *lockHeader {
 			h = &lockHeader{name: name}
 		}
 		s.table[name] = h
+		s.nLocks.Store(int64(len(s.table)))
+		s.seq.Add(1)
 	}
 	return h
 }
@@ -1188,7 +1351,7 @@ func (m *Manager) grant(req *request) {
 // latch.
 func (m *Manager) deny(req *request, err error) {
 	s := m.shardFor(req.name)
-	delete(s.waiting, req)
+	s.delWaiting(req)
 	if req.granted && !req.converting {
 		// Defensive: the request was granted between being selected as
 		// a victim and this call; there is nothing left to deny.
@@ -1259,6 +1422,8 @@ func (s *shard) cacheOrEvict(h *lockHeader) {
 		return
 	}
 	delete(s.table, h.name)
+	s.nLocks.Store(int64(len(s.table)))
+	s.seq.Add(1)
 	if len(s.hfree) < headerFreelistCap {
 		h.groupMode = ModeNone
 		h.converters = nil
@@ -1280,7 +1445,7 @@ func (m *Manager) post(s *shard, h *lockHeader) {
 			return // converters have priority; nothing else may jump
 		}
 		h.converters = h.converters[1:]
-		delete(s.waiting, c)
+		s.delWaiting(c)
 		m.finishConversion(c)
 	}
 	for len(h.waiters) > 0 {
@@ -1289,7 +1454,7 @@ func (m *Manager) post(s *shard, h *lockHeader) {
 			return
 		}
 		h.waiters = h.waiters[1:]
-		delete(s.waiting, w)
+		s.delWaiting(w)
 		m.installGranted(h, w)
 		m.grant(w)
 	}
@@ -1508,13 +1673,16 @@ func (m *Manager) Resize(targetPages int) int {
 		}
 		m.chain.ShrinkBest(cur - targetPages)
 	}
+	m.invalidateQuotaCache()
 	return m.chain.Pages()
 }
 
 // GrowPages grows the lock memory by exactly the given pages (rounded up to
 // blocks); used when synchronous growth is managed externally.
 func (m *Manager) GrowPages(pages int) int {
-	return m.chain.Grow(pages)
+	n := m.chain.Grow(pages)
+	m.invalidateQuotaCache()
+	return n
 }
 
 // Pages returns the current lock memory size in pages. Lock-free.
@@ -1606,23 +1774,30 @@ type ShardStats struct {
 	Locks int
 	// Waiting is the number of requests waiting in the shard.
 	Waiting int
+	// Seq is the shard's summary sequence number at sampling time: it
+	// advances on every lock-table or wait-queue membership change, so two
+	// snapshots with equal Seq saw the shard in the same membership state.
+	Seq uint64
 }
 
-// ShardStatsSnapshot captures each shard's counters, latching shards one at
-// a time.
+// ShardStatsSnapshot captures each shard's summary counters. It is entirely
+// latch-free: every field is an atomic counter or an atomically published
+// mirror (nLocks/nWaiting/pooled), stamped with the shard's sequence number.
+// A row whose Seq matches a later read's Seq saw no membership change in
+// between; the data path is never stalled to take the picture.
 func (m *Manager) ShardStatsSnapshot() []ShardStats {
 	out := make([]ShardStats, len(m.shards))
 	for i := range m.shards {
-		s := m.lockShard(i)
+		s := &m.shards[i]
 		out[i] = ShardStats{
 			LatchWaits:    m.latchWaits.Shard(i).Value(),
 			LeaseRefills:  s.pool.Refills(),
 			LeaseReturns:  s.pool.Returns(),
-			PooledStructs: s.pool.Structs(),
-			Locks:         len(s.table),
-			Waiting:       len(s.waiting),
+			PooledStructs: s.pool.Pooled(),
+			Locks:         int(s.nLocks.Load()),
+			Waiting:       int(s.nWaiting.Load()),
+			Seq:           s.seq.Load(),
 		}
-		s.mu.Unlock()
 	}
 	return out
 }

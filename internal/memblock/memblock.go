@@ -541,6 +541,7 @@ type Pool struct {
 
 	refills atomic.Int64 // chain leases taken (refill batches)
 	returns atomic.Int64 // chain leases returned (overflow batches)
+	pooled  atomic.Int64 // mirror of n for latch-free observers
 }
 
 // NewPool creates a lease pool over the chain. chunk <= 0 selects
@@ -564,6 +565,7 @@ func (p *Pool) push(pt part) {
 		p.parts = append(p.parts, pt)
 	}
 	p.n += pt.n
+	p.pooled.Store(int64(p.n))
 }
 
 // take removes up to n structures from the pool stack and appends them to h.
@@ -582,6 +584,7 @@ func (p *Pool) take(n int, h *Handle) {
 			p.parts = p.parts[:len(p.parts)-1]
 		}
 	}
+	p.pooled.Store(int64(p.n))
 }
 
 // Alloc takes n structures from the pool, refilling from the chain in chunk
@@ -664,8 +667,15 @@ func (p *Pool) Flush() {
 	p.release(p.n)
 }
 
-// Structs returns the number of structures currently pooled.
+// Structs returns the number of structures currently pooled. Caller holds
+// the owning shard's latch (like Alloc/Free).
 func (p *Pool) Structs() int { return p.n }
+
+// Pooled returns the number of structures currently pooled without
+// requiring the owning shard's latch: it reads an atomic mirror of the
+// balance, so latch-free observers (shard-stats summaries) can sample it
+// while the shard keeps allocating.
+func (p *Pool) Pooled() int { return int(p.pooled.Load()) }
 
 // Refills returns the cumulative number of chain lease batches taken.
 func (p *Pool) Refills() int64 { return p.refills.Load() }

@@ -50,6 +50,33 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// MaxGauge records the maximum value ever observed — a high-watermark
+// gauge, e.g. the longest all-shard latch hold of the lock manager's
+// control plane. Observe is lock-free (CAS loop) and safe for concurrent
+// use; Reset lets samplers read per-interval maxima.
+type MaxGauge struct {
+	v atomic.Int64
+}
+
+// Observe records v if it exceeds the current maximum.
+func (g *MaxGauge) Observe(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the maximum observed since creation (or the last Reset).
+func (g *MaxGauge) Value() int64 { return g.v.Load() }
+
+// Reset clears the gauge and returns the maximum it held.
+func (g *MaxGauge) Reset() int64 { return g.v.Swap(0) }
+
 // ShardCounters is a fixed-width array of counters, one per shard of a
 // striped data structure (e.g. the lock manager's latch-wait counts). Each
 // shard increments its own cache line-distant counter; readers aggregate
@@ -299,9 +326,25 @@ func (st *Set) Names() []string {
 // an observation at a given time repeats its previous value (step
 // interpolation), matching how the simulation captures state per tick.
 func (st *Set) CSV() string {
+	return st.CSVExcluding()
+}
+
+// CSVExcluding renders the set as CSV like CSV, omitting the named series.
+// Determinism tests use it to drop wall-clock-derived series (e.g. latch
+// hold times) from byte-identical comparisons while every simulated-time
+// series stays covered.
+func (st *Set) CSVExcluding(exclude ...string) string {
+	skip := make(map[string]bool, len(exclude))
+	for _, n := range exclude {
+		skip[n] = true
+	}
 	st.mu.Lock()
-	names := make([]string, len(st.order))
-	copy(names, st.order)
+	names := make([]string, 0, len(st.order))
+	for _, n := range st.order {
+		if !skip[n] {
+			names = append(names, n)
+		}
+	}
 	sers := make([]*Series, len(names))
 	for i, n := range names {
 		sers[i] = st.series[n]

@@ -42,7 +42,10 @@ type Config struct {
 	Ticks int
 	// TuneEvery is the STMM interval in ticks (default 30).
 	TuneEvery int
-	// DetectEvery runs deadlock detection every N ticks (default 5).
+	// DetectEvery runs deadlock detection every N ticks. The zero value
+	// selects the default cadence (5); DetectDisabled (or any negative
+	// value) disables the detector entirely — a configured 0 used to be
+	// indistinguishable from "unset" and silently re-enabled it.
 	DetectEvery int
 	// Clients is the OLTP client pool; the Schedule activates a prefix.
 	Clients []Client
@@ -57,6 +60,36 @@ type Config struct {
 	// SampleEvery thins the recorded series (default 1 = every tick).
 	SampleEvery int
 }
+
+// DetectDisabled disables periodic deadlock detection when assigned to
+// Config.DetectEvery (lock waits then end only by timeout). Distinct from
+// the zero value, which means "unset" and selects the default cadence.
+const DetectDisabled = -1
+
+// defaultDetectEvery is the detector cadence when Config.DetectEvery is
+// unset (zero).
+const defaultDetectEvery = 5
+
+// effectiveDetectEvery maps a configured DetectEvery to the cadence the run
+// loop uses: 0 (unset) → the default, negative (DetectDisabled) → 0 (never
+// detect), positive → itself.
+func effectiveDetectEvery(configured int) int {
+	switch {
+	case configured == 0:
+		return defaultDetectEvery
+	case configured < 0:
+		return 0
+	default:
+		return configured
+	}
+}
+
+// VolatileSeries names the captured series whose values derive from wall
+// clocks rather than simulated time ("global stall" is the max all-shard
+// latch hold, measured in real microseconds). Determinism tests exclude
+// exactly these via Set.CSVExcluding; every simulated-time series remains
+// byte-for-byte reproducible.
+var VolatileSeries = []string{"global stall"}
 
 // Result carries the captured series and end-state.
 type Result struct {
@@ -81,9 +114,7 @@ func Run(cfg Config) *Result {
 	if cfg.TuneEvery <= 0 {
 		cfg.TuneEvery = 30
 	}
-	if cfg.DetectEvery <= 0 {
-		cfg.DetectEvery = 5
-	}
+	detectEvery := effectiveDetectEvery(cfg.DetectEvery)
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = 1
 	}
@@ -98,6 +129,8 @@ func Run(cfg Config) *Result {
 	overflow := set.Series("overflow", "pages")
 	bufferPool := set.Series("bufferpool", "pages")
 	latchWaits := set.Series("latch waits", "count")
+	globalRuns := set.Series("global latch runs", "count")
+	globalStall := set.Series("global stall", "µs")
 
 	res := &Result{Series: set}
 	var lastCommits int64
@@ -134,7 +167,7 @@ func Run(cfg Config) *Result {
 		}
 
 		cfg.DB.Locks().SweepTimeouts()
-		if tick%cfg.DetectEvery == 0 {
+		if detectEvery > 0 && tick%detectEvery == 0 {
 			cfg.DB.Locks().DetectDeadlocks()
 		}
 		if (tick+1)%cfg.TuneEvery == 0 {
@@ -170,6 +203,8 @@ func Run(cfg Config) *Result {
 			overflow.Record(now, float64(snap.Overflow))
 			bufferPool.Record(now, float64(snap.BufferPoolPages))
 			latchWaits.Record(now, float64(snap.LockLatchWaits))
+			globalRuns.Record(now, float64(snap.LockGlobalRuns))
+			globalStall.Record(now, float64(snap.LockGlobalHoldMax)/1e3)
 		}
 	}
 
