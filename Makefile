@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-lock bench-engine verify fmt vet
+.PHONY: all build test race bench bench-lock bench-engine bench-obs obs-demo verify fmt vet
 
 all: build
 
@@ -11,10 +11,12 @@ test:
 	$(GO) test ./...
 
 # Race-detector runs for the concurrency-sensitive packages: the sharded
-# lock table, its block-chain lease pools, and the engine facade that
-# exposes the latch-free snapshot path.
+# lock table, its block-chain lease pools, the engine facade that exposes
+# the latch-free snapshot path, the lock-free observability primitives
+# (striped histograms, decision log), and the event ring.
 race:
-	$(GO) test -race ./internal/lockmgr ./internal/memblock ./internal/engine
+	$(GO) test -race ./internal/lockmgr ./internal/memblock ./internal/engine \
+		./internal/obs ./internal/trace
 
 bench: bench-lock
 
@@ -32,6 +34,30 @@ bench-lock:
 bench-engine:
 	BENCH_JSON=$${BENCH_JSON:-BENCH_ENGINE.json} \
 		$(GO) test -run xxx -bench BenchmarkEngineThroughput -benchtime 1s .
+
+# bench-obs measures the cost of the always-on observability layer on the
+# engine hot path (detector on): wall-clock sampling disabled vs the
+# default 1/64 stride, work-for-work on identical iteration counts. The
+# acceptance bound is overhead below 3% of commits/sec;
+# BENCH_OBS_OVERHEAD.json records the evidence.
+bench-obs:
+	BENCH_JSON=$${BENCH_JSON:-BENCH_OBS_OVERHEAD.json} \
+		$(GO) test -run xxx -bench BenchmarkObsOverhead -benchtime 1s .
+
+# obs-demo runs the workbench surge workload with the HTTP surface up and
+# curls it mid-run: /metrics must serve lock-wait histogram buckets and
+# per-shard latch-wait counters; /debug/tuner must serve decision records.
+obs-demo: build
+	@set -e; \
+	$(GO) run ./cmd/workbench -clients 60 -surge-to 200 -surge-at 120 \
+		-ticks 600 -chart=false -http 127.0.0.1:8372 -serve-for 6s & \
+	pid=$$!; sleep 3; \
+	curl -sf http://127.0.0.1:8372/metrics | grep -m1 lockmem_lock_wait_seconds_bucket; \
+	curl -sf http://127.0.0.1:8372/metrics | grep -m1 'lockmem_latch_waits_total{shard="0"}'; \
+	curl -sf 'http://127.0.0.1:8372/debug/tuner?kind=tuning-pass&n=1'; \
+	curl -sf 'http://127.0.0.1:8372/debug/events?n=3' >/dev/null; \
+	echo "obs-demo: endpoints OK"; \
+	wait $$pid
 
 # verify is the tier-1 gate (see ROADMAP.md): formatting, vet, build, the
 # full test suite, and the race-detector pass over the concurrency-

@@ -17,19 +17,33 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		expID  = flag.String("experiment", "all", "experiment id (see -list) or \"all\"")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		csvDir = flag.String("csv", "", "directory to write per-experiment CSV series")
-		chart  = flag.Bool("chart", false, "render headline series as ASCII charts")
-		md     = flag.Bool("markdown", false, "emit findings as markdown tables")
+		expID    = flag.String("experiment", "all", "experiment id (see -list) or \"all\"")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV series")
+		chart    = flag.Bool("chart", false, "render headline series as ASCII charts")
+		md       = flag.Bool("markdown", false, "emit findings as markdown tables")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/* and pprof for the live experiment engine")
 	)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		// Experiments open one engine each; LiveHandlers always tracks the
+		// most recently opened one, so the server follows along.
+		bound, err := obs.Serve(*httpAddr, obs.NewMux(engine.LiveHandlers()))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lockmemsim: -http %s: %v\n", *httpAddr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lockmemsim: serving http://%s/metrics\n", bound)
+	}
 
 	reg := experiments.Registry()
 	if *list {

@@ -17,9 +17,26 @@ import (
 	"repro/internal/clock"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// validateSurge checks the surge flag pair: -surge-at positions a surge in
+// time, so it is meaningless (and used to be silently ignored) without a
+// -surge-to target.
+func validateSurge(surgeTo, surgeAt int) error {
+	if surgeAt > 0 && surgeTo == 0 {
+		return fmt.Errorf("-surge-at %d given without -surge-to (nothing to surge to)", surgeAt)
+	}
+	if surgeAt < 0 {
+		return fmt.Errorf("-surge-at %d is negative", surgeAt)
+	}
+	if surgeTo < 0 {
+		return fmt.Errorf("-surge-to %d is negative", surgeTo)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -36,8 +53,15 @@ func main() {
 		chart    = flag.Bool("chart", true, "render ASCII charts")
 		events   = flag.Int("events", 10, "print the last N diagnostic events (0 = none)")
 		locks    = flag.Int("locks", 0, "dump up to N lock-table entries at the end")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/* and pprof on this address (e.g. :8372)")
+		serveFor = flag.Duration("serve-for", 0, "keep the -http server up this long after the run (0 = exit immediately)")
 	)
 	flag.Parse()
+
+	if err := validateSurge(*surgeTo, *surgeAt); err != nil {
+		fmt.Fprintf(os.Stderr, "workbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	var pol engine.Policy
 	switch *policy {
@@ -64,6 +88,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workbench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *httpAddr != "" {
+		// LiveHandlers resolves the live engine per request, so the mux is
+		// valid for the whole process lifetime.
+		bound, err := obs.Serve(*httpAddr, obs.NewMux(engine.LiveHandlers()))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workbench: -http %s: %v\n", *httpAddr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "workbench: serving http://%s/metrics (also /debug/locks /debug/events /debug/tuner /debug/pprof)\n", bound)
 	}
 
 	prof := workload.DefaultOLTPProfile(db.Catalog())
@@ -103,6 +138,11 @@ func main() {
 		snap.LockStats.Waits, snap.LockStats.Timeouts, snap.LockStats.Deadlocks)
 	fmt.Printf("sync growths      %d (%d pages)\n", snap.LockStats.SyncGrowths, snap.LockStats.SyncGrowthPages)
 	fmt.Printf("MAXLOCKS quota    %.1f%%\n", snap.QuotaPercent)
+	if ws := db.Locks().WaitHist().Snapshot(); ws.Total > 0 {
+		fmt.Printf("lock wait p50     %s\n", time.Duration(ws.Quantile(0.50)))
+		fmt.Printf("lock wait p95     %s\n", time.Duration(ws.Quantile(0.95)))
+		fmt.Printf("lock wait p99     %s\n", time.Duration(ws.Quantile(0.99)))
+	}
 
 	if *events > 0 {
 		tail := db.Events().Tail(*events)
@@ -127,5 +167,10 @@ func main() {
 		fmt.Println()
 		fmt.Println(metrics.Chart(res.Series.Get("lock memory"), 72, 12))
 		fmt.Println(metrics.Chart(res.Series.Get("throughput"), 72, 12))
+	}
+
+	if *httpAddr != "" && *serveFor > 0 {
+		fmt.Fprintf(os.Stderr, "workbench: run finished; serving for another %s\n", *serveFor)
+		time.Sleep(*serveFor)
 	}
 }

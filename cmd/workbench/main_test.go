@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestValidateSurge(t *testing.T) {
+	cases := []struct {
+		name             string
+		surgeTo, surgeAt int
+		wantErr          bool
+	}{
+		{"no surge", 0, 0, false},
+		{"full surge pair", 200, 300, false},
+		{"surge-to alone surges at t=0", 200, 0, false},
+		{"surge-at without surge-to", 0, 300, true},
+		{"negative surge-at", 200, -5, true},
+		{"negative surge-to", -1, 10, true},
+	}
+	for _, tc := range cases {
+		err := validateSurge(tc.surgeTo, tc.surgeAt)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateSurge(%d, %d) = %v, wantErr=%v",
+				tc.name, tc.surgeTo, tc.surgeAt, err, tc.wantErr)
+		}
+	}
+}

@@ -308,6 +308,18 @@ func NewTuner(p Params) *Tuner {
 // Params returns the tuner's parameters.
 func (t *Tuner) Params() Params { return t.params }
 
+// PrevTarget returns the previous interval's target (0 before the first
+// Decide) — the only cross-interval state the algorithm keeps, consulted
+// by the within-band no-change rule.
+func (t *Tuner) PrevTarget() int { return t.prevTarget }
+
+// RestorePrevTarget seeds the no-change-band state. Together with
+// PrevTarget it makes every recorded decision replayable: construct a
+// fresh tuner, restore the recorded PrevTarget, re-run Decide on the
+// recorded inputs, and the same target must come out (the obs decision
+// log's replay test relies on this).
+func (t *Tuner) RestorePrevTarget(pages int) { t.prevTarget = pages }
+
 // structsToPages converts a structure count to pages, rounding up.
 func structsToPages(structs int) int {
 	if structs <= 0 {

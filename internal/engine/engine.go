@@ -30,6 +30,7 @@ import (
 	"repro/internal/lockmgr"
 	"repro/internal/memblock"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/sortheap"
 	"repro/internal/stmm"
 	"repro/internal/storage"
@@ -101,6 +102,14 @@ type Config struct {
 	// CompilerLearning enables the section 6.1 learning extension in the
 	// plan-choice stub.
 	CompilerLearning bool
+	// LockShards overrides the lock-table shard count (0 = the lock
+	// manager's GOMAXPROCS-derived default). Tests that need
+	// machine-independent output pin it.
+	LockShards int
+	// ObsSampleStride is the wall-clock sampling stride for admission and
+	// hold-time histograms (0 = default 64, negative = disabled); see
+	// lockmgr.Config.ObsSampleStride.
+	ObsSampleStride int
 }
 
 func (c *Config) fillDefaults() {
@@ -163,6 +172,9 @@ type Database struct {
 	quota  *biasedQuota
 	comp   *Compiler
 	events *trace.Ring
+
+	decis    *obs.DecisionLog // tuning decisions (adaptive policy)
+	tuneHist *obs.Histogram   // TuneOnce wall-clock duration
 }
 
 // Open builds a Database from cfg.
@@ -198,13 +210,17 @@ func Open(cfg Config) (*Database, error) {
 		pool:     bufferpool.New(bpPages),
 		sorts:    sortheap.New(sortPages),
 		events:   trace.NewRing(512),
+		decis:    obs.NewDecisionLog(512),
+		tuneHist: obs.NewHistogram("tuning_pass", "ns", 1),
 	}
 
 	lockCfg := lockmgr.Config{
-		InitialPages: cfg.InitialLockPages,
-		Clock:        cfg.Clock,
-		LockTimeout:  cfg.LockTimeout,
-		Events:       (*eventForwarder)(db),
+		InitialPages:    cfg.InitialLockPages,
+		Clock:           cfg.Clock,
+		LockTimeout:     cfg.LockTimeout,
+		Events:          (*eventForwarder)(db),
+		Shards:          cfg.LockShards,
+		ObsSampleStride: cfg.ObsSampleStride,
 	}
 
 	switch cfg.Policy {
@@ -215,6 +231,7 @@ func Open(cfg Config) (*Database, error) {
 			Params:   cfg.Params,
 			Interval: cfg.TuningInterval,
 		})
+		db.ctl.SetDecisionLog(db.decis, cfg.Clock)
 		db.quota = &biasedQuota{inner: db.ctl}
 		lockCfg.GrowSync = db.ctl.SyncGrow
 		lockCfg.Quota = db.quota
@@ -248,6 +265,7 @@ func Open(cfg Config) (*Database, error) {
 	if db.sqlsrv != nil {
 		db.sqlsrv.Bind(db.locks)
 	}
+	live.Store(db)
 	return db, nil
 }
 
@@ -383,7 +401,9 @@ func (db *Database) TuneOnce() (stmm.Report, bool) {
 	if db.ctl == nil {
 		return stmm.Report{}, false
 	}
+	t0 := time.Now()
 	rep := db.ctl.TuneOnce()
+	db.tuneHist.Record(time.Since(t0).Nanoseconds())
 	db.events.Add(trace.Event{
 		Time: db.cfg.Clock.Now(),
 		Kind: trace.KindTuningPass,
@@ -396,6 +416,13 @@ func (db *Database) TuneOnce() (stmm.Report, bool) {
 
 // Events returns the diagnostic event ring.
 func (db *Database) Events() *trace.Ring { return db.events }
+
+// Decisions returns the tuning-decision log. It is always non-nil;
+// non-adaptive policies simply never add to it.
+func (db *Database) Decisions() *obs.DecisionLog { return db.decis }
+
+// TuneHist returns the TuneOnce wall-clock duration histogram.
+func (db *Database) TuneHist() *obs.Histogram { return db.tuneHist }
 
 // eventForwarder adapts the Database to lockmgr.EventSink. The sink methods
 // run under the lock manager latch, so they only append to the ring.

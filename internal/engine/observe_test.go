@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/lockmgr"
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func renderMetrics(db *Database) string {
+	var b strings.Builder
+	db.WriteMetrics(obs.NewMetricWriter(&b))
+	return b.String()
+}
+
+// TestWriteMetricsGolden pins the full /metrics output of a freshly
+// opened engine. Everything in it is deterministic: the simulated clock,
+// a pinned shard count, and no workload — so the exposition format itself
+// is under regression test, byte for byte.
+func TestWriteMetricsGolden(t *testing.T) {
+	db, err := Open(Config{Clock: clock.NewSim(), LockShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderMetrics(db)
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics output drifted from golden file (run with -update to accept):\n--- got ---\n%s", got)
+	}
+}
+
+// TestMetricsUnderWorkload checks the exposition against a live engine:
+// histogram buckets populated by real waits, per-shard latch counters,
+// and decision records whose inputs reproduce the recorded action.
+func TestMetricsUnderWorkload(t *testing.T) {
+	clk := clock.NewSim()
+	db, err := Open(Config{Clock: clk, LockShards: 4, LockTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A contended pair: tx1 holds row X; tx2 waits; ticks pass; release.
+	c1, c2 := db.Connect(), db.Connect()
+	tx1 := c1.Begin()
+	if err := tx1.LockRow(ctx, 1, 42, lockmgr.ModeX); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := c2.Begin()
+	done := make(chan error, 1)
+	go func() { done <- tx2.LockRow(ctx, 1, 42, lockmgr.ModeX) }()
+	for i := 0; i < 3; i++ {
+		time.Sleep(5 * time.Millisecond)
+		clk.Advance(time.Second)
+	}
+	tx1.Commit()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+	db.TuneOnce()
+
+	// The wait shows up in the lock-wait histogram with its sim duration.
+	ws := db.Locks().WaitHist().Snapshot()
+	if ws.Total == 0 {
+		t.Fatal("no lock waits recorded")
+	}
+	if q := ws.Quantile(1.0); q < 1e9/2 {
+		t.Errorf("max wait estimate %.0fns; want ≥ ~1 simulated second", q)
+	}
+
+	out := renderMetrics(db)
+	for _, want := range []string{
+		"lockmem_lock_wait_seconds_bucket{le=",
+		`lockmem_latch_waits_total{shard="0"}`,
+		`lockmem_latch_waits_total{shard="3"}`,
+		"lockmem_grants_total",
+		"lockmem_quota_percent",
+		"lockmem_tuning_pass_seconds_count 1",
+		`lockmem_tuning_decisions_total{kind="tuning-pass"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestHTTPEndpointsEndToEnd serves the engine's handlers over a real mux
+// and checks /metrics, /debug/locks, /debug/events, and /debug/tuner —
+// including that every served decision record replays to its recorded
+// action (the acceptance criterion behind /debug/tuner).
+func TestHTTPEndpointsEndToEnd(t *testing.T) {
+	clk := clock.NewSim()
+	db, err := Open(Config{Clock: clk, LockShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := db.Connect()
+	tx := c.Begin()
+	if err := tx.LockRow(context.Background(), 2, 7, lockmgr.ModeS); err != nil {
+		t.Fatal(err)
+	}
+	db.TuneOnce()
+	clk.Advance(30 * time.Second)
+	db.TuneOnce()
+
+	srv := httptest.NewServer(obs.NewMux(db.Handlers()))
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "lockmem_lock_pages") {
+		t.Errorf("/metrics: %.200s", body)
+	}
+	if body := get("/debug/locks"); !strings.Contains(body, "row(2.7)") {
+		t.Errorf("/debug/locks missing held lock: %.300s", body)
+	}
+	if body := get("/debug/events?n=5"); !strings.Contains(body, "tuning-pass") {
+		t.Errorf("/debug/events: %.300s", body)
+	}
+
+	var recs []obs.Decision
+	if err := json.Unmarshal([]byte(get("/debug/tuner?kind=tuning-pass")), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("decisions = %d, want 2", len(recs))
+	}
+	for _, rec := range recs {
+		// The served inputs must reproduce the served action.
+		tuner := core.NewTuner(db.cfg.Params)
+		tuner.RestorePrevTarget(rec.PrevTarget)
+		dec := tuner.Decide(core.Inputs{
+			DatabasePages:   rec.DatabasePages,
+			LockPages:       rec.LockPagesBefore,
+			UsedStructs:     rec.UsedStructs,
+			CapacityStructs: rec.CapacityStructs,
+			NumApplications: rec.NumApps,
+			Escalations:     rec.Escalations,
+		})
+		if dec.TargetPages != rec.TargetPages || dec.Action.String() != rec.Action {
+			t.Errorf("seq %d: replay %s→%d, served %s→%d", rec.Seq, dec.Action, dec.TargetPages, rec.Action, rec.TargetPages)
+		}
+	}
+}
+
+func TestLiveHandlers(t *testing.T) {
+	db, err := Open(Config{Clock: clock.NewSim(), LockShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = db
+	h := LiveHandlers()
+	var b strings.Builder
+	h.Metrics(obs.NewMetricWriter(&b))
+	if !strings.Contains(b.String(), "lockmem_up 1") {
+		t.Errorf("live metrics: %.200s", b.String())
+	}
+	if Live() == nil {
+		t.Fatal("Live() nil after Open")
+	}
+}

@@ -70,6 +70,11 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 	if parked != nil {
 		parked.parked = true
 		parked.deadline = m.deadline()
+		// The park is a wait from the requester's point of view: stamp it
+		// so the wait histogram includes escalation stalls (the counter in
+		// stats.waits is deliberately not bumped — parked requests are
+		// retried, not queued behind a lock).
+		parked.waitStart = m.clk.Now()
 		m.shardFor(parked.name).addWaiting(parked)
 	}
 

@@ -107,6 +107,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/memblock"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Errors returned to lock requesters.
@@ -288,6 +289,13 @@ type Config struct {
 	// leases from the block chain. Zero selects
 	// memblock.DefaultLeaseChunk.
 	LeaseChunk int
+	// ObsSampleStride controls the wall-clock sampling of admission
+	// latency and lock hold time: one in ObsSampleStride acquisitions is
+	// timed (rounded up to a power of two). Zero selects the default
+	// (64); negative disables wall-clock sampling entirely. Lock-wait
+	// durations are always recorded — they use the manager's Clock, not
+	// the wall clock, and cost one atomic add at grant/deny.
+	ObsSampleStride int
 }
 
 // App is a connected application, the unit of quota accounting.
@@ -437,6 +445,15 @@ type request struct {
 	deadline time.Time
 	onGrant  func(m *Manager)            // self-latching continuation, drained with no latches held
 	onDeny   func(m *Manager, err error) // self-latching continuation, drained with no latches held
+
+	// Observability stamps. waitStart is set (manager clock) when the
+	// request enters a wait queue and cleared when the wait ends at
+	// grant/deny — its difference feeds the lock-wait histogram.
+	// grantedAt is a wall-clock stamp taken only for sampled requests
+	// (obsSampled); it feeds the hold-time histogram at release.
+	waitStart  time.Time
+	grantedAt  time.Time
+	obsSampled bool
 }
 
 // requestAndPending co-allocates a request with its Pending so the
@@ -662,6 +679,16 @@ type Manager struct {
 
 	latchWaits *metrics.ShardCounters
 
+	// Latency histograms (lock-free; see internal/obs). waitHist records
+	// every wait's duration on the manager's clock — deterministic under
+	// the simulated clock — striped by home-shard index. holdHist and
+	// admitHist are wall-clock and recorded only for requests admitted by
+	// obsSampler, keeping the hot path at one atomic add per event.
+	waitHist   *obs.Histogram
+	holdHist   *obs.Histogram
+	admitHist  *obs.Histogram
+	obsSampler obs.Sampler
+
 	stats statCounters
 }
 
@@ -707,6 +734,20 @@ func New(cfg Config) *Manager {
 		apps:       make(map[int]*App),
 		owners:     make(map[uint64]*Owner),
 		latchWaits: metrics.NewShardCounters("lock table latch waits", ns),
+	}
+	stripes := ns
+	if stripes > 64 {
+		stripes = 64 // histograms mask the shard index into range
+	}
+	m.waitHist = obs.NewHistogram("lock_wait", "ns", stripes)
+	m.holdHist = obs.NewHistogram("lock_hold", "ns", stripes)
+	m.admitHist = obs.NewHistogram("lock_admission", "ns", stripes)
+	stride := cfg.ObsSampleStride
+	if stride == 0 {
+		stride = 64
+	}
+	if stride > 0 {
+		m.obsSampler = obs.NewSampler(stride)
 	}
 	for i := range m.shards {
 		s := &m.shards[i]
@@ -896,7 +937,15 @@ func (m *Manager) AcquireAsync(o *Owner, name Name, mode Mode, weight int) *Pend
 	req.mode = mode
 	req.weight = weight
 	req.pending = p
-	s := m.lockShard(m.shardOf(name))
+	// Admission-latency sampling: one in obsSampler.Stride() acquisitions
+	// pays for two time.Now calls; everything else pays one atomic add.
+	var admit0 time.Time
+	if m.obsSampler.Tick() {
+		admit0 = time.Now()
+		req.obsSampled = true
+	}
+	si := m.shardOf(name)
+	s := m.lockShard(si)
 	ok := m.startRequest(s, req, false)
 	s.mu.Unlock()
 	if !ok {
@@ -912,9 +961,15 @@ func (m *Manager) AcquireAsync(o *Owner, name Name, mode Mode, weight int) *Pend
 			}
 		})
 		m.flushConts() // escalation continuations run after the latches drop
+		if req.obsSampled {
+			m.admitHist.RecordStripe(si, time.Since(admit0).Nanoseconds())
+		}
 		return p
 	}
 	m.flushConts()
+	if req.obsSampled {
+		m.admitHist.RecordStripe(si, time.Since(admit0).Nanoseconds())
+	}
 	return p
 }
 
@@ -1014,11 +1069,10 @@ func (m *Manager) startRequest(s *shard, req *request, global bool) bool {
 			m.grant(req)
 			return true
 		}
-		req.deadline = m.deadline()
+		m.beginWait(req)
 		h.waiters = append(h.waiters, req)
 		req.header = h
 		s.addWaiting(req)
-		m.stats.waits.Add(1)
 		return true
 	}
 
@@ -1050,11 +1104,10 @@ func (m *Manager) startRequest(s *shard, req *request, global bool) bool {
 		return true
 	}
 	o.mu.Unlock()
-	req.deadline = m.deadline()
+	m.beginWait(req)
 	h.waiters = append(h.waiters, req)
 	req.header = h
 	s.addWaiting(req)
-	m.stats.waits.Add(1)
 	return true
 }
 
@@ -1075,10 +1128,9 @@ func (m *Manager) startConversion(cur *request, target Mode, p *Pending, onGrant
 		m.finishConversion(cur)
 		return
 	}
-	cur.deadline = m.deadline()
+	m.beginWait(cur)
 	h.converters = append(h.converters, cur)
 	m.shardFor(cur.name).addWaiting(cur)
-	m.stats.waits.Add(1)
 }
 
 // canConvert reports whether cur can convert to target given the other
@@ -1334,6 +1386,10 @@ func (m *Manager) installGrantedLocked(h *lockHeader, req *request) {
 // here all the same.
 func (m *Manager) grant(req *request) {
 	m.stats.grants.Add(1)
+	m.endWait(req)
+	if req.obsSampled {
+		req.grantedAt = time.Now()
+	}
 	p := req.pending
 	og := req.onGrant
 	req.pending = nil
@@ -1352,6 +1408,7 @@ func (m *Manager) grant(req *request) {
 func (m *Manager) deny(req *request, err error) {
 	s := m.shardFor(req.name)
 	s.delWaiting(req)
+	m.endWait(req)
 	if req.granted && !req.converting {
 		// Defensive: the request was granted between being selected as
 		// a victim and this call; there is nothing left to deny.
@@ -1495,6 +1552,10 @@ func (m *Manager) releaseOwnerStateLocked(req *request) {
 // shard; the caller holds its latch (and NOT req.owner.mu — posting may
 // take other owners' mutexes).
 func (m *Manager) finishRelease(s *shard, req *request) {
+	if !req.grantedAt.IsZero() {
+		m.holdHist.RecordStripe(m.shardOf(req.name), time.Since(req.grantedAt).Nanoseconds())
+		req.grantedAt = time.Time{}
+	}
 	h := req.header
 	h.removeGranted(req.owner)
 	m.freeRequestStructs(s, req)
@@ -1611,6 +1672,34 @@ func (m *Manager) deadline() time.Time {
 		return time.Time{}
 	}
 	return m.clk.Now().Add(m.cfg.LockTimeout)
+}
+
+// beginWait stamps a request entering a wait queue: the timeout deadline,
+// the wait-start instant (manager clock, so simulated runs record
+// deterministic wait durations), and the waits counter. The caller holds
+// the home shard latch and appends the request to the waiter/converter
+// queue itself.
+func (m *Manager) beginWait(req *request) {
+	now := m.clk.Now()
+	req.waitStart = now
+	if m.cfg.LockTimeout > 0 {
+		req.deadline = now.Add(m.cfg.LockTimeout)
+	} else {
+		req.deadline = time.Time{}
+	}
+	m.stats.waits.Add(1)
+}
+
+// endWait records a completed wait (grant or deny) into the lock-wait
+// histogram, striped by the request's home shard. One branch on the
+// no-wait fast path, one atomic add when a wait actually ended.
+func (m *Manager) endWait(req *request) {
+	if req.waitStart.IsZero() {
+		return
+	}
+	d := m.clk.Now().Sub(req.waitStart)
+	req.waitStart = time.Time{}
+	m.waitHist.RecordStripe(m.shardOf(req.name), int64(d))
 }
 
 // SweepTimeouts denies waiting requests whose deadline has passed and
@@ -1759,6 +1848,21 @@ func (m *Manager) LatchWaits() int64 { return m.latchWaits.Total() }
 // LatchWaitCounters exposes the per-shard latch-wait counters for metrics
 // wiring.
 func (m *Manager) LatchWaitCounters() *metrics.ShardCounters { return m.latchWaits }
+
+// WaitHist returns the lock-wait latency histogram. Durations are measured
+// on the manager's clock — deterministic whole-tick values under the
+// simulated clock, wall time in real deployments — and every completed
+// wait is recorded (no sampling). Lock-free.
+func (m *Manager) WaitHist() *obs.Histogram { return m.waitHist }
+
+// HoldHist returns the lock hold-time histogram (wall clock, sampled at
+// Config.ObsSampleStride). Lock-free.
+func (m *Manager) HoldHist() *obs.Histogram { return m.holdHist }
+
+// AdmissionHist returns the AcquireAsync end-to-end latency histogram
+// (wall clock, sampled at Config.ObsSampleStride): latch acquisition,
+// admission pipeline, and continuation flush. Lock-free.
+func (m *Manager) AdmissionHist() *obs.Histogram { return m.admitHist }
 
 // ShardStats is a point-in-time view of one lock-table shard.
 type ShardStats struct {

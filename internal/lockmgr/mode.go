@@ -47,6 +47,12 @@ func (m Mode) String() string {
 	}
 }
 
+// MarshalJSON renders the mode symbolically ("IX", "X") for the debug
+// endpoints; modes are never unmarshalled back.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", m.String())), nil
+}
+
 // Valid reports whether m is a grantable mode.
 func (m Mode) Valid() bool { return m > ModeNone && m < numModes }
 

@@ -48,3 +48,10 @@ func (n Name) String() string {
 	}
 	return fmt.Sprintf("row(%d.%d)", n.Table, n.Row)
 }
+
+// MarshalJSON renders the name in its diagnostic form ("table(2)",
+// "row(2.7)") so /debug/locks dumps read like `db2pd -locks` output
+// instead of bare struct fields. Names are never unmarshalled back.
+func (n Name) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", n.String())), nil
+}

@@ -439,14 +439,24 @@ func Chart(s *Series, width, height int) string {
 		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
 	}
 	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
-	fmt.Fprintf(&b, "%s  %-10.4gs%s%10.4gs\n", strings.Repeat(" ", 8), minT,
-		strings.Repeat(" ", max(1, width-22)), maxT)
-	return b.String()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
+	// Time-axis footer: the two endpoint labels sit under the axis, the
+	// first flush left under the '+', the second flush right under the last
+	// dash. The padding between them is derived from the label widths, so
+	// the footer never extends past the plot area — a fixed width-22 pad
+	// used to push the right label out of alignment for widths below ~22.
+	leftLbl := fmt.Sprintf("%.4gs", minT)
+	rightLbl := fmt.Sprintf("%.4gs", maxT)
+	axis := width + 1 // '+' column plus the dashes
+	if pad := axis - len(leftLbl) - len(rightLbl); pad >= 1 {
+		fmt.Fprintf(&b, "%s %s%s%s\n", strings.Repeat(" ", 8),
+			leftLbl, strings.Repeat(" ", pad), rightLbl)
+	} else {
+		// Too narrow for both endpoints: keep only the end time,
+		// right-aligned (and truncated from the left as a last resort).
+		if len(rightLbl) > axis {
+			rightLbl = rightLbl[len(rightLbl)-axis:]
+		}
+		fmt.Fprintf(&b, "%s %*s\n", strings.Repeat(" ", 8), axis, rightLbl)
 	}
-	return b
+	return b.String()
 }

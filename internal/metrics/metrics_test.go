@@ -196,3 +196,39 @@ func TestChartConstantSeries(t *testing.T) {
 		t.Fatalf("flat chart has no points:\n%s", out)
 	}
 }
+
+// TestChartFooterAlignment pins the time-axis footer geometry: for every
+// width (including the narrow ones that used to overflow with the fixed
+// width-22 padding) no line may extend past the plot area, and the end-time
+// label must end flush under the last dash of the axis.
+func TestChartFooterAlignment(t *testing.T) {
+	s := NewSeries("narrow", "pages")
+	for i := 0; i <= 300; i++ {
+		s.Record(float64(i), float64(i%7))
+	}
+	for _, width := range []int{8, 10, 12, 16, 21, 22, 30, 40, 72} {
+		out := Chart(s, width, 4)
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		// Line layout: title, height plot rows, axis, footer.
+		axisLine := lines[len(lines)-2]
+		footer := lines[len(lines)-1]
+		if len(footer) > len(axisLine) {
+			t.Errorf("width=%d: footer %d chars overflows axis %d chars:\n%s",
+				width, len(footer), len(axisLine), out)
+		}
+		if len(footer) != len(axisLine) {
+			t.Errorf("width=%d: end-time label not flush with axis end (footer %d, axis %d):\n%s",
+				width, len(footer), len(axisLine), out)
+		}
+		if !strings.HasSuffix(footer, "s") {
+			t.Errorf("width=%d: footer missing time label: %q", width, footer)
+		}
+	}
+	// Wide charts keep both endpoint labels.
+	wide := Chart(s, 72, 4)
+	footer := strings.Split(strings.TrimRight(wide, "\n"), "\n")
+	last := footer[len(footer)-1]
+	if !strings.Contains(last, "0s") || !strings.HasSuffix(last, "300s") {
+		t.Errorf("wide footer lost endpoint labels: %q", last)
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDecisionLogAddAndQuery(t *testing.T) {
+	l := NewDecisionLog(16)
+	for i := 0; i < 10; i++ {
+		kind := KindTuningPass
+		if i%3 == 0 {
+			kind = KindSyncGrowth
+		}
+		d := l.Add(Decision{Kind: kind, Time: time.Unix(int64(i), 0)})
+		if d.Seq != int64(i+1) {
+			t.Fatalf("seq = %d, want %d", d.Seq, i+1)
+		}
+	}
+	all := l.Decisions()
+	if len(all) != 10 {
+		t.Fatalf("Decisions len = %d, want 10", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatal("Decisions not ordered oldest-first")
+		}
+	}
+	tail := l.Tail(3)
+	if len(tail) != 3 || tail[2].Seq != 10 {
+		t.Fatalf("Tail(3) = %+v", tail)
+	}
+	sync3 := l.Query(KindSyncGrowth, 0)
+	if len(sync3) != 4 { // i = 0, 3, 6, 9
+		t.Fatalf("Query sync-growth len = %d, want 4", len(sync3))
+	}
+	if got := l.Query(KindSyncGrowth, 2); len(got) != 2 || got[1].Seq != 10 {
+		t.Fatalf("Query(kind, 2) = %+v", got)
+	}
+}
+
+func TestDecisionLogEviction(t *testing.T) {
+	l := NewDecisionLog(16)
+	for i := 0; i < 40; i++ {
+		l.Add(Decision{Kind: KindTuningPass})
+	}
+	if l.Total() != 40 {
+		t.Fatalf("Total = %d, want 40", l.Total())
+	}
+	if l.Evicted() != 24 {
+		t.Fatalf("Evicted = %d, want 24", l.Evicted())
+	}
+	got := l.Decisions()
+	if len(got) != 16 {
+		t.Fatalf("retained %d, want 16", len(got))
+	}
+	if got[0].Seq != 25 || got[15].Seq != 40 {
+		t.Fatalf("retained window [%d, %d], want [25, 40]", got[0].Seq, got[15].Seq)
+	}
+	if tot := l.TotalByKind()[KindTuningPass]; tot != 40 {
+		t.Fatalf("TotalByKind = %d, want 40 (must survive eviction)", tot)
+	}
+}
+
+func TestDecisionLogGet(t *testing.T) {
+	l := NewDecisionLog(16)
+	for i := 0; i < 20; i++ {
+		l.Add(Decision{Kind: KindTuningPass, TargetPages: i})
+	}
+	if _, ok := l.Get(2); ok {
+		t.Fatal("Get(2) should have been evicted")
+	}
+	d, ok := l.Get(12)
+	if !ok || d.TargetPages != 11 {
+		t.Fatalf("Get(12) = %+v, %v", d, ok)
+	}
+}
+
+func TestDecisionLogConcurrent(t *testing.T) {
+	l := NewDecisionLog(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Add(Decision{Kind: KindSyncGrowth})
+				if i%16 == 0 {
+					l.Tail(8)
+					l.TotalByKind()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 4000 {
+		t.Fatalf("Total = %d, want 4000", l.Total())
+	}
+	ds := l.Decisions()
+	seen := make(map[int64]bool, len(ds))
+	for _, d := range ds {
+		if seen[d.Seq] {
+			t.Fatalf("duplicate seq %d", d.Seq)
+		}
+		seen[d.Seq] = true
+	}
+}
+
+func TestDecisionLogMinimumCapacity(t *testing.T) {
+	l := NewDecisionLog(1)
+	for i := 0; i < 20; i++ {
+		l.Add(Decision{Kind: KindTuningPass})
+	}
+	if got := len(l.Decisions()); got != 16 {
+		t.Fatalf("minimum capacity: retained %d, want 16", got)
+	}
+}

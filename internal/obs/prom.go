@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// /metrics.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4) onto an io.Writer. It is a thin formatting helper — the
+// engine decides what to expose; this type only knows how to spell it.
+type MetricWriter struct {
+	w io.Writer
+}
+
+// NewMetricWriter wraps w.
+func NewMetricWriter(w io.Writer) *MetricWriter {
+	return &MetricWriter{w: w}
+}
+
+// Counter emits a single counter sample with a HELP/TYPE header.
+func (m *MetricWriter) Counter(name, help string, v int64) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// Gauge emits a single gauge sample with a HELP/TYPE header.
+func (m *MetricWriter) Gauge(name, help string, v float64) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+}
+
+// CounterVec emits one counter per element of vals, labelled
+// {label="index"}. The per-shard latch-wait exposition uses this.
+func (m *MetricWriter) CounterVec(name, help, label string, vals []int64) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for i, v := range vals {
+		fmt.Fprintf(m.w, "%s{%s=%q} %d\n", name, label, strconv.Itoa(i), v)
+	}
+}
+
+// CounterMap emits one counter per key, labelled {label="key"}, keys in
+// sorted order so output is deterministic.
+func (m *MetricWriter) CounterMap(name, help, label string, vals map[string]int64) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(m.w, "%s{%s=%q} %d\n", name, label, k, vals[k])
+	}
+}
+
+// Histogram emits a Snapshot as a Prometheus histogram: cumulative
+// `_bucket{le="..."}` samples for every non-empty bucket (plus the
+// mandatory +Inf bucket), `_sum`, and `_count`. scale multiplies the
+// bucket upper bounds and the sum — recordings are nanoseconds, so pass
+// 1e-9 to expose seconds, the Prometheus base unit.
+//
+// Only non-empty buckets are written (cumulative counts stay correct:
+// a scrape sees the running total at each emitted bound). With 65
+// power-of-two buckets, sparse emission keeps the page readable.
+func (m *MetricWriter) Histogram(name, help string, s Snapshot, scale float64) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		upper := BucketUpper(i) * scale
+		if math.IsInf(upper, 1) {
+			continue // folded into the +Inf bucket below
+		}
+		fmt.Fprintf(m.w, "%s_bucket{le=%q} %d\n", name, formatFloat(upper), cum)
+	}
+	fmt.Fprintf(m.w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Total)
+	fmt.Fprintf(m.w, "%s_sum %s\n", name, formatFloat(s.ApproxSum()*scale))
+	fmt.Fprintf(m.w, "%s_count %d\n", name, s.Total)
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// round-trip representation, integers without a mantissa dot.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

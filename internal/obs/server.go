@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// TunerQuery narrows a /debug/tuner request: Kind filters by decision
+// kind (empty = all), N limits to the most recent N records (0 = all
+// retained).
+type TunerQuery struct {
+	Kind string
+	N    int
+}
+
+// Handlers supplies the data behind the debug endpoints. Each callback is
+// invoked per request, so the mux always serves the live engine state;
+// nil callbacks answer 404 (surface not wired). Callbacks returning any
+// are rendered as indented JSON.
+type Handlers struct {
+	// Metrics writes the full Prometheus exposition.
+	Metrics func(w *MetricWriter)
+	// Locks returns the current lock-table dump (/debug/locks).
+	Locks func() any
+	// Events returns recent trace events (/debug/events, newest last).
+	Events func(n int) any
+	// Tuner returns tuning decisions matching the query (/debug/tuner).
+	Tuner func(q TunerQuery) any
+}
+
+// NewMux builds the observability mux: /metrics (Prometheus text),
+// /debug/locks, /debug/events?n=, /debug/tuner?n=&kind=, the stdlib
+// pprof endpoints under /debug/pprof/, and a plain-text index at /.
+// stdlib net/http only — no third-party exposition library.
+func NewMux(h Handlers) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if h.Metrics == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		h.Metrics(NewMetricWriter(w))
+	})
+
+	mux.HandleFunc("/debug/locks", func(w http.ResponseWriter, r *http.Request) {
+		if h.Locks == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, h.Locks())
+	})
+
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if h.Events == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, h.Events(intParam(r, "n", 0)))
+	})
+
+	mux.HandleFunc("/debug/tuner", func(w http.ResponseWriter, r *http.Request) {
+		if h.Tuner == nil {
+			http.NotFound(w, r)
+			return
+		}
+		q := TunerQuery{Kind: r.URL.Query().Get("kind"), N: intParam(r, "n", 0)}
+		writeJSON(w, h.Tuner(q))
+	})
+
+	// net/http/pprof registers on http.DefaultServeMux at import; mount
+	// its handlers on our private mux explicitly instead.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "lockmem observability\n\n"+
+			"  /metrics        Prometheus text exposition\n"+
+			"  /debug/locks    live lock-table dump (JSON)\n"+
+			"  /debug/events   recent trace events (?n=50)\n"+
+			"  /debug/tuner    tuning decisions (?n=20&kind=tuning-pass)\n"+
+			"  /debug/pprof/   Go runtime profiles\n")
+	})
+
+	return mux
+}
+
+// Serve binds addr and serves mux on a background goroutine, returning
+// the bound address (useful with ":0") or an error if the listen fails.
+// The listener lives for the life of the process; observability servers
+// in the CLIs have no graceful-shutdown story and do not need one.
+func Serve(addr string, mux *http.ServeMux) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		srv := &http.Server{Handler: mux}
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}

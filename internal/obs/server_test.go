@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricWriterFormat(t *testing.T) {
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Counter("x_total", "things", 42)
+	m.Gauge("y_frac", "a ratio", 0.5625)
+	m.CounterVec("shard_total", "per shard", "shard", []int64{3, 0, 7})
+	m.CounterMap("by_kind_total", "per kind", "kind", map[string]int64{"b": 2, "a": 1})
+
+	h := NewHistogram("w", "ns", 1)
+	h.Record(3)    // bucket 2, upper 4
+	h.Record(1000) // bucket 10, upper 1024
+	h.Record(1000)
+	m.Histogram("wait_seconds", "waits", h.Snapshot(), 1e-9)
+
+	out := b.String()
+	for _, want := range []string{
+		"# HELP x_total things",
+		"# TYPE x_total counter",
+		"x_total 42",
+		"y_frac 0.5625",
+		`shard_total{shard="0"} 3`,
+		`shard_total{shard="2"} 7`,
+		`by_kind_total{kind="a"} 1`,
+		"# TYPE wait_seconds histogram",
+		`wait_seconds_bucket{le="4e-09"} 1`,
+		`wait_seconds_bucket{le="1.024e-06"} 3`,
+		`wait_seconds_bucket{le="+Inf"} 3`,
+		"wait_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+	// Cumulative: the map emission must be sorted (a before b).
+	if strings.Index(out, `kind="a"`) > strings.Index(out, `kind="b"`) {
+		t.Error("CounterMap keys not sorted")
+	}
+}
+
+func TestHistogramOmitsEmptyBuckets(t *testing.T) {
+	var b strings.Builder
+	h := NewHistogram("w", "ns", 1)
+	h.Record(1 << 20)
+	NewMetricWriter(&b).Histogram("x", "h", h.Snapshot(), 1)
+	out := b.String()
+	// One value → exactly one finite bucket line plus +Inf.
+	if got := strings.Count(out, "x_bucket{"); got != 2 {
+		t.Fatalf("bucket lines = %d, want 2\n%s", got, out)
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	log := NewDecisionLog(16)
+	log.Add(Decision{Kind: KindTuningPass, Action: "grow", TargetPages: 128})
+	log.Add(Decision{Kind: KindSyncGrowth, Action: "sync-grow", GrantedPages: 8})
+
+	mux := NewMux(Handlers{
+		Metrics: func(m *MetricWriter) { m.Counter("up", "liveness", 1) },
+		Locks:   func() any { return []string{"row(1.2)"} },
+		Events:  func(n int) any { return map[string]int{"n": n} },
+		Tuner: func(q TunerQuery) any {
+			return log.Query(q.Kind, q.N)
+		},
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ct := get("/metrics")
+	if code != 200 || !strings.Contains(body, "up 1") {
+		t.Errorf("/metrics: %d %q", code, body)
+	}
+	if ct != ContentType {
+		t.Errorf("/metrics content type %q", ct)
+	}
+
+	code, body, _ = get("/debug/locks")
+	if code != 200 || !strings.Contains(body, "row(1.2)") {
+		t.Errorf("/debug/locks: %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/events?n=5")
+	if code != 200 || !strings.Contains(body, `"n": 5`) {
+		t.Errorf("/debug/events: %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/tuner?kind=sync-growth")
+	if code != 200 {
+		t.Fatalf("/debug/tuner: %d", code)
+	}
+	var ds []Decision
+	if err := json.Unmarshal([]byte(body), &ds); err != nil {
+		t.Fatalf("/debug/tuner not JSON: %v\n%s", err, body)
+	}
+	if len(ds) != 1 || ds[0].Kind != KindSyncGrowth || ds[0].GrantedPages != 8 {
+		t.Errorf("/debug/tuner filter: %+v", ds)
+	}
+
+	code, _, _ = get("/debug/pprof/")
+	if code != 200 {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+
+	code, _, _ = get("/nope")
+	if code != 404 {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+
+	// Index page.
+	code, body, _ = get("/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: %d %q", code, body)
+	}
+}
+
+func TestMuxNilHandlers(t *testing.T) {
+	srv := httptest.NewServer(NewMux(Handlers{}))
+	defer srv.Close()
+	for _, p := range []string{"/metrics", "/debug/locks", "/debug/events", "/debug/tuner"} {
+		resp, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Errorf("%s with nil handler = %d, want 404", p, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0", NewMux(Handlers{
+		Metrics: func(m *MetricWriter) { m.Counter("up", "liveness", 1) },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "up 1") {
+		t.Errorf("served body %q", body)
+	}
+}

@@ -86,10 +86,12 @@ func effectiveDetectEvery(configured int) int {
 
 // VolatileSeries names the captured series whose values derive from wall
 // clocks rather than simulated time ("global stall" is the max all-shard
-// latch hold, measured in real microseconds). Determinism tests exclude
-// exactly these via Set.CSVExcluding; every simulated-time series remains
-// byte-for-byte reproducible.
-var VolatileSeries = []string{"global stall"}
+// latch hold, measured in real microseconds; "admission p99" is the sampled
+// AcquireAsync wall-clock latency). Determinism tests exclude exactly these
+// via Set.CSVExcluding; every simulated-time series — including the lock-wait
+// quantiles, which are recorded on the engine clock — remains byte-for-byte
+// reproducible.
+var VolatileSeries = []string{"global stall", "admission p99"}
 
 // Result carries the captured series and end-state.
 type Result struct {
@@ -131,6 +133,11 @@ func Run(cfg Config) *Result {
 	latchWaits := set.Series("latch waits", "count")
 	globalRuns := set.Series("global latch runs", "count")
 	globalStall := set.Series("global stall", "µs")
+	// Lock-wait quantiles come from the engine-clock histogram, so they are
+	// deterministic; admission latency is sampled wall clock → volatile.
+	waitP95 := set.Series("lock wait p95", "ms")
+	waitP99 := set.Series("lock wait p99", "ms")
+	admitP99 := set.Series("admission p99", "µs")
 
 	res := &Result{Series: set}
 	var lastCommits int64
@@ -205,6 +212,10 @@ func Run(cfg Config) *Result {
 			latchWaits.Record(now, float64(snap.LockLatchWaits))
 			globalRuns.Record(now, float64(snap.LockGlobalRuns))
 			globalStall.Record(now, float64(snap.LockGlobalHoldMax)/1e3)
+			ws := cfg.DB.Locks().WaitHist().Snapshot()
+			waitP95.Record(now, ws.Quantile(0.95)/1e6)
+			waitP99.Record(now, ws.Quantile(0.99)/1e6)
+			admitP99.Record(now, cfg.DB.Locks().AdmissionHist().Snapshot().Quantile(0.99)/1e3)
 		}
 	}
 

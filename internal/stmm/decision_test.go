@@ -1,0 +1,130 @@
+package stmm
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/memblock"
+	"repro/internal/obs"
+)
+
+// TestDecisionLogReplay drives the controller through growth, shrink,
+// steady-state, and escalation-doubling passes plus synchronous growth,
+// then replays every recorded tuning decision through a fresh tuner: the
+// recorded inputs must reproduce the recorded action and target. This is
+// the explainability contract behind /debug/tuner.
+func TestDecisionLogReplay(t *testing.T) {
+	r := newRig(t, 2048)
+	log := obs.NewDecisionLog(64)
+	clk := clock.NewSim()
+	r.ctl.SetDecisionLog(log, clk)
+	if r.ctl.DecisionLog() != log {
+		t.Fatal("DecisionLog accessor mismatch")
+	}
+
+	var escCum int64
+	r.ctl.BindEscalations(func() int64 { return escCum })
+
+	// Pass 1: heavy usage → grow.
+	r.lock.used = int(0.8 * float64(r.lock.CapacityStructs()))
+	r.ctl.TuneOnce()
+	clk.Advance(30e9)
+
+	// Pass 2: usage collapsed → shrink.
+	r.lock.used = int(0.05 * float64(r.lock.CapacityStructs()))
+	r.ctl.TuneOnce()
+	clk.Advance(30e9)
+
+	// Pass 3: inside the band → none.
+	r.lock.used = int(0.45 * float64(r.lock.CapacityStructs()))
+	r.ctl.TuneOnce()
+	clk.Advance(30e9)
+
+	// Pass 4: escalations fired → doubling.
+	escCum = 7
+	r.ctl.TuneOnce()
+	clk.Advance(30e9)
+
+	// Synchronous growth between passes.
+	granted := r.ctl.SyncGrow(memblock.BlockPages * 2)
+	if granted <= 0 {
+		t.Fatalf("SyncGrow granted %d", granted)
+	}
+
+	recs := log.Decisions()
+	if len(recs) != 5 {
+		t.Fatalf("recorded %d decisions, want 5", len(recs))
+	}
+
+	// Kinds: pass 4 must be escalation-doubling, the last sync-growth.
+	if recs[3].Kind != obs.KindEscalationDoubling || !recs[3].Doubled {
+		t.Fatalf("pass 4 kind = %s doubled=%v", recs[3].Kind, recs[3].Doubled)
+	}
+	if recs[4].Kind != obs.KindSyncGrowth {
+		t.Fatalf("last kind = %s", recs[4].Kind)
+	}
+	if recs[4].GrantedPages != granted || recs[4].LockPagesAfter-recs[4].LockPagesBefore != granted {
+		t.Fatalf("sync-growth record %+v inconsistent with grant %d", recs[4], granted)
+	}
+	// Deterministic timestamps from the sim clock.
+	if !recs[1].Time.Equal(recs[0].Time.Add(30e9)) {
+		t.Fatalf("timestamps not sim-clock driven: %v, %v", recs[0].Time, recs[1].Time)
+	}
+
+	// Replay: recorded inputs through a fresh tuner reproduce the action.
+	for _, rec := range recs {
+		if rec.Kind == obs.KindSyncGrowth {
+			// Sync growth replays through the admission bound instead.
+			p := core.DefaultParams()
+			sumHeaps := rec.DatabasePages - rec.OverflowPages
+			allowed := p.AllowedSyncGrowthPages(rec.DatabasePages, sumHeaps, rec.LMOPages, rec.OverflowPages)
+			if allowed != rec.AllowedPages {
+				t.Errorf("sync-growth replay: allowed %d, recorded %d", allowed, rec.AllowedPages)
+			}
+			continue
+		}
+		tuner := core.NewTuner(core.DefaultParams())
+		tuner.RestorePrevTarget(rec.PrevTarget)
+		dec := tuner.Decide(core.Inputs{
+			DatabasePages:   rec.DatabasePages,
+			LockPages:       rec.LockPagesBefore,
+			UsedStructs:     rec.UsedStructs,
+			CapacityStructs: rec.CapacityStructs,
+			NumApplications: rec.NumApps,
+			Escalations:     rec.Escalations,
+		})
+		if dec.TargetPages != rec.TargetPages {
+			t.Errorf("seq %d: replayed target %d != recorded %d (%s)", rec.Seq, dec.TargetPages, rec.TargetPages, rec.Reason)
+		}
+		if dec.Action.String() != rec.Action {
+			t.Errorf("seq %d: replayed action %s != recorded %s", rec.Seq, dec.Action, rec.Action)
+		}
+		if dec.MinPages != rec.MinPages || dec.MaxPages != rec.MaxPages {
+			t.Errorf("seq %d: replayed bounds [%d,%d] != recorded [%d,%d]", rec.Seq, dec.MinPages, dec.MaxPages, rec.MinPages, rec.MaxPages)
+		}
+	}
+}
+
+// TestDecisionLogDetachable confirms a nil store detaches the sink.
+func TestDecisionLogDetachable(t *testing.T) {
+	r := newRig(t, 2048)
+	log := obs.NewDecisionLog(16)
+	r.ctl.SetDecisionLog(log, nil) // nil clock = wall clock
+	r.lock.used = int(0.45 * float64(r.lock.CapacityStructs()))
+	r.ctl.TuneOnce()
+	if log.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", log.Total())
+	}
+	if log.Decisions()[0].Time.IsZero() {
+		t.Fatal("wall-clock timestamp missing")
+	}
+	r.ctl.SetDecisionLog(nil, nil)
+	if r.ctl.DecisionLog() != nil {
+		t.Fatal("detach failed")
+	}
+	r.ctl.TuneOnce()
+	if log.Total() != 1 {
+		t.Fatalf("detached log still recorded: %d", log.Total())
+	}
+}

@@ -23,12 +23,16 @@ package stmm
 
 import (
 	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/memblock"
 	"repro/internal/memory"
+	"repro/internal/obs"
 )
 
 // LockMemory is the view of the lock manager the controller needs. It is
@@ -138,6 +142,41 @@ type Controller struct {
 	syncMu sync.Mutex // innermost: state shared with lock-manager callbacks
 	lmo    int        // lock pages currently owed to overflow (since last pass)
 	quota  *core.QuotaTracker
+
+	// decis is the optional explainability sink. It is an atomic pointer
+	// because SyncGrow reads it while holding a lock-manager shard latch
+	// (where taking mu is forbidden) and SetDecisionLog may run
+	// concurrently with tuning.
+	decis atomic.Pointer[decSink]
+}
+
+// decSink pairs the decision log with the clock that timestamps records
+// (the sim clock in simulations, so decision times are deterministic).
+type decSink struct {
+	log *obs.DecisionLog
+	clk clock.Clock
+}
+
+// SetDecisionLog attaches an explainability log: every tuning pass,
+// escalation doubling, and synchronous growth is recorded with the inputs
+// that produced it. clk timestamps the records (nil = wall clock).
+func (c *Controller) SetDecisionLog(log *obs.DecisionLog, clk clock.Clock) {
+	if log == nil {
+		c.decis.Store(nil)
+		return
+	}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	c.decis.Store(&decSink{log: log, clk: clk})
+}
+
+// DecisionLog returns the attached decision log (nil if none).
+func (c *Controller) DecisionLog() *obs.DecisionLog {
+	if ds := c.decis.Load(); ds != nil {
+		return ds.log
+	}
+	return nil
 }
 
 // New creates a controller. BindLock must be called before tuning (the lock
@@ -209,8 +248,10 @@ func (c *Controller) LMO() int {
 func (c *Controller) SyncGrow(needPages int) int {
 	c.syncMu.Lock()
 	defer c.syncMu.Unlock()
+	asked := needPages
 	snap := c.set.Snapshot()
 	sumHeaps := snap.TotalPages - snap.Overflow
+	lmoBefore := c.lmo
 	allowed := c.prm.AllowedSyncGrowthPages(snap.TotalPages, sumHeaps, c.lmo, snap.Overflow)
 	if needPages > allowed {
 		needPages = allowed
@@ -224,6 +265,27 @@ func (c *Controller) SyncGrow(needPages int) int {
 		granted -= c.set.Shrink(c.heap, rem)
 	}
 	c.lmo += granted
+	if ds := c.decis.Load(); ds != nil {
+		// The lock manager calls SyncGrow with a shard latch held;
+		// DecisionLog.Add is a leaf (its own mutex only), so recording
+		// here is latch-safe.
+		pagesAfter := c.heap.Pages()
+		ds.log.Add(obs.Decision{
+			Time:            ds.clk.Now(),
+			Kind:            obs.KindSyncGrowth,
+			DatabasePages:   snap.TotalPages,
+			LockPagesBefore: pagesAfter - granted,
+			C1:              c.prm.C1,
+			NeedPages:       asked,
+			AllowedPages:    allowed,
+			LMOPages:        lmoBefore,
+			OverflowPages:   snap.Overflow,
+			Action:          "sync-grow",
+			GrantedPages:    granted,
+			LockPagesAfter:  pagesAfter,
+			Reason:          fmt.Sprintf("demand %d pages; LMOmax (C1=%.2f) admits %d of %d overflow pages", asked, c.prm.C1, allowed, snap.Overflow),
+		})
+	}
 	return granted
 }
 
@@ -264,6 +326,7 @@ func (c *Controller) CompilerLockPages() int {
 
 // TuneOnce runs one asynchronous tuning pass and returns its report.
 func (c *Controller) TuneOnce() Report {
+	started := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.lock == nil {
@@ -285,6 +348,7 @@ func (c *Controller) TuneOnce() Report {
 		NumApplications: c.lock.NumApps(),
 		Escalations:     escDelta,
 	}
+	prevTarget := c.tuner.PrevTarget()
 	dec := c.tuner.Decide(in)
 	rep := Report{Decision: dec, LockPagesBefore: in.LockPages}
 
@@ -312,14 +376,52 @@ func (c *Controller) TuneOnce() Report {
 	c.lmoc = dec.TargetPages
 	rep.LMOC = c.lmoc
 	usedNow := c.lock.UsedStructs()
+	quotaX := c.usedPctOfMax(usedNow)
 	c.syncMu.Lock()
-	rep.QuotaPercent = c.quota.OnResize(c.usedPctOfMax(usedNow))
+	rep.QuotaPercent = c.quota.OnResize(quotaX)
 	c.syncMu.Unlock()
 	c.updateInterval(dec)
 	rep.NextInterval = c.interval
 
 	for _, e := range c.pmcs {
 		e.pmc.ResetInterval()
+	}
+
+	if ds := c.decis.Load(); ds != nil {
+		kind := obs.KindTuningPass
+		if dec.Doubled {
+			kind = obs.KindEscalationDoubling
+		}
+		var freeFrac float64
+		if in.CapacityStructs > 0 {
+			freeFrac = float64(in.CapacityStructs-in.UsedStructs) / float64(in.CapacityStructs)
+		}
+		ds.log.Add(obs.Decision{
+			Time:            ds.clk.Now(),
+			Kind:            kind,
+			DatabasePages:   in.DatabasePages,
+			LockPagesBefore: in.LockPages,
+			UsedStructs:     in.UsedStructs,
+			CapacityStructs: in.CapacityStructs,
+			FreeFrac:        freeFrac,
+			NumApps:         in.NumApplications,
+			Escalations:     in.Escalations,
+			PrevTarget:      prevTarget,
+			MinFreeFrac:     c.prm.MinFreeFrac,
+			MaxFreeFrac:     c.prm.MaxFreeFrac,
+			DeltaReduce:     c.prm.DeltaReduce,
+			C1:              c.prm.C1,
+			MinPages:        dec.MinPages,
+			MaxPages:        dec.MaxPages,
+			QuotaCurveX:     quotaX,
+			Action:          dec.Action.String(),
+			TargetPages:     dec.TargetPages,
+			LockPagesAfter:  rep.LockPagesAfter,
+			Doubled:         dec.Doubled,
+			QuotaPercent:    rep.QuotaPercent,
+			DurationNS:      time.Since(started).Nanoseconds(),
+			Reason:          dec.Reason,
+		})
 	}
 	return rep
 }

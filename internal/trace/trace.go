@@ -45,6 +45,13 @@ func (k Kind) String() string {
 	}
 }
 
+// MarshalJSON renders the kind by name ("escalation", "tuning-pass") so
+// /debug/events serves self-describing records; kinds are never
+// unmarshalled back.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", k.String())), nil
+}
+
 // Event is one logged occurrence.
 type Event struct {
 	Time time.Time
@@ -60,13 +67,17 @@ func (e Event) String() string {
 		e.Time.Format("15:04:05"), e.Kind, e.AppID, e.Detail)
 }
 
-// Ring is a fixed-capacity event ring buffer, safe for concurrent use.
+// Ring is a fixed-capacity event ring buffer, safe for concurrent use. It
+// keeps lifetime per-kind totals alongside the retained window, so an
+// incident review can tell "12 escalations ever, 3 still visible" apart
+// from "3 escalations ever".
 type Ring struct {
-	mu    sync.Mutex
-	buf   []Event
-	next  int
-	count int
-	total int64
+	mu          sync.Mutex
+	buf         []Event
+	next        int
+	count       int
+	total       int64
+	totalByKind map[Kind]int64
 }
 
 // NewRing creates a ring holding up to n events (minimum 16).
@@ -74,7 +85,7 @@ func NewRing(n int) *Ring {
 	if n < 16 {
 		n = 16
 	}
-	return &Ring{buf: make([]Event, n)}
+	return &Ring{buf: make([]Event, n), totalByKind: make(map[Kind]int64)}
 }
 
 // Add appends an event, evicting the oldest when full.
@@ -86,6 +97,7 @@ func (r *Ring) Add(e Event) {
 		r.count++
 	}
 	r.total++
+	r.totalByKind[e.Kind]++
 	r.mu.Unlock()
 }
 
@@ -120,11 +132,39 @@ func (r *Ring) Total() int64 {
 	return r.total
 }
 
-// CountByKind tallies retained events per kind.
+// Len returns the number of events currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Evicted returns how many events have aged out of the ring
+// (Total − retained).
+func (r *Ring) Evicted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - int64(r.count)
+}
+
+// CountByKind tallies the *retained* events per kind — the window a DBA is
+// looking at. For lifetime tallies unaffected by eviction use TotalByKind.
 func (r *Ring) CountByKind() map[Kind]int {
 	out := make(map[Kind]int)
 	for _, e := range r.Events() {
 		out[e.Kind]++
+	}
+	return out
+}
+
+// TotalByKind returns lifetime per-kind totals (a copy). Unlike
+// CountByKind, these survive eviction: a kind's count never decreases.
+func (r *Ring) TotalByKind() map[Kind]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[Kind]int64, len(r.totalByKind))
+	for k, v := range r.totalByKind {
+		out[k] = v
 	}
 	return out
 }

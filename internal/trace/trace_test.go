@@ -107,3 +107,79 @@ func TestRingConcurrent(t *testing.T) {
 		t.Fatalf("total = %d", r.Total())
 	}
 }
+
+func TestRingEvictedAndTotalByKind(t *testing.T) {
+	r := NewRing(16)
+	if r.Evicted() != 0 || r.Len() != 0 {
+		t.Fatalf("fresh ring: evicted=%d len=%d", r.Evicted(), r.Len())
+	}
+	for i := 0; i < 30; i++ {
+		r.Add(ev(KindEscalation, ""))
+	}
+	for i := 0; i < 10; i++ {
+		r.Add(ev(KindDeadlock, ""))
+	}
+	if r.Len() != 16 {
+		t.Fatalf("len = %d, want 16", r.Len())
+	}
+	if got := r.Evicted(); got != 24 { // 40 added − 16 retained
+		t.Fatalf("evicted = %d, want 24", got)
+	}
+	// Retained window: 6 escalations + 10 deadlocks.
+	counts := r.CountByKind()
+	if counts[KindEscalation] != 6 || counts[KindDeadlock] != 10 {
+		t.Fatalf("retained counts = %v", counts)
+	}
+	// Lifetime tallies must survive eviction.
+	totals := r.TotalByKind()
+	if totals[KindEscalation] != 30 || totals[KindDeadlock] != 10 {
+		t.Fatalf("lifetime totals = %v", totals)
+	}
+}
+
+// TestRingWraparoundConcurrent drives concurrent adders across many
+// wraparounds and checks, under -race, that every snapshot is internally
+// ordered (non-decreasing per-goroutine sequence numbers, oldest first)
+// and that lifetime accounting stays exact.
+func TestRingWraparoundConcurrent(t *testing.T) {
+	r := NewRing(32) // tiny: 8 goroutines × 1000 adds ⇒ ~250 wraps
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Add(Event{Kind: Kind(g + 1), AppID: g, Detail: "", Time: time.Unix(int64(i), 0)})
+				if i%32 == 0 {
+					// Snapshot mid-wrap: per-goroutine times must be
+					// non-decreasing oldest→newest.
+					last := make(map[int]int64)
+					for _, e := range r.Events() {
+						if sec := e.Time.Unix(); sec < last[e.AppID] {
+							t.Errorf("goroutine %d events out of order: %d after %d", e.AppID, sec, last[e.AppID])
+							return
+						} else {
+							last[e.AppID] = sec
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != workers*perWorker {
+		t.Fatalf("total = %d, want %d", r.Total(), workers*perWorker)
+	}
+	if r.Evicted() != workers*perWorker-32 {
+		t.Fatalf("evicted = %d", r.Evicted())
+	}
+	var sum int64
+	for _, v := range r.TotalByKind() {
+		sum += v
+	}
+	if sum != workers*perWorker {
+		t.Fatalf("per-kind totals sum %d, want %d", sum, workers*perWorker)
+	}
+}
