@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-lock bench-engine bench-obs obs-demo verify fmt vet
+.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-commit obs-demo verify fmt vet
 
 all: build
 
@@ -43,6 +43,16 @@ bench-engine:
 bench-obs:
 	BENCH_JSON=$${BENCH_JSON:-BENCH_OBS_OVERHEAD.json} \
 		$(GO) test -run xxx -bench BenchmarkObsOverhead -benchtime 1s .
+
+# bench-commit measures the transaction commit path: short transactions
+# (2/8/64 locks, disjoint and hot-key) acquired and then released via
+# ReleaseAll, reporting commits/sec and shard-latch acquisitions per
+# commit. BENCH_COMMIT_BASELINE.json holds the full-sweep release path
+# (3×shards latches per commit); BENCH_COMMIT_RELEASEPATH.json holds the
+# touched-shard walk (O(shards touched)).
+bench-commit:
+	BENCH_JSON=$${BENCH_JSON:-BENCH_COMMIT.json} \
+		$(GO) test -run xxx -bench BenchmarkCommitThroughput -benchtime 1s .
 
 # obs-demo runs the workbench surge workload with the HTTP surface up and
 # curls it mid-run: /metrics must serve lock-wait histogram buckets and

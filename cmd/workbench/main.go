@@ -143,6 +143,10 @@ func main() {
 		fmt.Printf("lock wait p95     %s\n", time.Duration(ws.Quantile(0.95)))
 		fmt.Printf("lock wait p99     %s\n", time.Duration(ws.Quantile(0.99)))
 	}
+	if rs := db.Locks().ReleaseHist().Snapshot(); rs.Total > 0 {
+		fmt.Printf("commit release    p50 %s  p99 %s (%d releases)\n",
+			time.Duration(rs.Quantile(0.50)), time.Duration(rs.Quantile(0.99)), rs.Total)
+	}
 
 	if *events > 0 {
 		tail := db.Events().Tail(*events)

@@ -144,8 +144,16 @@ func (db *Database) WriteMetrics(m *obs.MetricWriter) {
 	// Latency distributions (recorded in ns; exposed in seconds).
 	m.Histogram("lockmem_lock_wait_seconds", "lock wait time (engine clock)",
 		db.locks.WaitHist().Snapshot(), 1e-9)
+	m.Histogram("lockmem_lock_release_seconds", "ReleaseAll commit-release time (engine clock)",
+		db.locks.ReleaseHist().Snapshot(), 1e-9)
 	m.Histogram("lockmem_lock_hold_seconds", "lock hold time (sampled, wall clock)",
 		db.locks.HoldHist().Snapshot(), 1e-9)
+
+	// Commit fast-path cost: total shard-latch acquisitions (every lockShard
+	// call, contended or not). With the touched-shard release walk this grows
+	// by O(shards touched) per commit, not 3× the shard count.
+	m.CounterVec("lockmem_latch_acquisitions_total", "shard-latch acquisitions", "shard",
+		db.locks.LatchAcqCounters().Values())
 	m.Histogram("lockmem_lock_admission_seconds", "AcquireAsync latency (sampled, wall clock)",
 		db.locks.AdmissionHist().Snapshot(), 1e-9)
 	m.Histogram("lockmem_tuning_pass_seconds", "STMM TuneOnce duration (wall clock)",

@@ -117,10 +117,18 @@ func (m *Manager) blocksOn(via *request, to *Owner) bool {
 // latch per shard, held briefly and one at a time; the all-shard latch is
 // never taken (GlobalRuns does not advance).
 func (m *Manager) DetectDeadlocks() int {
-	// Phase 1: export each shard's edges under its own latch.
+	// Phase 1: export each shard's edges under its own latch. Shards whose
+	// published nWaiting mirror reads zero are skipped without latching —
+	// a shard with no waiters contributes no edges, and the mirror's
+	// fuzziness is the same fuzziness the per-shard export already has
+	// (phase 3 re-validates everything). An idle lock table detects with
+	// zero latch acquisitions.
 	edges := make(map[*Owner]map[*Owner]*request)
 	waitingBy := make(map[*Owner][]*request)
 	for i := range m.shards {
+		if m.shards[i].nWaiting.Load() == 0 {
+			continue
+		}
 		s := m.lockShard(i)
 		for req := range s.waiting {
 			if req.parked {

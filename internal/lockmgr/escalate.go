@@ -34,17 +34,18 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 	// a table level lock" where it pays the most.
 	var victim uint32
 	var victimOT *ownerTable
-	for tid, ot := range o.byTable {
-		if ot.tableReq == nil || !ot.tableReq.granted || len(ot.rows) == 0 {
-			continue
+	o.eachTable(func(tid uint32, ot *ownerTable) bool {
+		if ot.tableReq == nil || !ot.tableReq.granted || ot.rowCount() == 0 {
+			return true
 		}
 		if ot.tableReq.converting {
-			continue // an escalation is already in flight on this table
+			return true // an escalation is already in flight on this table
 		}
 		if victimOT == nil || ot.rowStructs > victimOT.rowStructs {
 			victim, victimOT = tid, ot
 		}
-	}
+		return true
+	})
 	if victimOT == nil {
 		return false
 	}
@@ -52,9 +53,9 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 	// Target mode: the weakest table mode covering every row lock held
 	// (plus the triggering request if it is a row of the victim table).
 	target := victimOT.tableReq.mode
-	for _, r := range victimOT.rows {
+	victimOT.eachRow(func(_ uint64, r *request) {
 		target = Supremum(target, r.mode)
-	}
+	})
 	if parked != nil && parked.name.Gran == GranRow && parked.name.Table == victim {
 		target = Supremum(target, parked.mode)
 	}
@@ -73,7 +74,14 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 		// The park is a wait from the requester's point of view: stamp it
 		// so the wait histogram includes escalation stalls (the counter in
 		// stats.waits is deliberately not bumped — parked requests are
-		// retried, not queued behind a lock).
+		// retried, not queued behind a lock). Parked requests join the
+		// waiting set, so they are ever-queued (never box-recycled) and
+		// count in the owner's inWait gauge — once, even across re-parks.
+		parked.everQueued = true
+		parked.owner.everWaited = true
+		if parked.waitStart.IsZero() {
+			parked.owner.inWait.Add(1)
+		}
 		parked.waitStart = m.clk.Now()
 		m.shardFor(parked.name).addWaiting(parked)
 	}
@@ -106,14 +114,23 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 // for the map read) before release — rows the owner released or converted
 // in the meantime are skipped.
 func (m *Manager) freeEscalatedRows(o *Owner, table uint32) {
+	// Snapshot (row, request) pairs under o.mu. The row keys are copied
+	// out of the index: shard routing and revalidation below must not
+	// dereference a request pointer the owner's commit may have released
+	// concurrently — a released box can be recycled and rewritten by an
+	// unrelated acquire.
+	type rowSnap struct {
+		row uint64
+		r   *request
+	}
 	o.mu.Lock()
-	ot := o.byTable[table]
-	var rows []*request
+	ot := o.tableFor(table)
+	var rows []rowSnap
 	if ot != nil {
-		rows = make([]*request, 0, len(ot.rows))
-		for _, r := range ot.rows {
-			rows = append(rows, r)
-		}
+		rows = make([]rowSnap, 0, ot.rowCount())
+		ot.eachRow(func(row uint64, r *request) {
+			rows = append(rows, rowSnap{row, r})
+		})
 	}
 	o.mu.Unlock()
 	if len(rows) == 0 {
@@ -121,10 +138,10 @@ func (m *Manager) freeEscalatedRows(o *Owner, table uint32) {
 	}
 
 	// Group by home shard so each shard is latched once.
-	byShard := make(map[int][]*request)
-	for _, r := range rows {
-		i := m.shardOf(r.name)
-		byShard[i] = append(byShard[i], r)
+	byShard := make(map[int][]rowSnap)
+	for _, e := range rows {
+		i := m.shardOf(RowName(table, e.row))
+		byShard[i] = append(byShard[i], e)
 	}
 	for i, batch := range byShard {
 		s := m.lockShard(i)
@@ -132,20 +149,22 @@ func (m *Manager) freeEscalatedRows(o *Owner, table uint32) {
 		// state and its ot.rows membership only change under its home
 		// shard latch (held) plus o.mu (taken for the map read), so the
 		// filtered batch is accurate for as long as we hold the latch.
+		// Pointer identity decides first; only a match proves e.r is
+		// still this owner's live request, making its fields safe to read.
 		live := batch[:0]
 		o.mu.Lock()
-		for _, r := range batch {
-			if ot.rows[r.name.Row] == r && r.granted {
-				live = append(live, r)
+		for _, e := range batch {
+			if cur, ok := ot.getRow(e.row); ok && cur == e.r && e.r.granted {
+				live = append(live, e)
 			}
 		}
 		o.mu.Unlock()
-		for _, r := range live {
-			if r.converting {
+		for _, e := range live {
+			if e.r.converting {
 				// A row conversion in flight is subsumed by the table lock.
-				m.deny(r, ErrCanceled)
+				m.deny(e.r, ErrCanceled)
 			}
-			m.releaseGranted(r)
+			m.releaseGranted(e.r)
 		}
 		s.mu.Unlock()
 	}
@@ -162,7 +181,8 @@ func (m *Manager) retryParked(parked *request) {
 	if parked == nil {
 		return
 	}
-	s := m.lockShard(m.shardOf(parked.name))
+	si := m.shardOf(parked.name)
+	s := m.lockShard(si)
 	s.delWaiting(parked)
 	if parked.pending == nil {
 		s.mu.Unlock()
@@ -172,14 +192,14 @@ func (m *Manager) retryParked(parked *request) {
 		s.mu.Unlock()
 		return
 	}
-	ok := m.startRequest(s, parked, false)
+	ok := m.startRequest(s, si, parked, false)
 	s.mu.Unlock()
 	if !ok {
 		// runGlobal survivor: same admission-of-last-resort rationale as
 		// AcquireAsync — the retry may itself need quota growth or a
 		// further escalation, which require every latch.
 		m.runGlobal(func() {
-			if !m.startRequest(s, parked, true) {
+			if !m.startRequest(s, si, parked, true) {
 				panic("lockmgr: global retry deferred admission")
 			}
 		})

@@ -136,6 +136,7 @@ func (m *Manager) CheckInvariants() error {
 // checkInvariantsLocked does the work. Caller holds all shard latches.
 func (m *Manager) checkInvariantsLocked() error {
 	appStructs := make(map[int]int)
+	inWait := make(map[*Owner]int)
 	for i := range m.shards {
 		s := &m.shards[i]
 		// The latch-free observation mirrors must agree exactly with the
@@ -216,13 +217,26 @@ func (m *Manager) checkInvariantsLocked() error {
 				}
 			}
 		}
+		// Every member of the waiting set (queued waiters, converters, and
+		// parked requests) counts toward its owner's inWait gauge and must
+		// have its home shard's touched bit set — the bit is set before the
+		// request can reach any queue, and never cleared.
+		for req := range s.waiting {
+			inWait[req.owner]++
+			if !req.everQueued {
+				return fmt.Errorf("lockmgr: shard %d waiting request on %v not marked everQueued", i, req.name)
+			}
+			if !req.owner.isTouched(i) {
+				return fmt.Errorf("lockmgr: owner %d waits in shard %d without touched bit", req.owner.id, i)
+			}
+		}
 	}
 
 	// Owner indexes agree with the lock table. ownersMu is a leaf lock,
 	// safe to take under the shard latches.
 	m.ownersMu.Lock()
-	owners := make([]*Owner, 0, len(m.owners))
-	for _, o := range m.owners {
+	owners := make([]*Owner, 0, m.nOwners)
+	for o := m.owners; o != nil; o = o.regNext {
 		owners = append(owners, o)
 	}
 	apps := make(map[int]*App, len(m.apps))
@@ -237,22 +251,39 @@ func (m *Manager) checkInvariantsLocked() error {
 			if h == nil || h.getGranted(o) != req {
 				heldErr = fmt.Errorf("lockmgr: owner %d holds %v not present in table", o.id, name)
 			}
+			if !o.isTouched(m.shardOf(name)) {
+				heldErr = fmt.Errorf("lockmgr: owner %d holds %v in shard %d without touched bit",
+					o.id, name, m.shardOf(name))
+			}
 		})
 		if heldErr != nil {
 			return heldErr
 		}
-		for tid, ot := range o.byTable {
+		// The latch-free inWait gauge must equal the owner's waiting-set
+		// population exactly while every latch is held: increments happen
+		// before a request joins a waiting set (under its shard latch) and
+		// decrements after it leaves, so with the whole table stopped the
+		// two counts coincide.
+		if got, want := o.inWait.Load(), int32(inWait[o]); got != want {
+			return fmt.Errorf("lockmgr: owner %d inWait gauge %d, waiting sets hold %d", o.id, got, want)
+		}
+		var tblErr error
+		o.eachTable(func(tid uint32, ot *ownerTable) bool {
 			structs := 0
-			for row, r := range ot.rows {
+			ot.eachRow(func(row uint64, r *request) {
 				if hr, ok := o.held.get(RowName(tid, row)); !ok || hr != r {
-					return fmt.Errorf("lockmgr: owner %d byTable row %d desynced", o.id, row)
+					tblErr = fmt.Errorf("lockmgr: owner %d byTable row %d desynced", o.id, row)
 				}
 				structs += r.weight
-			}
-			if structs != ot.rowStructs {
-				return fmt.Errorf("lockmgr: owner %d table %d rowStructs %d, want %d",
+			})
+			if tblErr == nil && structs != ot.rowStructs {
+				tblErr = fmt.Errorf("lockmgr: owner %d table %d rowStructs %d, want %d",
 					o.id, tid, ot.rowStructs, structs)
 			}
+			return tblErr == nil
+		})
+		if tblErr != nil {
+			return tblErr
 		}
 	}
 

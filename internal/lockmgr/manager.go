@@ -221,6 +221,20 @@ func (p *Pending) complete(st Status, err error) {
 	}
 }
 
+// reset returns a Pending to its zero (waiting) state for box recycling.
+// The caller must own the Pending exclusively: ReleaseAll only resets boxes
+// whose blocking Acquire returned before the commit (happens-before via the
+// owner's single-goroutine contract) and that never entered a wait queue.
+// Assigning the struct wholesale would copy dmu, so fields are cleared
+// individually.
+func (p *Pending) reset() {
+	p.status.Store(int32(StatusWaiting))
+	p.err = nil
+	p.hasDone.Store(false)
+	p.done = nil
+	p.closed = false
+}
+
 // QuotaProvider supplies the live lockPercentPerApplication value. The
 // manager consults it on every allocation of new lock structures; the
 // provider decides whether the refresh period has elapsed (core.QuotaTracker
@@ -307,6 +321,13 @@ type App struct {
 // ID returns the application's identifier.
 func (a *App) ID() int { return a.id }
 
+// maxShardWords is the shard bitmap size in uint64 words: one bit per
+// shard at the 1024-shard configuration ceiling. releaseBatch keeps a
+// full-width bitmap inline (it is pooled, so the 128 bytes are paid once);
+// Owner keeps only the first word inline and spills the rest lazily, since
+// per-transaction memory is the commit path's main allocation.
+const maxShardWords = 1024 / 64
+
 // Owner is a lock requester — one transaction. All of an owner's locks are
 // released together by ReleaseAll at commit or abort (strict two-phase
 // locking). An owner's lock requests must be issued from a single goroutine
@@ -315,20 +336,149 @@ type Owner struct {
 	id  uint64
 	app *App
 
-	// mu guards held, byTable, released, and the owner-visible request
-	// fields (granted/converting/convert/mode) of this owner's requests.
-	// It is a leaf lock: never held while acquiring a shard latch.
+	// mu guards held, byTable, released, touched, and the owner-visible
+	// request fields (granted/converting/convert/mode) of this owner's
+	// requests. It is a leaf lock: never held while acquiring a shard
+	// latch.
 	mu       sync.Mutex
 	held     heldSet
-	byTable  map[uint32]*ownerTable
 	released bool // set by ReleaseAll; further requests are rejected
+
+	// Per-table indexes: the first table an owner touches lives in the
+	// inline slot (ot0), further tables spill to the lazily allocated
+	// byTable map. Most OLTP transactions touch one or two tables, so the
+	// common case allocates neither the map nor an ownerTable.
+	ot0used bool
+	ot0tid  uint32
+	ot0     ownerTable
+	byTable map[uint32]*ownerTable // nil until a second table appears
+
+	// touched is the owner's touched-shard set: bit i is set (under mu, at
+	// admission time) before any of this owner's requests can exist in
+	// shard i, and bits are never cleared — owners are discarded at
+	// ReleaseAll. The commit fast path visits only touched shards instead
+	// of sweeping the whole shard array, so release cost is O(locks held),
+	// not O(shards). The set is conservative: a bit may be set for a shard
+	// the owner never actually locked (a backed-out fast path, a covered
+	// grant), which costs at most one latch visit at commit.
+	//
+	// Shards 0–63 live in the inline word; tables configured with more
+	// shards get the spill slice at NewOwner time (sized once, never
+	// grown), keeping the common-case Owner small.
+	touched0  uint64
+	touchedHi []uint64 // nil unless the table has > 64 shards
+
+	// inWait counts this owner's requests currently in a wait queue
+	// (waiters, converters, parked requests). Incremented when a request
+	// first enters a queue (beginWait / escalation park), decremented by
+	// endWait only once the request is either installed in held (grant) or
+	// terminally denied — so ReleaseAll reading 0 under mu proves the held
+	// snapshot is complete and no cancel sweep is needed.
+	inWait atomic.Int32
+
+	// everWaited is set (under the home shard latch, before the owner's
+	// release can complete) the first time any of the owner's requests
+	// enters a wait queue. FinishOwner refuses to recycle such owners:
+	// denial and grant continuations may still hold the pointer briefly
+	// after ReleaseAll returns, so they are left to the garbage collector.
+	everWaited bool
+
+	// Registry list links, guarded by Manager.ownersMu.
+	regPrev, regNext *Owner
+}
+
+// markTouched records that the owner may have a request homed in shard si.
+// Caller holds o.mu.
+func (o *Owner) markTouched(si int) {
+	if si < 64 {
+		o.touched0 |= 1 << uint(si)
+		return
+	}
+	o.touchedHi[(si>>6)-1] |= 1 << (uint(si) & 63)
+}
+
+// isTouched reports whether shard si's touched bit is set. Used by
+// CheckInvariants (all latches held) to verify the bitmap is conservative:
+// every shard hosting one of the owner's requests must be marked.
+func (o *Owner) isTouched(si int) bool {
+	if si < 64 {
+		return o.touched0&(1<<uint(si)) != 0
+	}
+	return o.touchedHi[(si>>6)-1]&(1<<(uint(si)&63)) != 0
+}
+
+// tableFor returns the owner's per-table index for tid, or nil. Caller
+// holds o.mu.
+func (o *Owner) tableFor(tid uint32) *ownerTable {
+	if o.ot0used && o.ot0tid == tid {
+		return &o.ot0
+	}
+	return o.byTable[tid] // nil-map read is fine
+}
+
+// tableOrCreate returns the per-table index for tid, creating it in the
+// inline slot or the spill map. Caller holds o.mu.
+func (o *Owner) tableOrCreate(tid uint32) *ownerTable {
+	if !o.ot0used {
+		o.ot0used, o.ot0tid = true, tid
+		return &o.ot0
+	}
+	if o.ot0tid == tid {
+		return &o.ot0
+	}
+	if ot := o.byTable[tid]; ot != nil {
+		return ot
+	}
+	if o.byTable == nil {
+		o.byTable = make(map[uint32]*ownerTable)
+	}
+	ot := &ownerTable{}
+	o.byTable[tid] = ot
+	return ot
+}
+
+// eachTable calls f for every per-table index until f returns false.
+// Caller holds o.mu (or owns the owner exclusively).
+func (o *Owner) eachTable(f func(uint32, *ownerTable) bool) {
+	if o.ot0used {
+		if !f(o.ot0tid, &o.ot0) {
+			return
+		}
+	}
+	for tid, ot := range o.byTable {
+		if !f(tid, ot) {
+			return
+		}
+	}
+}
+
+// touchedShards appends the owner's touched shard indexes, ascending.
+// Caller holds o.mu (or owns the released owner).
+func (o *Owner) touchedShards(buf []int) []int {
+	word := o.touched0
+	for word != 0 {
+		b := bits.TrailingZeros64(word)
+		buf = append(buf, b)
+		word &^= 1 << uint(b)
+	}
+	for w, hi := range o.touchedHi {
+		base := (w + 1) * 64
+		for hi != 0 {
+			b := bits.TrailingZeros64(hi)
+			buf = append(buf, base+b)
+			hi &^= 1 << uint(b)
+		}
+	}
+	return buf
 }
 
 // heldSmallMax is the number of locks an owner indexes in the inline array
 // before spilling to a map. Most OLTP transactions hold a handful of locks;
-// a linear scan over ≤16 entries beats a Name-keyed map's hash+probe, and
-// insert/delete become an append and a swap-remove.
-const heldSmallMax = 16
+// a linear scan over ≤10 entries beats a Name-keyed map's hash+probe, and
+// insert/delete become an append and a swap-remove. The size is a
+// per-transaction memory trade: the inline array is the biggest field in
+// Owner, and every commit allocates one.
+const heldSmallMax = 10
 
 type heldEntry struct {
 	name Name
@@ -341,7 +491,8 @@ type heldEntry struct {
 // zero value is ready to use. Guarded by the owner's mu like the map it
 // replaces.
 type heldSet struct {
-	arr []heldEntry
+	arr [heldSmallMax]heldEntry // inline: no allocation for small owners
+	n   int
 	m   map[Name]*request // nil until spill
 }
 
@@ -350,7 +501,7 @@ func (hs *heldSet) get(name Name) (*request, bool) {
 		r, ok := hs.m[name]
 		return r, ok
 	}
-	for i := range hs.arr {
+	for i := 0; i < hs.n; i++ {
 		if hs.arr[i].name == name {
 			return hs.arr[i].req, true
 		}
@@ -363,21 +514,22 @@ func (hs *heldSet) set(name Name, r *request) {
 		hs.m[name] = r
 		return
 	}
-	for i := range hs.arr {
+	for i := 0; i < hs.n; i++ {
 		if hs.arr[i].name == name {
 			hs.arr[i].req = r
 			return
 		}
 	}
-	if len(hs.arr) < heldSmallMax {
-		hs.arr = append(hs.arr, heldEntry{name, r})
+	if hs.n < heldSmallMax {
+		hs.arr[hs.n] = heldEntry{name, r}
+		hs.n++
 		return
 	}
 	hs.m = make(map[Name]*request, 2*heldSmallMax)
-	for _, e := range hs.arr {
-		hs.m[e.name] = e.req
+	for i := 0; i < hs.n; i++ {
+		hs.m[hs.arr[i].name] = hs.arr[i].req
 	}
-	hs.arr = nil
+	hs.n = 0
 	hs.m[name] = r
 }
 
@@ -386,12 +538,11 @@ func (hs *heldSet) del(name Name) {
 		delete(hs.m, name)
 		return
 	}
-	for i := range hs.arr {
+	for i := 0; i < hs.n; i++ {
 		if hs.arr[i].name == name {
-			last := len(hs.arr) - 1
-			hs.arr[i] = hs.arr[last]
-			hs.arr[last] = heldEntry{}
-			hs.arr = hs.arr[:last]
+			hs.n--
+			hs.arr[i] = hs.arr[hs.n]
+			hs.arr[hs.n] = heldEntry{}
 			return
 		}
 	}
@@ -405,7 +556,7 @@ func (hs *heldSet) each(f func(Name, *request)) {
 		}
 		return
 	}
-	for i := range hs.arr {
+	for i := 0; i < hs.n; i++ {
 		f(hs.arr[i].name, hs.arr[i].req)
 	}
 }
@@ -416,13 +567,99 @@ func (o *Owner) ID() uint64 { return o.id }
 // App returns the owning application.
 func (o *Owner) App() *App { return o.app }
 
+// rowsSmallMax is the number of row locks an ownerTable indexes inline
+// before spilling to a map — the same small-case trick as heldSet, so a
+// short transaction's per-table row index costs zero allocations.
+const rowsSmallMax = 8
+
+type rowEntry struct {
+	row uint64
+	r   *request
+}
+
 // ownerTable tracks one owner's locks on one table, for coverage checks and
 // escalation victim selection. Entries are kept (empty) after their last
-// lock is released so churning transactions reuse the maps.
+// lock is released so churning transactions reuse the index. Access only
+// through the row methods; the representation spills from the inline array
+// to a map past rowsSmallMax rows.
 type ownerTable struct {
 	tableReq   *request
-	rows       map[uint64]*request
 	rowStructs int
+	nRows      int
+	rowsArr    [rowsSmallMax]rowEntry
+	rowsMap    map[uint64]*request // nil until spill
+}
+
+func (ot *ownerTable) rowCount() int {
+	if ot.rowsMap != nil {
+		return len(ot.rowsMap)
+	}
+	return ot.nRows
+}
+
+func (ot *ownerTable) getRow(row uint64) (*request, bool) {
+	if ot.rowsMap != nil {
+		r, ok := ot.rowsMap[row]
+		return r, ok
+	}
+	for i := 0; i < ot.nRows; i++ {
+		if ot.rowsArr[i].row == row {
+			return ot.rowsArr[i].r, true
+		}
+	}
+	return nil, false
+}
+
+func (ot *ownerTable) setRow(row uint64, r *request) {
+	if ot.rowsMap != nil {
+		ot.rowsMap[row] = r
+		return
+	}
+	for i := 0; i < ot.nRows; i++ {
+		if ot.rowsArr[i].row == row {
+			ot.rowsArr[i].r = r
+			return
+		}
+	}
+	if ot.nRows < rowsSmallMax {
+		ot.rowsArr[ot.nRows] = rowEntry{row, r}
+		ot.nRows++
+		return
+	}
+	ot.rowsMap = make(map[uint64]*request, 2*rowsSmallMax)
+	for i := 0; i < ot.nRows; i++ {
+		ot.rowsMap[ot.rowsArr[i].row] = ot.rowsArr[i].r
+	}
+	ot.nRows = 0
+	ot.rowsMap[row] = r
+}
+
+func (ot *ownerTable) delRow(row uint64) {
+	if ot.rowsMap != nil {
+		delete(ot.rowsMap, row)
+		return
+	}
+	for i := 0; i < ot.nRows; i++ {
+		if ot.rowsArr[i].row == row {
+			ot.nRows--
+			ot.rowsArr[i] = ot.rowsArr[ot.nRows]
+			ot.rowsArr[ot.nRows] = rowEntry{}
+			return
+		}
+	}
+}
+
+// eachRow calls f for every (row, request) pair. f must not mutate the set.
+func (ot *ownerTable) eachRow(f func(uint64, *request)) {
+	if ot.rowsMap != nil {
+		for row, r := range ot.rowsMap {
+			f(row, r)
+		}
+		return
+	}
+	for i := 0; i < ot.nRows; i++ {
+		f(ot.rowsArr[i].row, ot.rowsArr[i].r)
+	}
 }
 
 // request is one (owner, name) lock request: granted or waiting.
@@ -454,6 +691,19 @@ type request struct {
 	waitStart  time.Time
 	grantedAt  time.Time
 	obsSampled bool
+
+	// Recycling state. box points back at the request's co-allocation so
+	// ReleaseAll can return it to the home shard's cache. recyclable is set
+	// only for boxes born in the blocking Acquire path, whose Pending
+	// provably has no external references once the transaction commits
+	// (Acquire returned before the owner's goroutine could call
+	// ReleaseAll). everQueued is set, stickily, the first time the request
+	// enters a wait queue: queued requests may be captured by the deadlock
+	// detector's latch-free snapshot, which holds *request pointers across
+	// phases, so they are never recycled.
+	box        *requestAndPending
+	recyclable bool
+	everQueued bool
 }
 
 // requestAndPending co-allocates a request with its Pending so the
@@ -595,6 +845,9 @@ type statCounters struct {
 // headerFreelistCap bounds each shard's recycled lock-header stack.
 const headerFreelistCap = 64
 
+// boxFreelistCap bounds each shard's recycled request-box stack.
+const boxFreelistCap = 64
+
 // shard is one stripe of the lock table.
 type shard struct {
 	mu      sync.Mutex
@@ -602,6 +855,15 @@ type shard struct {
 	waiting map[*request]struct{}
 	pool    *memblock.Pool // lease cache; guarded by mu
 	hfree   []*lockHeader  // recycled headers (with empty granted maps)
+
+	// rfree is the shard's cache of recycled request+Pending boxes,
+	// guarded by mu like hfree; boxes are pushed (zeroed) by ReleaseAll
+	// and popped by the acquire path, so a steady commit workload stops
+	// allocating per lock request. rfreeN mirrors len(rfree) so the
+	// acquire path can pre-allocate outside the latch when the cache is
+	// empty instead of allocating inside the critical section.
+	rfree  []*requestAndPending
+	rfreeN atomic.Int32
 
 	// seq stamps the shard's published summary: it is bumped (under mu)
 	// whenever lock-table membership or wait-queue membership changes, so
@@ -632,6 +894,33 @@ func (s *shard) delWaiting(r *request) {
 	s.seq.Add(1)
 }
 
+// popBox takes a recycled request box from the shard cache, or nil. Caller
+// holds the shard latch. The box was zeroed when it was pushed.
+func (s *shard) popBox() *requestAndPending {
+	n := len(s.rfree)
+	if n == 0 {
+		return nil
+	}
+	b := s.rfree[n-1]
+	s.rfree[n-1] = nil
+	s.rfree = s.rfree[:n-1]
+	s.rfreeN.Store(int32(len(s.rfree)))
+	return b
+}
+
+// pushBox zeroes a request box and returns it to the shard cache (bounded;
+// overflow is left to the garbage collector). Caller holds the shard latch
+// and guarantees no external references to the box or its Pending remain.
+func (s *shard) pushBox(b *requestAndPending) {
+	if len(s.rfree) >= boxFreelistCap {
+		return
+	}
+	b.req = request{}
+	b.pend.reset()
+	s.rfree = append(s.rfree, b)
+	s.rfreeN.Store(int32(len(s.rfree)))
+}
+
 // Manager is the lock manager. All public methods are safe for concurrent
 // use by distinct owners; a single owner's requests must come from one
 // goroutine.
@@ -643,9 +932,20 @@ type Manager struct {
 	shards    []shard
 	shardMask uint64
 
-	ownersMu  sync.Mutex // registry of apps and owners
-	apps      map[int]*App
-	owners    map[uint64]*Owner
+	// ownerPool recycles Owner structs handed back through FinishOwner.
+	// Per-manager (not package-global) so a pooled owner's touchedHi spill
+	// is always sized for this manager's shard count.
+	ownerPool sync.Pool
+
+	ownersMu sync.Mutex // registry of apps and owners
+	apps     map[int]*App
+	// owners is an intrusive doubly-linked list (head; regPrev/regNext in
+	// Owner) rather than a map: registration and deregistration run once
+	// per transaction on the commit path, and list splicing is two pointer
+	// writes against a map's hash, probe, and bucket churn. Only
+	// introspection iterates it.
+	owners    *Owner
+	nOwners   int
 	nextApp   int
 	nextOwner uint64
 	numApps   atomic.Int64
@@ -677,17 +977,29 @@ type Manager struct {
 	quotaPct  atomic.Uint64
 	quotaNext atomic.Int64
 
+	// latchWaits counts contended shard-latch acquisitions; latchAcqs
+	// counts every acquisition, contended or not — the direct evidence
+	// that the commit fast path visits O(shards touched) rather than
+	// 3×shards per transaction.
 	latchWaits *metrics.ShardCounters
+	latchAcqs  *metrics.ShardCounters
 
 	// Latency histograms (lock-free; see internal/obs). waitHist records
 	// every wait's duration on the manager's clock — deterministic under
-	// the simulated clock — striped by home-shard index. holdHist and
-	// admitHist are wall-clock and recorded only for requests admitted by
-	// obsSampler, keeping the hot path at one atomic add per event.
-	waitHist   *obs.Histogram
-	holdHist   *obs.Histogram
-	admitHist  *obs.Histogram
-	obsSampler obs.Sampler
+	// the simulated clock — striped by home-shard index; releaseHist
+	// records ReleaseAll durations the same way (striped by owner id),
+	// sampled by relSampler so the commit fast path does not pay two
+	// clock reads per transaction (the sampling counter is a
+	// deterministic stride, so sim runs stay byte-reproducible). holdHist
+	// and admitHist are wall-clock and recorded only for requests
+	// admitted by obsSampler, keeping the hot path at one atomic add per
+	// event.
+	waitHist    *obs.Histogram
+	holdHist    *obs.Histogram
+	admitHist   *obs.Histogram
+	releaseHist *obs.Histogram
+	obsSampler  obs.Sampler
+	relSampler  obs.Sampler
 
 	stats statCounters
 }
@@ -732,8 +1044,8 @@ func New(cfg Config) *Manager {
 		shards:     make([]shard, ns),
 		shardMask:  uint64(ns - 1),
 		apps:       make(map[int]*App),
-		owners:     make(map[uint64]*Owner),
 		latchWaits: metrics.NewShardCounters("lock table latch waits", ns),
+		latchAcqs:  metrics.NewShardCounters("lock table latch acquisitions", ns),
 	}
 	stripes := ns
 	if stripes > 64 {
@@ -742,12 +1054,20 @@ func New(cfg Config) *Manager {
 	m.waitHist = obs.NewHistogram("lock_wait", "ns", stripes)
 	m.holdHist = obs.NewHistogram("lock_hold", "ns", stripes)
 	m.admitHist = obs.NewHistogram("lock_admission", "ns", stripes)
+	m.releaseHist = obs.NewHistogram("lock_release", "ns", stripes)
 	stride := cfg.ObsSampleStride
 	if stride == 0 {
 		stride = 64
 	}
 	if stride > 0 {
 		m.obsSampler = obs.NewSampler(stride)
+		// Releases are roughly 1/L as frequent as acquisitions (one per
+		// transaction), so the release histogram samples more densely.
+		rel := stride / 4
+		if rel < 1 {
+			rel = 1
+		}
+		m.relSampler = obs.NewSampler(rel)
 	}
 	for i := range m.shards {
 		s := &m.shards[i]
@@ -780,9 +1100,13 @@ func (m *Manager) shardFor(name Name) *shard {
 	return &m.shards[m.shardOf(name)]
 }
 
-// lockShard latches shard i, counting contended acquisitions.
+// lockShard latches shard i, counting every acquisition (latchAcqs) and
+// contended acquisitions (latchWaits) separately. The unconditional count
+// is one uncontended atomic add on a shard-padded counter; it is what lets
+// tests and benchmarks prove how many latches an operation really took.
 func (m *Manager) lockShard(i int) *shard {
 	s := &m.shards[i]
+	m.latchAcqs.Shard(i).Inc()
 	if !s.mu.TryLock() {
 		m.latchWaits.Shard(i).Inc()
 		s.mu.Lock()
@@ -904,12 +1228,20 @@ func (m *Manager) NewOwner(a *App) *Owner {
 	m.ownersMu.Lock()
 	defer m.ownersMu.Unlock()
 	m.nextOwner++
-	o := &Owner{
-		id:      m.nextOwner,
-		app:     a,
-		byTable: make(map[uint32]*ownerTable),
+	o, _ := m.ownerPool.Get().(*Owner)
+	if o == nil {
+		o = &Owner{}
+		if ns := len(m.shards); ns > 64 {
+			o.touchedHi = make([]uint64, (ns+63)/64-1)
+		}
 	}
-	m.owners[o.id] = o
+	o.id, o.app = m.nextOwner, a
+	if m.owners != nil {
+		m.owners.regPrev = o
+	}
+	o.regNext = m.owners
+	m.owners = o
+	m.nOwners++
 	return o
 }
 
@@ -918,35 +1250,60 @@ func (m *Manager) NewOwner(a *App) *Owner {
 // lock contiguous row chunks that account as multiple structures). The
 // returned Pending may already be complete.
 func (m *Manager) AcquireAsync(o *Owner, name Name, mode Mode, weight int) *Pending {
-	// The request and its Pending are one allocation: the dominant cost
-	// of an uncontended acquire on the fast path is the allocator, not
-	// the latch.
-	box := &requestAndPending{}
-	p := &box.pend
+	// Async callers keep the Pending for as long as they like, so the box
+	// can never be recycled at commit.
+	return m.acquireAsync(o, name, mode, weight, false)
+}
+
+// acquireAsync is the shared admission front end. recyclable marks boxes
+// whose Pending cannot outlive the transaction (the blocking Acquire path);
+// ReleaseAll returns those to the home shard's box cache.
+func (m *Manager) acquireAsync(o *Owner, name Name, mode Mode, weight int, recyclable bool) *Pending {
 	if !mode.Valid() || weight < 1 {
+		p := newPending()
 		p.complete(StatusDenied, fmt.Errorf("lockmgr: invalid request mode=%v weight=%d", mode, weight))
 		return p
 	}
 	if name.Gran == GranTable && weight != 1 {
+		p := newPending()
 		p.complete(StatusDenied, errors.New("lockmgr: table locks have weight 1"))
 		return p
+	}
+	// Admission-latency sampling: one in obsSampler.Stride() acquisitions
+	// pays for two time.Now calls; everything else pays one atomic add.
+	var admit0 time.Time
+	sampled := m.obsSampler.Tick()
+	if sampled {
+		admit0 = time.Now()
+	}
+	si := m.shardOf(name)
+	// The request and its Pending are one allocation — and on a steady
+	// commit workload not even that: ReleaseAll recycles the boxes of
+	// committed transactions into the home shard's cache. The cache is
+	// only poppable under the latch; when the latch-free mirror says it is
+	// empty, allocate before latching so the malloc stays out of the
+	// critical section.
+	var box *requestAndPending
+	if m.shards[si].rfreeN.Load() == 0 {
+		box = &requestAndPending{}
+	}
+	s := m.lockShard(si)
+	if box == nil {
+		if box = s.popBox(); box == nil {
+			box = &requestAndPending{} // raced empty; rare
+		}
 	}
 	req := &box.req
 	req.owner = o
 	req.name = name
 	req.mode = mode
 	req.weight = weight
-	req.pending = p
-	// Admission-latency sampling: one in obsSampler.Stride() acquisitions
-	// pays for two time.Now calls; everything else pays one atomic add.
-	var admit0 time.Time
-	if m.obsSampler.Tick() {
-		admit0 = time.Now()
-		req.obsSampled = true
-	}
-	si := m.shardOf(name)
-	s := m.lockShard(si)
-	ok := m.startRequest(s, req, false)
+	req.pending = &box.pend
+	req.box = box
+	req.recyclable = recyclable
+	req.obsSampled = sampled
+	p := &box.pend
+	ok := m.startRequest(s, si, req, false)
 	s.mu.Unlock()
 	if !ok {
 		// The fast path backed out (quota or lease shortfall) without
@@ -956,7 +1313,7 @@ func (m *Manager) AcquireAsync(o *Owner, name Name, mode Mode, weight int) *Pend
 		// consistent simultaneous view of every lease pool and the chain —
 		// no per-shard protocol can decide "memory is truly exhausted".
 		m.runGlobal(func() {
-			if !m.startRequest(s, req, true) {
+			if !m.startRequest(s, si, req, true) {
 				panic("lockmgr: global admission deferred")
 			}
 		})
@@ -976,7 +1333,7 @@ func (m *Manager) AcquireAsync(o *Owner, name Name, mode Mode, weight int) *Pend
 // Acquire requests a lock and blocks until grant, denial, or ctx
 // cancellation. On cancellation the request is withdrawn.
 func (m *Manager) Acquire(ctx context.Context, o *Owner, name Name, mode Mode, weight int) error {
-	p := m.AcquireAsync(o, name, mode, weight)
+	p := m.acquireAsync(o, name, mode, weight, true)
 	if st, err := p.Status(); st != StatusWaiting {
 		if st == StatusDenied {
 			return err
@@ -1001,11 +1358,12 @@ func (m *Manager) Acquire(ctx context.Context, o *Owner, name Name, mode Mode, w
 
 // startRequest runs the admission pipeline for a new or parked request:
 // coverage, conversion, quota, allocation, grant-or-enqueue. s must be
-// name's home shard. In fast mode (global == false) the caller holds only
-// that latch; a false return means the request could not be admitted
-// locally and nothing was mutated — the caller restarts it in global mode,
-// where the caller holds every latch and startRequest always returns true.
-func (m *Manager) startRequest(s *shard, req *request, global bool) bool {
+// name's home shard and si its index. In fast mode (global == false) the
+// caller holds only that latch; a false return means the request could not
+// be admitted locally and nothing was mutated — the caller restarts it in
+// global mode, where the caller holds every latch and startRequest always
+// returns true.
+func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool {
 	o, name := req.owner, req.name
 	req.parked = false
 
@@ -1013,18 +1371,29 @@ func (m *Manager) startRequest(s *shard, req *request, global bool) bool {
 	if o.released {
 		// Use-after-release: the transaction already committed or
 		// aborted. Granting would leak a lock with no one to free it.
+		// A parked request retried after release ends its wait here
+		// (endWait settles the owner's inWait accounting; it is a no-op
+		// for never-queued requests).
 		o.mu.Unlock()
+		m.endWait(req)
 		req.pending.complete(StatusDenied,
 			fmt.Errorf("lockmgr: owner %d already released", o.id))
 		return true
 	}
+	// Touched-shard invariant: the bit is set before the request can be
+	// granted, queued, or parked in this shard, so every request of a live
+	// owner is homed in a touched shard and ReleaseAll need visit nothing
+	// else. Marked even when the fast path backs out or the grant is
+	// covered — conservative bits cost one latch at commit, never
+	// correctness.
+	o.markTouched(si)
 
 	// Coverage: a table lock the owner already holds may subsume a row
 	// request (notably right after this owner escalated). The table lock
 	// may live in another shard; its owner-visible fields are stable
 	// under o.mu.
 	if name.Gran == GranRow {
-		if ot := o.byTable[name.Table]; ot != nil && ot.tableReq != nil && ot.tableReq.granted &&
+		if ot := o.tableFor(name.Table); ot != nil && ot.tableReq != nil && ot.tableReq.granted &&
 			!ot.tableReq.converting && covers(ot.tableReq.mode, req.mode) {
 			o.mu.Unlock()
 			m.grant(req)
@@ -1342,8 +1711,7 @@ func (s *shard) headerFor(name Name) *lockHeader {
 			h = &lockHeader{name: name}
 		}
 		s.table[name] = h
-		s.nLocks.Store(int64(len(s.table)))
-		s.seq.Add(1)
+		s.syncTableMirror()
 	}
 	return h
 }
@@ -1367,15 +1735,11 @@ func (m *Manager) installGrantedLocked(h *lockHeader, req *request) {
 	o := req.owner
 	req.granted = true
 	o.held.set(req.name, req)
-	ot := o.byTable[req.name.Table]
-	if ot == nil {
-		ot = &ownerTable{rows: make(map[uint64]*request)}
-		o.byTable[req.name.Table] = ot
-	}
+	ot := o.tableOrCreate(req.name.Table)
 	if req.name.Gran == GranTable {
 		ot.tableReq = req
 	} else {
-		ot.rows[req.name.Row] = req
+		ot.setRow(req.name.Row, req)
 		ot.rowStructs += req.weight
 	}
 }
@@ -1475,18 +1839,37 @@ func (m *Manager) freeRequestStructs(s *shard, req *request) {
 // it on the bounded freelist (its emptied granted map is reused by the next
 // header the shard creates). Caller holds the shard latch.
 func (s *shard) cacheOrEvict(h *lockHeader) {
+	if s.cacheOrEvictDeferred(h) {
+		s.syncTableMirror()
+	}
+}
+
+// cacheOrEvictDeferred is cacheOrEvict without the latch-free mirror
+// update: the batch release path evicts several headers per shard visit
+// and calls syncTableMirror once at the end. Returns whether the header
+// was removed. Caller holds the shard latch and must sync the mirror
+// before releasing it.
+func (s *shard) cacheOrEvictDeferred(h *lockHeader) bool {
 	if h == nil || !h.empty() {
-		return
+		return false
 	}
 	delete(s.table, h.name)
-	s.nLocks.Store(int64(len(s.table)))
-	s.seq.Add(1)
 	if len(s.hfree) < headerFreelistCap {
 		h.groupMode = ModeNone
 		h.converters = nil
 		h.waiters = nil
 		s.hfree = append(s.hfree, h)
 	}
+	return true
+}
+
+// syncTableMirror refreshes the latch-free mirror of the shard's table
+// size and bumps the fuzzy-read sequence. Caller holds the shard latch;
+// CheckInvariants verifies the mirror is exact whenever no latch section
+// is in flight.
+func (s *shard) syncTableMirror() {
+	s.nLocks.Store(int64(len(s.table)))
+	s.seq.Add(1)
 }
 
 // post wakes queued requests on h after a release or conversion, in strict
@@ -1533,16 +1916,16 @@ func (m *Manager) releaseGranted(req *request) {
 func (m *Manager) releaseOwnerStateLocked(req *request) {
 	o := req.owner
 	o.held.del(req.name)
-	if ot := o.byTable[req.name.Table]; ot != nil {
+	if ot := o.tableFor(req.name.Table); ot != nil {
 		if req.name.Gran == GranTable {
 			ot.tableReq = nil
 		} else {
-			delete(ot.rows, req.name.Row)
+			ot.delRow(req.name.Row)
 			ot.rowStructs -= req.weight
 		}
 		// The (now possibly empty) ownerTable entry is kept: a
 		// transaction cycling locks on the same table reuses it and its
-		// rows map instead of reallocating both every time.
+		// row index instead of reallocating both every time.
 	}
 	req.granted = false
 }
@@ -1596,9 +1979,18 @@ func (m *Manager) Release(o *Owner, name Name) error {
 
 // cancel withdraws a waiting request for name — a queued new request, a
 // parked request, or an in-flight conversion (which reverts to its granted
-// mode).
+// mode). When the home shard's published waiter count is zero there is
+// nothing to withdraw and the latch is never taken: the canceling goroutine
+// enqueued the request itself (program order), so if it were still waiting
+// the nWaiting store would be visible; a zero means the request already
+// left the queue (granted or denied) and the final state is readable from
+// its Pending.
 func (m *Manager) cancel(o *Owner, name Name) {
-	s := m.lockShard(m.shardOf(name))
+	si := m.shardOf(name)
+	if m.shards[si].nWaiting.Load() == 0 {
+		return
+	}
+	s := m.lockShard(si)
 	for req := range s.waiting {
 		if req.owner == o && req.name == name {
 			m.deny(req, ErrCanceled)
@@ -1610,60 +2002,322 @@ func (m *Manager) cancel(o *Owner, name Name) {
 }
 
 // ReleaseAll releases every lock held or requested by the owner and removes
-// the owner. Called at transaction commit or abort. Shards are visited one
-// at a time in ascending order; per-lock FIFO posting happens as each shard
-// is processed.
+// the owner. Called at transaction commit or abort; calling it again is a
+// no-op. This is the commit fast path: it visits only the owner's touched
+// shards — O(locks held), not O(shards) — latching each exactly once, in
+// ascending index order, and within each visit cancels the owner's waiting
+// requests, then releases its row locks, then its table locks, posting each
+// lock's FIFO queue as it goes.
+//
+// Ordering argument. Row-before-table release is preserved per shard; the
+// global two-pass order the full sweep used to provide is unobservable once
+// o.released is set: the owner issues no new requests (so its own coverage
+// checks never run again), other owners' coverage checks read only their
+// own byTable state, and escalation victim selection runs only for owners
+// requesting locks. Invariant checks are order-independent — they hold at
+// every latch release. TestReleaseOrderRowsBeforeTables pins the per-shard
+// ordering choice.
+//
+// Concurrency. released is set under o.mu before the held set is read, so
+// any concurrent admission either lands in the snapshot or is denied. If
+// the owner has no requests in flight (inWait == 0 — see beginWait/endWait
+// for the ordering proof), the snapshot is complete and only shards with
+// held locks are visited, with no waiting-set scan at all. Otherwise every
+// touched shard is visited and the held set is re-read under each shard's
+// latch, so a wait granted between snapshot and visit is still found — in
+// the shard's waiting set (denied) or in the re-read held set (released).
+// Escalation continuations racing the walk are handled by per-request
+// revalidation: a request is released only if it is still the owner's live
+// entry for its name.
 func (m *Manager) ReleaseAll(o *Owner) {
-	o.mu.Lock()
-	o.released = true
-	o.mu.Unlock()
-
-	// Cancel outstanding waits first (abort path).
-	for i := range m.shards {
-		s := m.lockShard(i)
-		var victims []*request
-		for req := range s.waiting {
-			if req.owner == o {
-				victims = append(victims, req)
-			}
-		}
-		for _, req := range victims {
-			m.deny(req, ErrCanceled)
-		}
-		s.mu.Unlock()
-	}
-	// Release row locks before table locks so coverage bookkeeping stays
-	// consistent, then everything else.
-	m.releaseAllGran(o, GranRow)
-	m.releaseAllGran(o, GranTable)
-
-	m.ownersMu.Lock()
-	delete(m.owners, o.id)
-	m.ownersMu.Unlock()
-	m.flushConts()
+	m.releaseAll(o)
 }
 
-// releaseAllGran releases every granted lock of one granularity, shard by
-// shard. The snapshot of each shard's requests is taken under that shard's
-// latch (plus o.mu), so a concurrent escalation continuation cannot leave a
-// stale request in the batch.
-func (m *Manager) releaseAllGran(o *Owner, g Granularity) {
-	var batch []*request
-	for i := range m.shards {
-		s := m.lockShard(i)
-		batch = batch[:0]
-		o.mu.Lock()
-		o.held.each(func(_ Name, r *request) {
-			if r.name.Gran == g && m.shardOf(r.name) == i {
-				batch = append(batch, r)
-			}
-		})
+// FinishOwner is ReleaseAll plus Owner recycling for callers that can
+// guarantee exclusive ownership of o: no concurrent or later use of the
+// pointer, by ReleaseAll or anything else. (The transaction layer
+// qualifies — its state machine calls finish exactly once.) Owners whose
+// requests ever waited are not recycled: a denial or grant continuation
+// can still hold the pointer for a moment after the release completes, so
+// those owners are left to the garbage collector. ReleaseAll itself keeps
+// the stronger guarantee that duplicate concurrent calls are harmless.
+func (m *Manager) FinishOwner(o *Owner) {
+	if !m.releaseAll(o) || o.everWaited {
+		return
+	}
+	o.resetForReuse()
+	m.ownerPool.Put(o)
+}
+
+// releaseAll does the work; it reports whether this call performed the
+// release (false when a racing ReleaseAll got there first).
+func (m *Manager) releaseAll(o *Owner) bool {
+	// Release-latency sampling: one in relSampler.Stride() commits pays
+	// for the two clock reads bracketing the walk. The stride counter is
+	// deterministic, so under the simulated clock the recorded series
+	// stays byte-reproducible.
+	sampled := m.relSampler.Tick()
+	var t0 time.Time
+	if sampled {
+		t0 = m.clk.Now()
+	}
+
+	o.mu.Lock()
+	if o.released {
 		o.mu.Unlock()
-		for _, r := range batch {
-			m.releaseGranted(r)
+		return false // double release: commit and abort already raced, no-op
+	}
+	o.released = true
+	quiesced := o.inWait.Load() == 0
+
+	// Snapshot (name, request, shard) triples, rows before tables. Names
+	// are copied out of the held index — revalidation and shard routing
+	// never dereference a request pointer that a concurrent continuation
+	// might have released (and recycling might have rewritten). The batch
+	// and its scratch buffers come from a pool, so the steady-state commit
+	// walk allocates nothing.
+	batch := releaseBatchPool.Get().(*releaseBatch)
+	batch.reset()
+	shards := o.touchedShards(batch.buf[:0])
+	if quiesced {
+		batch.collect(m, o)
+	}
+	o.mu.Unlock()
+
+	for _, si := range shards {
+		if quiesced && !batch.hasShard(si) {
+			continue // nothing held there and no waits in flight
 		}
+		s := m.lockShard(si)
+		if !quiesced {
+			// Abort path: withdraw this shard's waiting requests first
+			// (queued waiters, parked requests, in-flight conversions —
+			// a denied conversion reverts to its granted mode and is
+			// then released below). Skipped entirely when the shard has
+			// no waiters at all.
+			if len(s.waiting) > 0 {
+				var victims []*request
+				for req := range s.waiting {
+					if req.owner == o {
+						victims = append(victims, req)
+					}
+				}
+				for _, req := range victims {
+					m.deny(req, ErrCanceled)
+				}
+			}
+			// Re-read the held set for this shard: a wait granted after
+			// the release flag was set landed here under this latch.
+			batch.reset()
+			o.mu.Lock()
+			batch.collectShard(m, o, si)
+			o.mu.Unlock()
+		}
+		m.releaseShardBatch(s, si, o, batch, quiesced)
 		s.mu.Unlock()
 	}
+	batch.buf = shards[:0]
+	batch.reset()
+	releaseBatchPool.Put(batch)
+
+	if sampled {
+		m.releaseHist.RecordStripe(int(o.id), int64(m.clk.Now().Sub(t0)))
+	}
+
+	// Deregister: unlink from the owners list. Exactly one ReleaseAll
+	// reaches this point per owner (the released flag gates the walk), so
+	// the links are spliced once.
+	m.ownersMu.Lock()
+	if o.regPrev != nil {
+		o.regPrev.regNext = o.regNext
+	} else {
+		m.owners = o.regNext
+	}
+	if o.regNext != nil {
+		o.regNext.regPrev = o.regPrev
+	}
+	o.regPrev, o.regNext = nil, nil
+	m.nOwners--
+	m.ownersMu.Unlock()
+	m.flushConts()
+	return true
+}
+
+// resetForReuse returns the owner to its zero state (keeping the sized
+// touchedHi spill) so NewOwner can hand it to a fresh transaction. The
+// inline arrays are cleared in full — swap-remove deletion and map spills
+// can leave stale entries past the live prefix, and a recycled owner must
+// not pin dead requests.
+func (o *Owner) resetForReuse() {
+	o.app = nil
+	o.held.arr = [heldSmallMax]heldEntry{}
+	o.held.n = 0
+	o.held.m = nil
+	o.released = false
+	o.ot0used, o.ot0tid = false, 0
+	o.ot0.reset()
+	o.byTable = nil
+	o.touched0 = 0
+	for i := range o.touchedHi {
+		o.touchedHi[i] = 0
+	}
+	o.inWait.Store(0)
+}
+
+// reset clears a per-table index for owner reuse.
+func (ot *ownerTable) reset() {
+	ot.tableReq = nil
+	ot.rowStructs = 0
+	ot.nRows = 0
+	ot.rowsArr = [rowsSmallMax]rowEntry{}
+	ot.rowsMap = nil
+}
+
+// releaseEntry is one held lock queued for release: the name is a copy, so
+// routing and revalidation are safe even if the request itself is released
+// (and its box recycled) by a racing escalation continuation. The home
+// shard is computed once at collect time.
+type releaseEntry struct {
+	name Name
+	req  *request
+	si   int
+}
+
+// releaseBatch snapshots an owner's held locks for the touched-shard
+// release walk: two flat slices (rows, then tables — the pinned per-shard
+// release order) plus a bitmap of the shards they live in. Batches are
+// pooled and their slices keep their capacity across commits, so the
+// steady-state walk allocates nothing.
+type releaseBatch struct {
+	rows   []releaseEntry
+	tables []releaseEntry
+	shards [maxShardWords]uint64
+	buf    []int // scratch for touchedShards
+	live   []*request
+	hdrs   []*lockHeader // scratch for the per-visit posting pass
+}
+
+var releaseBatchPool = sync.Pool{New: func() any { return new(releaseBatch) }}
+
+func (b *releaseBatch) reset() {
+	b.rows = b.rows[:0]
+	b.tables = b.tables[:0]
+	b.shards = [maxShardWords]uint64{}
+}
+
+func (b *releaseBatch) add(si int, name Name, r *request) {
+	if name.Gran == GranRow {
+		b.rows = append(b.rows, releaseEntry{name, r, si})
+	} else {
+		b.tables = append(b.tables, releaseEntry{name, r, si})
+	}
+	b.shards[si>>6] |= 1 << (uint(si) & 63)
+}
+
+func (b *releaseBatch) hasShard(si int) bool {
+	return b.shards[si>>6]&(1<<(uint(si)&63)) != 0
+}
+
+// collect buckets every held lock. Caller holds o.mu.
+func (b *releaseBatch) collect(m *Manager, o *Owner) {
+	o.held.each(func(name Name, r *request) {
+		b.add(m.shardOf(name), name, r)
+	})
+}
+
+// collectShard buckets the held locks homed in shard si. Caller holds
+// o.mu (and the shard latch, so the filtered view stays accurate).
+func (b *releaseBatch) collectShard(m *Manager, o *Owner, si int) {
+	o.held.each(func(name Name, r *request) {
+		if m.shardOf(name) == si {
+			b.add(si, name, r)
+		}
+	})
+}
+
+// releaseShardBatch releases one shard's share of the batch: revalidate and
+// unlink every entry in a single o.mu critical section (rows first, then
+// tables — the pinned order), then finish each release — lock-table
+// removal, structure free, FIFO posting — without o.mu (posting takes other
+// owners' mutexes), and finally recycle the boxes of committed blocking
+// acquires into the shard's cache. Caller holds the shard latch.
+// frozen says the caller proved the owner's held set can no longer change
+// concurrently (the quiesced commit path: released was set under o.mu with
+// inWait == 0, so any in-flight admission is denied before touching held,
+// and no waits or escalation continuations exist to complete). When frozen,
+// the walk skips o.mu and pointer revalidation entirely — the snapshot is
+// exact. The abort path (waits in flight) passes frozen=false and pays both.
+func (m *Manager) releaseShardBatch(s *shard, si int, o *Owner, b *releaseBatch, frozen bool) {
+	live := b.live[:0]
+	if !frozen {
+		o.mu.Lock()
+	}
+	for _, lst := range [2][]releaseEntry{b.rows, b.tables} {
+		for _, e := range lst {
+			if e.si != si {
+				continue
+			}
+			if !frozen {
+				// Revalidate under latch + o.mu: an escalation
+				// continuation may have released this entry since the
+				// snapshot. Pointer identity against the live held index
+				// decides; only a match proves e.req is still this
+				// owner's request (and therefore not recycled), making
+				// its fields safe to touch.
+				if cur, ok := o.held.get(e.name); !ok || cur != e.req || !e.req.granted {
+					continue
+				}
+			}
+			m.releaseOwnerStateLocked(e.req)
+			live = append(live, e.req)
+		}
+	}
+	if !frozen {
+		o.mu.Unlock()
+	}
+	// Phase 1: unlink every released request from the lock table and
+	// return its structures to the shard pool, accumulating the chain and
+	// app accounting instead of paying an atomic per lock. Headers are
+	// distinct (one request per name per owner), so each is touched once.
+	poolFreed, weightFreed := 0, 0
+	hdrs := b.hdrs[:0]
+	for _, r := range live {
+		if !r.grantedAt.IsZero() {
+			m.holdHist.RecordStripe(m.shardOf(r.name), time.Since(r.grantedAt).Nanoseconds())
+			r.grantedAt = time.Time{}
+		}
+		h := r.header
+		h.removeGranted(r.owner)
+		if r.handle.Structs() > 0 {
+			poolFreed += s.pool.FreeBatched(r.handle)
+			weightFreed += r.weight
+			r.handle = memblock.Handle{}
+		}
+		h.recomputeGroupMode()
+		hdrs = append(hdrs, h)
+	}
+	// Settle accounting before posting: a grant fired by post reads the
+	// app quota and chain usage, and must see the whole release.
+	s.pool.SettleFree(poolFreed)
+	if weightFreed > 0 {
+		o.app.structs.Add(-int64(weightFreed))
+	}
+	// Phase 2: FIFO wakeups and header recycling, with one table-mirror
+	// sync for the entire visit.
+	evicted := false
+	for _, h := range hdrs {
+		m.post(s, h)
+		evicted = s.cacheOrEvictDeferred(h) || evicted
+	}
+	if evicted {
+		s.syncTableMirror()
+	}
+	for _, r := range live {
+		if r.recyclable && !r.everQueued {
+			s.pushBox(r.box)
+		}
+	}
+	b.live, b.hdrs = live[:0], hdrs[:0]
 }
 
 // deadline computes the wait deadline for a new waiter.
@@ -1676,11 +2330,19 @@ func (m *Manager) deadline() time.Time {
 
 // beginWait stamps a request entering a wait queue: the timeout deadline,
 // the wait-start instant (manager clock, so simulated runs record
-// deterministic wait durations), and the waits counter. The caller holds
+// deterministic wait durations), and the waits counter. It also marks the
+// request ever-queued (excluding it from box recycling) and counts it in
+// the owner's inWait gauge — exactly once, even if the request re-waits
+// after being parked (the non-zero waitStart dedupes). The caller holds
 // the home shard latch and appends the request to the waiter/converter
 // queue itself.
 func (m *Manager) beginWait(req *request) {
 	now := m.clk.Now()
+	req.everQueued = true
+	req.owner.everWaited = true
+	if req.waitStart.IsZero() {
+		req.owner.inWait.Add(1)
+	}
 	req.waitStart = now
 	if m.cfg.LockTimeout > 0 {
 		req.deadline = now.Add(m.cfg.LockTimeout)
@@ -1691,8 +2353,11 @@ func (m *Manager) beginWait(req *request) {
 }
 
 // endWait records a completed wait (grant or deny) into the lock-wait
-// histogram, striped by the request's home shard. One branch on the
-// no-wait fast path, one atomic add when a wait actually ended.
+// histogram, striped by the request's home shard, and drops the owner's
+// inWait count. One branch on the no-wait fast path, one atomic add when a
+// wait actually ended. For grants it runs after installGranted, so an
+// owner observing inWait == 0 under its mutex sees every granted request
+// already in its held index.
 func (m *Manager) endWait(req *request) {
 	if req.waitStart.IsZero() {
 		return
@@ -1700,6 +2365,7 @@ func (m *Manager) endWait(req *request) {
 	d := m.clk.Now().Sub(req.waitStart)
 	req.waitStart = time.Time{}
 	m.waitHist.RecordStripe(m.shardOf(req.name), int64(d))
+	req.owner.inWait.Add(-1)
 }
 
 // SweepTimeouts denies waiting requests whose deadline has passed and
@@ -1713,6 +2379,15 @@ func (m *Manager) SweepTimeouts() int {
 	now := m.clk.Now()
 	denied := 0
 	for i := range m.shards {
+		// Idle-shard skip: the nWaiting mirror is published on every
+		// wait-queue membership change, so a zero means the shard had no
+		// waiters at some instant between the previous sweep and this one
+		// — exactly the fuzziness a periodic sweep already tolerates. The
+		// latch is never taken; an idle lock table sweeps with zero latch
+		// acquisitions.
+		if m.shards[i].nWaiting.Load() == 0 {
+			continue
+		}
 		s := m.lockShard(i)
 		var victims []*request
 		for req := range s.waiting {
@@ -1849,6 +2524,17 @@ func (m *Manager) LatchWaits() int64 { return m.latchWaits.Total() }
 // wiring.
 func (m *Manager) LatchWaitCounters() *metrics.ShardCounters { return m.latchWaits }
 
+// LatchAcquisitions returns the total number of shard-latch acquisitions,
+// contended or not. Together with a commit counter it proves the release
+// path's latch cost: the full-sweep ReleaseAll paid 3×shards latches per
+// commit; the touched-shard walk pays one per shard actually holding the
+// owner's locks. Lock-free.
+func (m *Manager) LatchAcquisitions() int64 { return m.latchAcqs.Total() }
+
+// LatchAcqCounters exposes the per-shard latch-acquisition counters for
+// metrics wiring.
+func (m *Manager) LatchAcqCounters() *metrics.ShardCounters { return m.latchAcqs }
+
 // WaitHist returns the lock-wait latency histogram. Durations are measured
 // on the manager's clock — deterministic whole-tick values under the
 // simulated clock, wall time in real deployments — and every completed
@@ -1863,6 +2549,13 @@ func (m *Manager) HoldHist() *obs.Histogram { return m.holdHist }
 // (wall clock, sampled at Config.ObsSampleStride): latch acquisition,
 // admission pipeline, and continuation flush. Lock-free.
 func (m *Manager) AdmissionHist() *obs.Histogram { return m.admitHist }
+
+// ReleaseHist returns the ReleaseAll (commit release) latency histogram.
+// Durations are measured on the manager's clock — deterministic whole-tick
+// values under the simulated clock, wall time in real deployments — and
+// every first ReleaseAll per owner is recorded (no sampling; double
+// releases are no-ops and not recorded). Lock-free.
+func (m *Manager) ReleaseHist() *obs.Histogram { return m.releaseHist }
 
 // ShardStats is a point-in-time view of one lock-table shard.
 type ShardStats struct {

@@ -643,6 +643,42 @@ func (p *Pool) Free(h Handle) {
 	}
 }
 
+// FreeBatched returns the structures covered by h to the pool like Free,
+// but defers the chain-level used accounting and the excess-release check
+// to SettleFree. Batch release paths (a commit returning many locks to one
+// shard) call it once per lock and settle once per shard visit, turning a
+// per-lock atomic on the shared chain counter into a per-visit one. It
+// returns the number of structures freed, to be summed into SettleFree.
+func (p *Pool) FreeBatched(h Handle) int {
+	total := h.Structs()
+	if total == 0 {
+		return 0
+	}
+	if h.p0.b != nil {
+		p.push(h.p0)
+	}
+	for _, pt := range h.extra {
+		p.push(pt)
+	}
+	return total
+}
+
+// SettleFree completes a batch of FreeBatched calls: one used-counter
+// update for the whole batch, then the same excess-release check Free
+// performs. total must be the sum of the FreeBatched return values since
+// the last settle. Caller holds the owning shard's latch throughout the
+// batch, so chain accounting is exact again before any concurrent observer
+// can latch the shard.
+func (p *Pool) SettleFree(total int) {
+	if total == 0 {
+		return
+	}
+	p.c.used.Add(int64(-total))
+	if p.n > 4*p.chunk {
+		p.release(p.n - p.chunk)
+	}
+}
+
 // release returns n pooled structures to the chain.
 func (p *Pool) release(n int) {
 	if n <= 0 || p.n == 0 {

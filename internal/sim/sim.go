@@ -137,6 +137,10 @@ func Run(cfg Config) *Result {
 	// deterministic; admission latency is sampled wall clock → volatile.
 	waitP95 := set.Series("lock wait p95", "ms")
 	waitP99 := set.Series("lock wait p99", "ms")
+	// Commit-release latency is stamped on the engine clock too (the sim
+	// clock never advances inside a ReleaseAll), so the series is
+	// deterministic — all zeros under the fake clock, real latencies live.
+	releaseP99 := set.Series("lock release p99", "ms")
 	admitP99 := set.Series("admission p99", "µs")
 
 	res := &Result{Series: set}
@@ -215,6 +219,7 @@ func Run(cfg Config) *Result {
 			ws := cfg.DB.Locks().WaitHist().Snapshot()
 			waitP95.Record(now, ws.Quantile(0.95)/1e6)
 			waitP99.Record(now, ws.Quantile(0.99)/1e6)
+			releaseP99.Record(now, cfg.DB.Locks().ReleaseHist().Snapshot().Quantile(0.99)/1e6)
 			admitP99.Record(now, cfg.DB.Locks().AdmissionHist().Snapshot().Quantile(0.99)/1e3)
 		}
 	}

@@ -15,7 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/lockmgr"
 	"repro/internal/storage"
@@ -49,14 +49,16 @@ func (s State) String() string {
 // ErrNotActive is returned when locking on a finished transaction.
 var ErrNotActive = errors.New("txn: transaction not active")
 
-// Manager creates transactions bound to a lock manager.
+// Manager creates transactions bound to a lock manager. The counters are
+// atomics: Begin and commit/abort sit on the transaction fast path, and a
+// shared mutex there would serialize exactly the commits the touched-shard
+// release walk just unserialized.
 type Manager struct {
 	locks *lockmgr.Manager
 
-	mu      sync.Mutex
-	active  int
-	commits int64
-	aborts  int64
+	active  atomic.Int64
+	commits atomic.Int64
+	aborts  atomic.Int64
 }
 
 // NewManager returns a transaction manager over the given lock manager.
@@ -64,11 +66,11 @@ func NewManager(locks *lockmgr.Manager) *Manager {
 	return &Manager{locks: locks}
 }
 
-// Stats returns cumulative commits and aborts and the active count.
+// Stats returns cumulative commits and aborts and the active count. The
+// three loads are independent atomics, so the triple is fuzzy — fine for
+// monitoring, which is its only caller.
 func (m *Manager) Stats() (commits, aborts int64, active int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.commits, m.aborts, m.active
+	return m.commits.Load(), m.aborts.Load(), int(m.active.Load())
 }
 
 // Txn is one transaction. Not safe for concurrent use by multiple
@@ -86,9 +88,7 @@ type Txn struct {
 
 // Begin starts a transaction for the given application.
 func (m *Manager) Begin(app *lockmgr.App) *Txn {
-	m.mu.Lock()
-	m.active++
-	m.mu.Unlock()
+	m.active.Add(1)
 	return &Txn{mgr: m, owner: m.locks.NewOwner(app)}
 }
 
@@ -106,15 +106,15 @@ func (t *Txn) finish(to State, committed bool) {
 		return
 	}
 	t.state = to
-	t.mgr.locks.ReleaseAll(t.owner)
-	t.mgr.mu.Lock()
-	t.mgr.active--
+	// finish runs at most once (state guard) and the Txn owns its lock
+	// owner exclusively, so the owner can be handed back for recycling.
+	t.mgr.locks.FinishOwner(t.owner)
+	t.mgr.active.Add(-1)
 	if committed {
-		t.mgr.commits++
+		t.mgr.commits.Add(1)
 	} else {
-		t.mgr.aborts++
+		t.mgr.aborts.Add(1)
 	}
-	t.mgr.mu.Unlock()
 }
 
 // Commit ends the transaction, releasing all locks. Idempotent.
