@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-commit obs-demo verify fmt vet
+.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-commit bench-read obs-demo verify fmt vet
 
 all: build
 
@@ -53,6 +53,15 @@ bench-obs:
 bench-commit:
 	BENCH_JSON=$${BENCH_JSON:-BENCH_COMMIT.json} \
 		$(GO) test -run xxx -bench BenchmarkCommitThroughput -benchtime 1s .
+
+# bench-read measures the read-mostly hot-set shape (90% S/IS on a shared
+# hot set, 10% X on a disjoint one) — the regime the latch-free admission
+# fast path targets. BENCH_READPATH_BASELINE.json holds the pre-fast-path
+# numbers (every grant serializes on its header's shard latch);
+# BENCH_READPATH_FASTPATH.json holds the grant-word CAS admission numbers.
+bench-read:
+	BENCH_JSON=$${BENCH_JSON:-BENCH_READPATH.json} \
+		$(GO) test -run xxx -bench 'BenchmarkLockScalability/readmostly' -benchtime 1s .
 
 # obs-demo runs the workbench surge workload with the HTTP surface up and
 # curls it mid-run: /metrics must serve lock-wait histogram buckets and

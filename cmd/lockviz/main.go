@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/metrics"
@@ -23,33 +24,41 @@ func main() {
 		height = flag.Int("height", 16, "chart height")
 	)
 	flag.Parse()
-	if *file == "" {
-		fmt.Fprintln(os.Stderr, "lockviz: -file is required")
-		os.Exit(2)
+	os.Exit(run(*file, *column, *list, *width, *height, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it reads the CSV, then either lists the
+// series names or charts the requested column. Returns the process exit
+// code (0 ok, 1 I/O or parse failure, 2 usage error).
+func run(file, column string, list bool, width, height int, out, errw io.Writer) int {
+	if file == "" {
+		fmt.Fprintln(errw, "lockviz: -file is required")
+		return 2
 	}
 
-	f, err := os.Open(*file)
+	f, err := os.Open(file)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lockviz: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(errw, "lockviz: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 
 	set, err := metrics.ParseCSV(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lockviz: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(errw, "lockviz: %v\n", err)
+		return 1
 	}
-	if *list {
+	if list {
 		for _, name := range set.Names() {
-			fmt.Println(name)
+			fmt.Fprintln(out, name)
 		}
-		return
+		return 0
 	}
-	s := set.Get(*column)
+	s := set.Get(column)
 	if s == nil {
-		fmt.Fprintf(os.Stderr, "lockviz: series %q not found (use -list)\n", *column)
-		os.Exit(2)
+		fmt.Fprintf(errw, "lockviz: series %q not found (use -list)\n", column)
+		return 2
 	}
-	fmt.Println(metrics.Chart(s, *width, *height))
+	fmt.Fprintln(out, metrics.Chart(s, width, height))
+	return 0
 }

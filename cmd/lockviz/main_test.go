@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sample CSV in the Set.CSV format lockmemsim writes: a shared time axis
+// followed by "name (unit)" series columns.
+const sampleCSV = `t (s),lock memory (pages),throughput (tx/s)
+0,128,0
+1,128,210
+2,256,340
+3,256,355
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig.csv")
+	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunList(t *testing.T) {
+	path := writeSample(t)
+	var out, errw strings.Builder
+	if code := run(path, "", true, 72, 16, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"lock memory", "throughput"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-list output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunChart(t *testing.T) {
+	path := writeSample(t)
+	var out, errw strings.Builder
+	if code := run(path, "lock memory", false, 40, 8, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "lock memory") {
+		t.Errorf("chart output missing series title:\n%s", out.String())
+	}
+	if len(strings.Split(strings.TrimSpace(out.String()), "\n")) < 3 {
+		t.Errorf("chart output suspiciously short:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeSample(t)
+	var out, errw strings.Builder
+
+	if code := run("", "", false, 72, 16, &out, &errw); code != 2 {
+		t.Errorf("missing -file: exit %d, want 2", code)
+	}
+	if code := run(filepath.Join(t.TempDir(), "absent.csv"), "", true, 72, 16, &out, &errw); code != 1 {
+		t.Errorf("unreadable file: exit %d, want 1", code)
+	}
+	if code := run(path, "no such series", false, 72, 16, &out, &errw); code != 2 {
+		t.Errorf("unknown column: exit %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "not found") {
+		t.Errorf("unknown column: stderr %q should mention not found", errw.String())
+	}
+}

@@ -40,16 +40,18 @@ func validateSurge(surgeTo, surgeAt int) error {
 
 func main() {
 	var (
-		policy   = flag.String("policy", "adaptive", "lock memory policy: adaptive | static | sqlserver")
-		dbMB     = flag.Int("db-mb", 512, "database memory in MB")
-		lockKB   = flag.Int("locklist-kb", 0, "initial LOCKLIST in KB (0 = algorithm minimum)")
-		maxlocks = flag.Float64("maxlocks", 10, "static MAXLOCKS percent (static policy only)")
-		clients  = flag.Int("clients", 50, "OLTP clients")
-		surgeTo  = flag.Int("surge-to", 0, "client count after the surge (0 = no surge)")
-		surgeAt  = flag.Int("surge-at", 0, "surge time in seconds")
-		ticks    = flag.Int("ticks", 600, "run length in virtual seconds")
-		rows     = flag.Int("rows", 65, "average row locks per transaction")
-		writes   = flag.Float64("writes", 0.3, "fraction of X-mode row locks")
+		policy    = flag.String("policy", "adaptive", "lock memory policy: adaptive | static | sqlserver")
+		dbMB      = flag.Int("db-mb", 512, "database memory in MB")
+		lockKB    = flag.Int("locklist-kb", 0, "initial LOCKLIST in KB (0 = algorithm minimum)")
+		maxlocks  = flag.Float64("maxlocks", 10, "static MAXLOCKS percent (static policy only)")
+		clients   = flag.Int("clients", 50, "OLTP clients")
+		surgeTo   = flag.Int("surge-to", 0, "client count after the surge (0 = no surge)")
+		surgeAt   = flag.Int("surge-at", 0, "surge time in seconds")
+		ticks     = flag.Int("ticks", 600, "run length in virtual seconds")
+		rows      = flag.Int("rows", 65, "average row locks per transaction")
+		writes    = flag.Float64("writes", 0.3, "fraction of X-mode row locks")
+		workloadF = flag.String("workload", "oltp",
+			"workload shape: oltp | readmostly (90% S/IS on a shared hot set, 10% X — the latch-free admission regime)")
 		chart    = flag.Bool("chart", true, "render ASCII charts")
 		events   = flag.Int("events", 10, "print the last N diagnostic events (0 = none)")
 		locks    = flag.Int("locks", 0, "dump up to N lock-table entries at the end")
@@ -105,6 +107,22 @@ func main() {
 	prof.RowsMin = *rows * 6 / 10
 	prof.RowsMax = *rows * 14 / 10
 	prof.WriteFrac = *writes
+	switch *workloadF {
+	case "oltp":
+		// The default mix, shaped by -rows/-writes above.
+	case "readmostly":
+		// The latch-free admission regime: 90% of row locks are S reads
+		// and almost all of them land on a small shared hot set, so the
+		// hottest headers see pure compatible traffic (plus the IS table
+		// intents every transaction takes). The 10% X writes scatter over
+		// the warm set, keeping write conflicts off the hot headers.
+		prof.WriteFrac = 0.1
+		prof.HotRows = 512
+		prof.HotFrac = 0.9
+	default:
+		fmt.Fprintf(os.Stderr, "workbench: unknown -workload %q (want oltp or readmostly)\n", *workloadF)
+		os.Exit(2)
+	}
 
 	maxClients := *clients
 	if *surgeTo > maxClients {
@@ -137,6 +155,10 @@ func main() {
 	fmt.Printf("lock waits        %d (timeouts %d, deadlocks %d)\n",
 		snap.LockStats.Waits, snap.LockStats.Timeouts, snap.LockStats.Deadlocks)
 	fmt.Printf("sync growths      %d (%d pages)\n", snap.LockStats.SyncGrowths, snap.LockStats.SyncGrowthPages)
+	if total := snap.LockFastPathHits + snap.LockFastPathFallbacks; total > 0 {
+		fmt.Printf("fast-path admits  %d of %d acquisitions (%.1f%% latch-free)\n",
+			snap.LockFastPathHits, total, 100*float64(snap.LockFastPathHits)/float64(total))
+	}
 	fmt.Printf("MAXLOCKS quota    %.1f%%\n", snap.QuotaPercent)
 	if ws := db.Locks().WaitHist().Snapshot(); ws.Total > 0 {
 		fmt.Printf("lock wait p50     %s\n", time.Duration(ws.Quantile(0.50)))

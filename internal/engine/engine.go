@@ -478,15 +478,22 @@ type Snapshot struct {
 	// advance between snapshots.
 	LockGlobalRuns    int64
 	LockGlobalHoldMax time.Duration
-	QuotaPercent      float64
-	Overflow          int
-	OverflowGoal      int
-	BufferPoolPages   int
-	SortHeapPages     int
-	Commits, Aborts   int64
-	ActiveTxns        int
-	NumApps           int
-	LMOC              int
+	// LockFastPathHits counts grants admitted without the shard latch
+	// (grant-word CAS + owner-local re-acquire cache); LockFastPathFallbacks
+	// counts acquisitions that took the latched admission path. Together
+	// they partition all acquisitions; the hit ratio is the latch-free
+	// admission rate.
+	LockFastPathHits      int64
+	LockFastPathFallbacks int64
+	QuotaPercent          float64
+	Overflow              int
+	OverflowGoal          int
+	BufferPoolPages       int
+	SortHeapPages         int
+	Commits, Aborts       int64
+	ActiveTxns            int
+	NumApps               int
+	LMOC                  int
 }
 
 // Snapshot captures the current engine state.
@@ -494,22 +501,24 @@ func (db *Database) Snapshot() Snapshot {
 	mem := db.set.Snapshot()
 	commits, aborts, active := db.txns.Stats()
 	s := Snapshot{
-		LockPages:         db.locks.Pages(),
-		UsedStructs:       db.locks.UsedStructs(),
-		CapacityStructs:   db.locks.CapacityStructs(),
-		FreeFraction:      db.locks.FreeFraction(),
-		LockStats:         db.locks.Stats(),
-		LockLatchWaits:    db.locks.LatchWaits(),
-		LockGlobalRuns:    db.locks.GlobalRuns(),
-		LockGlobalHoldMax: db.locks.GlobalHoldMax(),
-		Overflow:          mem.Overflow,
-		OverflowGoal:      mem.OverflowGoal,
-		BufferPoolPages:   mem.HeapPages["bufferpool"],
-		SortHeapPages:     mem.HeapPages["sortheap"],
-		Commits:           commits,
-		Aborts:            aborts,
-		ActiveTxns:        active,
-		NumApps:           db.locks.NumApps(),
+		LockPages:             db.locks.Pages(),
+		UsedStructs:           db.locks.UsedStructs(),
+		CapacityStructs:       db.locks.CapacityStructs(),
+		FreeFraction:          db.locks.FreeFraction(),
+		LockStats:             db.locks.Stats(),
+		LockLatchWaits:        db.locks.LatchWaits(),
+		LockGlobalRuns:        db.locks.GlobalRuns(),
+		LockGlobalHoldMax:     db.locks.GlobalHoldMax(),
+		LockFastPathHits:      db.locks.FastPathHits(),
+		LockFastPathFallbacks: db.locks.FastPathFallbacks(),
+		Overflow:              mem.Overflow,
+		OverflowGoal:          mem.OverflowGoal,
+		BufferPoolPages:       mem.HeapPages["bufferpool"],
+		SortHeapPages:         mem.HeapPages["sortheap"],
+		Commits:               commits,
+		Aborts:                aborts,
+		ActiveTxns:            active,
+		NumApps:               db.locks.NumApps(),
 	}
 	if db.ctl != nil {
 		s.QuotaPercent = db.ctl.CurrentQuota()

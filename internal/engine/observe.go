@@ -131,6 +131,14 @@ func (db *Database) WriteMetrics(m *obs.MetricWriter) {
 	m.CounterVec("lockmem_latch_waits_total", "contended shard-latch acquisitions", "shard",
 		db.locks.LatchWaitCounters().Values())
 
+	// Latch-free admission fast path: hits (grant-word CAS admissions plus
+	// owner-local re-acquire cache hits) vs fallbacks to the latched
+	// admission path. Hits + fallbacks partition all acquisitions.
+	m.CounterVec("lockmem_fastpath_hits_total", "grants admitted without the shard latch", "shard",
+		db.locks.FastPathHitCounters().Values())
+	m.CounterVec("lockmem_fastpath_fallbacks_total", "acquisitions on the latched admission path", "shard",
+		db.locks.FastPathFallbackCounters().Values())
+
 	// Event ring: lifetime per-kind totals (survive eviction) + eviction.
 	m.CounterMap("lockmem_events_total", "diagnostic events by kind", "kind",
 		kindTotalsToStrings(db.events.TotalByKind()))

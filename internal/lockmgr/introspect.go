@@ -50,6 +50,10 @@ func (m *Manager) DumpLocks() []LockInfo {
 	for i := range m.shards {
 		s := m.lockShard(i)
 		for _, h := range s.table {
+			// Published headers accept latch-free grants; seal the word so
+			// the granted group is stable (and race-free) while we copy it,
+			// settle before moving on.
+			m.sealFast(h)
 			li := LockInfo{Name: h.name, GroupMode: h.groupMode}
 			h.eachGranted(func(g *request) bool {
 				li.Holders = append(li.Holders, HolderInfo{
@@ -70,6 +74,7 @@ func (m *Manager) DumpLocks() []LockInfo {
 					Mode:    w.effectiveMode(),
 				})
 			}
+			m.settleFast(s, h)
 			out = append(out, li)
 		}
 		s.mu.Unlock()
@@ -150,15 +155,44 @@ func (m *Manager) checkInvariantsLocked() error {
 		if got, want := s.pool.Pooled(), s.pool.Structs(); got != want {
 			return fmt.Errorf("lockmgr: shard %d pooled mirror %d, pool holds %d", i, got, want)
 		}
+		fastInUse := 0  // Σ granted fast-leased weights in this shard
+		publishedN := 0 // published headers resident in this shard's table
 		for name, h := range s.table {
+			if h.published {
+				publishedN++
+				slot := s.fastSlots[fastSlotIndex(hashName(name))].Load()
+				if slot != h {
+					return fmt.Errorf("lockmgr: published header %v not in its fast slot", name)
+				}
+			}
 			if h.name != name {
 				return fmt.Errorf("lockmgr: header name mismatch %v vs %v", h.name, name)
 			}
 			if m.shardOf(name) != i {
 				return fmt.Errorf("lockmgr: %v hashed to shard %d but stored in %d", name, m.shardOf(name), i)
 			}
-			if h.empty() {
+			if h.empty() && !h.published {
+				// Published headers are deliberately kept resident while
+				// empty (deferred reclamation keeps hot keys latch-free);
+				// everything else must be evicted when its last interest
+				// leaves.
 				return fmt.Errorf("lockmgr: empty header %v not deleted", name)
+			}
+			// Grant word vs latched chain state. The world is stopped
+			// (runGlobal gate), so no fast op can hold lk and the word must
+			// be exactly what a settle would store: the packed counts +
+			// group mode when the state is fast-representable, a fence
+			// otherwise. Unpublished headers never carry a word.
+			if w := h.word.Load(); h.published {
+				if w&wordLk != 0 {
+					return fmt.Errorf("lockmgr: %v grant word locked with the world stopped", name)
+				}
+				seq := (w >> wordSeqShift) & wordSeqMask
+				if want := m.recomputeWord(h, seq); w != want {
+					return fmt.Errorf("lockmgr: %v grant word %#x disagrees with chain state %#x", name, w, want)
+				}
+			} else if w != 0 {
+				return fmt.Errorf("lockmgr: %v unpublished header carries grant word %#x", name, w)
 			}
 			// Granted group mutually compatible, and groupMode correct.
 			// The overflow map (if any) must key by owner.
@@ -177,7 +211,14 @@ func (m *Manager) checkInvariantsLocked() error {
 				}
 				holders = append(holders, g)
 				want = Supremum(want, g.mode)
-				appStructs[g.owner.app.id] += g.handle.Structs()
+				if g.fastLeased {
+					// Fast-path grants hold no handle; their structures
+					// live in the shard's standing fast lease.
+					appStructs[g.owner.app.id] += g.weight
+					fastInUse += g.weight
+				} else {
+					appStructs[g.owner.app.id] += g.handle.Structs()
+				}
 				return true
 			})
 			if grantErr != nil {
@@ -229,6 +270,45 @@ func (m *Manager) checkInvariantsLocked() error {
 			if !req.owner.isTouched(i) {
 				return fmt.Errorf("lockmgr: owner %d waits in shard %d without touched bit", req.owner.id, i)
 			}
+		}
+		// Fast-path slot array: every non-nil slot points at a published
+		// header of this shard's table, and the published population mirror
+		// is exact.
+		slotN := 0
+		for j := range s.fastSlots {
+			h := s.fastSlots[j].Load()
+			if h == nil {
+				continue
+			}
+			slotN++
+			if !h.published {
+				return fmt.Errorf("lockmgr: shard %d slot %d holds unpublished header %v", i, j, h.name)
+			}
+			if s.table[h.name] != h {
+				return fmt.Errorf("lockmgr: shard %d slot %d header %v not in table", i, j, h.name)
+			}
+			if fastSlotIndex(hashName(h.name)) != j {
+				return fmt.Errorf("lockmgr: shard %d header %v in wrong slot %d", i, h.name, j)
+			}
+		}
+		if slotN != publishedN || int(s.fastPublishedN.Load()) != publishedN {
+			return fmt.Errorf("lockmgr: shard %d published-header counts disagree: slots %d, table %d, mirror %d",
+				i, slotN, publishedN, s.fastPublishedN.Load())
+		}
+		// Fast credit: the standing lease physically backs the whole credit
+		// line; the consumed part is exactly the granted fast-leased weight
+		// resident in this shard.
+		free := int(s.fastFree.Load())
+		if free < 0 || free > s.fastLeaseTotal {
+			return fmt.Errorf("lockmgr: shard %d fast credit %d outside [0,%d]", i, free, s.fastLeaseTotal)
+		}
+		if s.fastLease.Structs() != s.fastLeaseTotal {
+			return fmt.Errorf("lockmgr: shard %d fast lease holds %d structs, accounted %d",
+				i, s.fastLease.Structs(), s.fastLeaseTotal)
+		}
+		if s.fastLeaseTotal-free != fastInUse {
+			return fmt.Errorf("lockmgr: shard %d fast credit in use %d, granted fast-leased weight %d",
+				i, s.fastLeaseTotal-free, fastInUse)
 		}
 	}
 
@@ -309,13 +389,16 @@ func (m *Manager) checkInvariantsLocked() error {
 	}
 
 	// Lease reconciliation: everything the chain has reserved beyond
-	// request-level usage must sit in exactly one shard's pool.
+	// request-level usage must sit in exactly one shard's pool or in a
+	// shard's unconsumed fast credit (granted fast-leased weight has been
+	// consumed against the chain, so only the free balance counts here).
 	pooled := 0
 	for i := range m.shards {
 		pooled += m.shards[i].pool.Structs()
+		pooled += int(m.shards[i].fastFree.Load())
 	}
 	if leased := m.chain.Reserved() - m.chain.Used(); leased != pooled {
-		return fmt.Errorf("lockmgr: chain leases %d structs beyond use, shard pools hold %d", leased, pooled)
+		return fmt.Errorf("lockmgr: chain leases %d structs beyond use, shard pools + fast credit hold %d", leased, pooled)
 	}
 	return nil
 }

@@ -228,11 +228,19 @@ func (p *Pending) complete(st Status, err error) {
 // Assigning the struct wholesale would copy dmu, so fields are cleared
 // individually.
 func (p *Pending) reset() {
-	p.status.Store(int32(StatusWaiting))
+	// The caller has exclusive ownership, but the fields stay atomics for
+	// the concurrent phases of the Pending's life — so skip the relatively
+	// expensive atomic stores when the value is already right (a fast-path
+	// box's Pending was never touched at all, making its reset free).
+	if p.status.Load() != int32(StatusWaiting) {
+		p.status.Store(int32(StatusWaiting))
+	}
 	p.err = nil
-	p.hasDone.Store(false)
-	p.done = nil
-	p.closed = false
+	if p.hasDone.Load() {
+		p.hasDone.Store(false)
+		p.done = nil
+		p.closed = false
+	}
 }
 
 // QuotaProvider supplies the live lockPercentPerApplication value. The
@@ -375,6 +383,14 @@ type Owner struct {
 	// terminally denied — so ReleaseAll reading 0 under mu proves the held
 	// snapshot is complete and no cancel sweep is needed.
 	inWait atomic.Int32
+
+	// obsTick is the owner-local admission-sampling counter: acquireAsync
+	// samples one in obsSampler.Stride() of this owner's acquisitions. A
+	// plain field, touched only by the owner's requesting goroutine (the
+	// documented single-goroutine contract) — striping the sampler by
+	// owner keeps the global sampler's shared cacheline off the per-grant
+	// path entirely.
+	obsTick uint64
 
 	// everWaited is set (under the home shard latch, before the owner's
 	// release can complete) the first time any of the owner's requests
@@ -692,6 +708,13 @@ type request struct {
 	grantedAt  time.Time
 	obsSampled bool
 
+	// fastLeased marks a grant admitted by the latch-free fast path: its
+	// structures came from the home shard's fast credit (fastpath.go)
+	// rather than a pool handle, so frees recredit fastFree instead of
+	// freeing a handle. Guarded like granted (writers hold the home shard
+	// latch or the header's lk bit, plus Owner.mu).
+	fastLeased bool
+
 	// Recycling state. box points back at the request's co-allocation so
 	// ReleaseAll can return it to the home shard's cache. recyclable is set
 	// only for boxes born in the blocking Acquire path, whose Pending
@@ -737,6 +760,16 @@ type lockHeader struct {
 	groupMode  Mode
 	converters []*request // FIFO, priority over waiters
 	waiters    []*request // FIFO
+
+	// word is the packed latch-free grant word (see fastpath.go); it is
+	// meaningful only once published is set (latch-guarded) and the
+	// header is installed in its shard's fastSlots. Published headers are
+	// never recycled onto the header freelist and never evicted from the
+	// table — an emptied one stays resident with an admitting word
+	// (deferred reclamation), which is what keeps a hot key latch-free
+	// across transactions.
+	word      atomic.Uint64
+	published bool
 }
 
 // addGranted records r as a holder. Caller guarantees r's owner is not
@@ -865,6 +898,22 @@ type shard struct {
 	rfree  []*requestAndPending
 	rfreeN atomic.Int32
 
+	// Latch-free admission state (fastpath.go). fastSlots is the
+	// published-header lookup array (slot = top hash bits); fastFree the
+	// struct credit fast grants CAS against; fastOps the gate in-flight
+	// counter runGlobal drains; fastPublishedN a latch-free hint that the
+	// shard has any published headers at all (a zero short-circuits the
+	// Release probe and credit refills). fastLease and fastLeaseTotal —
+	// guarded by mu — hold the standing pool lease backing the credit:
+	// fastLeaseTotal - fastFree is exactly the weight of in-flight
+	// fast-leased grants homed here.
+	fastSlots      [fastSlotsPerShard]atomic.Pointer[lockHeader]
+	fastFree       atomic.Int64
+	fastOps        atomic.Int64
+	fastPublishedN atomic.Int32
+	fastLease      memblock.Handle
+	fastLeaseTotal int
+
 	// seq stamps the shard's published summary: it is bumped (under mu)
 	// whenever lock-table membership or wait-queue membership changes, so
 	// latch-free observers can tell whether two reads straddled a
@@ -977,6 +1026,26 @@ type Manager struct {
 	quotaPct  atomic.Uint64
 	quotaNext atomic.Int64
 
+	// fastGate is the Dekker-style gate pairing the latch-free fast path
+	// with runGlobal: fast ops bump their shard's fastOps counter before
+	// reading the gate and back out if it is raised; runGlobal raises it,
+	// takes every latch, then waits for the counters to drain — restoring
+	// the "all latches held ⇒ world stopped" contract escalation and
+	// CheckInvariants rely on. fastHits/fastFallbacks count grants
+	// admitted without the latch vs. acquisitions that took the latched
+	// path (the two partition all acquisitions).
+	fastGate      atomic.Int64
+	fastHits      *metrics.ShardCounters
+	fastFallbacks *metrics.ShardCounters
+
+	// fastBoxPool recycles request+Pending boxes for the latch-free grant
+	// path, which cannot pop the shard's latched rfree cache. Boxes enter
+	// zeroed (same contract as pushBox: recyclable, never queued, no
+	// external references) from ReleaseAll when the shard cache is full —
+	// on a steady fast-path workload that is nearly every commit, so fast
+	// grants stop allocating per lock request.
+	fastBoxPool sync.Pool
+
 	// latchWaits counts contended shard-latch acquisitions; latchAcqs
 	// counts every acquisition, contended or not — the direct evidence
 	// that the commit fast path visits O(shards touched) rather than
@@ -1038,14 +1107,16 @@ func New(cfg Config) *Manager {
 	}
 	ns = nextPow2(ns)
 	m := &Manager{
-		chain:      memblock.New(cfg.InitialPages),
-		clk:        cfg.Clock,
-		cfg:        cfg,
-		shards:     make([]shard, ns),
-		shardMask:  uint64(ns - 1),
-		apps:       make(map[int]*App),
-		latchWaits: metrics.NewShardCounters("lock table latch waits", ns),
-		latchAcqs:  metrics.NewShardCounters("lock table latch acquisitions", ns),
+		chain:         memblock.New(cfg.InitialPages),
+		clk:           cfg.Clock,
+		cfg:           cfg,
+		shards:        make([]shard, ns),
+		shardMask:     uint64(ns - 1),
+		apps:          make(map[int]*App),
+		latchWaits:    metrics.NewShardCounters("lock table latch waits", ns),
+		latchAcqs:     metrics.NewShardCounters("lock table latch acquisitions", ns),
+		fastHits:      metrics.NewShardCounters("fast-path grants", ns),
+		fastFallbacks: metrics.NewShardCounters("fast-path fallbacks", ns),
 	}
 	stripes := ns
 	if stripes > 64 {
@@ -1122,8 +1193,22 @@ func (m *Manager) lockShard(i int) *shard {
 // latches held (flushConts).
 func (m *Manager) runGlobal(f func()) {
 	m.globalRuns.Add(1)
+	// Raise the fast-path gate before latching, then drain in-flight fast
+	// ops: a fast op bumps its shard's fastOps before reading the gate
+	// (both seq-cst), so either it sees the raised gate and backs out, or
+	// the drain below sees its count and waits. Ops seen here complete
+	// without blocking on any latch (they take only their owner's mu and a
+	// brief lk spin), so the drain terminates; ops arriving later observe
+	// the gate and mutate nothing. After the drain, all latches held once
+	// again means the whole table — grant words included — stands still.
+	m.fastGate.Add(1)
 	for i := range m.shards {
 		m.lockShard(i)
+	}
+	for i := range m.shards {
+		for m.shards[i].fastOps.Load() != 0 {
+			runtime.Gosched()
+		}
 	}
 	t0 := time.Now()
 	f()
@@ -1131,6 +1216,7 @@ func (m *Manager) runGlobal(f func()) {
 	for i := len(m.shards) - 1; i >= 0; i-- {
 		m.shards[i].mu.Unlock()
 	}
+	m.fastGate.Add(-1)
 }
 
 // GlobalRuns returns how many times the all-shard latch has been taken
@@ -1269,14 +1355,35 @@ func (m *Manager) acquireAsync(o *Owner, name Name, mode Mode, weight int, recyc
 		p.complete(StatusDenied, errors.New("lockmgr: table locks have weight 1"))
 		return p
 	}
-	// Admission-latency sampling: one in obsSampler.Stride() acquisitions
-	// pays for two time.Now calls; everything else pays one atomic add.
+	// Admission-latency sampling: one in obsSampler.Stride() of each
+	// owner's acquisitions pays for two time.Now calls; everything else
+	// pays a plain owner-local increment (no shared sampler cacheline on
+	// the per-grant path).
 	var admit0 time.Time
-	sampled := m.obsSampler.Tick()
+	sampled := false
+	if stride := uint64(m.obsSampler.Stride()); stride != 0 {
+		o.obsTick++
+		sampled = o.obsTick&(stride-1) == 0
+	}
 	if sampled {
 		admit0 = time.Now()
 	}
-	si := m.shardOf(name)
+	hash := hashName(name)
+	si := int(hash & m.shardMask)
+	// Latch-free admission first: fast-eligible modes (IS/S/IX) try the
+	// owner-local re-acquire cache and then a CAS on the published grant
+	// word. A nil return means the attempt backed out having mutated
+	// nothing; the request proceeds on the latched path below, which is
+	// byte-for-byte the pre-fast-path pipeline plus a credit refill.
+	if fastEligible(mode) {
+		if p := m.tryFastAcquire(o, name, mode, weight, hash, si, recyclable, sampled); p != nil {
+			if sampled {
+				m.admitHist.RecordStripe(si, time.Since(admit0).Nanoseconds())
+			}
+			return p
+		}
+	}
+	m.fastFallbacks.Shard(si).Inc()
 	// The request and its Pending are one allocation — and on a steady
 	// commit workload not even that: ReleaseAll recycles the boxes of
 	// committed transactions into the home shard's cache. The cache is
@@ -1304,6 +1411,12 @@ func (m *Manager) acquireAsync(o *Owner, name Name, mode Mode, weight int, recyc
 	req.obsSampled = sampled
 	p := &box.pend
 	ok := m.startRequest(s, si, req, false)
+	if ok && s.fastPublishedN.Load() > 0 {
+		// The shard serves fast-path traffic; top its credit up while the
+		// latch is held. (Fast-path credit misses fall back to exactly
+		// this path, so a dry shard self-heals here.)
+		m.maybeRefillFastCredit(s)
+	}
 	s.mu.Unlock()
 	if !ok {
 		// The fast path backed out (quota or lease shortfall) without
@@ -1433,8 +1546,10 @@ func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool
 		default:
 		}
 		h := s.headerFor(name)
+		m.sealFast(h)
 		if len(h.converters) == 0 && len(h.waiters) == 0 && Compatible(req.mode, h.groupMode) {
 			m.installGranted(h, req)
+			m.settleFast(s, h)
 			m.grant(req)
 			return true
 		}
@@ -1442,6 +1557,7 @@ func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool
 		h.waiters = append(h.waiters, req)
 		req.header = h
 		s.addWaiting(req)
+		m.settleFast(s, h)
 		return true
 	}
 
@@ -1466,8 +1582,13 @@ func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool
 	req.handle = hdl
 	app.structs.Add(int64(req.weight))
 	h := s.headerFor(name)
+	// Sealing under o.mu is deadlock-free: fast-path operations always take
+	// o.mu *before* spinning for the word lock, and a word-lock holder never
+	// blocks, so this spin terminates (see fastpath.go, "Lock ordering").
+	m.sealFast(h)
 	if len(h.converters) == 0 && len(h.waiters) == 0 && Compatible(req.mode, h.groupMode) {
 		m.installGrantedLocked(h, req)
+		m.settleFast(s, h)
 		o.mu.Unlock()
 		m.grant(req)
 		return true
@@ -1477,6 +1598,7 @@ func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool
 	h.waiters = append(h.waiters, req)
 	req.header = h
 	s.addWaiting(req)
+	m.settleFast(s, h)
 	return true
 }
 
@@ -1485,6 +1607,11 @@ func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool
 // attached to the conversion outcome. Caller holds cur's home shard latch.
 func (m *Manager) startConversion(cur *request, target Mode, p *Pending, onGrant func(*Manager), onDeny func(*Manager, error)) {
 	h := cur.header
+	s := m.shardFor(cur.name)
+	// A conversion mutates the granted group (mode change) or the converter
+	// queue; either way the grant word must be fenced first so no fast CAS
+	// admits against a stale group mode mid-conversion.
+	m.sealFast(h)
 	o := cur.owner
 	o.mu.Lock()
 	cur.converting = true
@@ -1495,11 +1622,13 @@ func (m *Manager) startConversion(cur *request, target Mode, p *Pending, onGrant
 	cur.onDeny = onDeny
 	if m.canConvert(cur, target) {
 		m.finishConversion(cur)
+		m.settleFast(s, h)
 		return
 	}
 	m.beginWait(cur)
 	h.converters = append(h.converters, cur)
-	m.shardFor(cur.name).addWaiting(cur)
+	s.addWaiting(cur)
+	m.settleFast(s, h)
 }
 
 // canConvert reports whether cur can convert to target given the other
@@ -1630,11 +1759,15 @@ func (m *Manager) noteSyncGrowth(pages int) {
 	}
 }
 
-// flushPools returns every shard's lease to the chain. Caller holds all
-// shard latches.
+// flushPools returns every shard's lease to the chain. Idle fast credit is
+// drained back into the pool first so it is repatriated too — fast credit
+// must never masquerade as memory pressure. Caller holds all shard latches
+// (runGlobal, so the fast-op gate is drained).
 func (m *Manager) flushPools() {
 	for i := range m.shards {
-		m.shards[i].pool.Flush()
+		s := &m.shards[i]
+		m.drainFastCredit(s)
+		s.pool.Flush()
 	}
 }
 
@@ -1779,6 +1912,9 @@ func (m *Manager) deny(req *request, err error) {
 		return
 	}
 	h := req.header
+	if h != nil {
+		m.sealFast(h)
+	}
 	if req.converting {
 		// Failed conversion: drop back to the original granted mode.
 		for i, c := range h.converters {
@@ -1813,6 +1949,9 @@ func (m *Manager) deny(req *request, err error) {
 		// accounting safe regardless).
 		m.freeRequestStructs(s, req)
 	}
+	if h != nil {
+		m.settleFast(s, h)
+	}
 	p := req.pending
 	od := req.onDeny
 	req.pending = nil
@@ -1828,6 +1967,16 @@ func (m *Manager) deny(req *request, err error) {
 // freeRequestStructs returns req's structures to its home shard's lease
 // pool. s must be req's home shard; the caller holds its latch.
 func (m *Manager) freeRequestStructs(s *shard, req *request) {
+	if req.fastLeased {
+		// Fast-path grant: the structures were consumed from the shard's
+		// fast credit, not its latched pool. Recredit them (the next fast
+		// grant reuses the lease) and reverse the chain consumption.
+		req.fastLeased = false
+		s.fastFree.Add(int64(req.weight))
+		m.chain.ReturnReserved(req.weight)
+		req.owner.app.structs.Add(-int64(req.weight))
+		return
+	}
 	if req.handle.Structs() > 0 {
 		s.pool.Free(req.handle)
 		req.owner.app.structs.Add(-int64(req.weight))
@@ -1850,14 +1999,21 @@ func (s *shard) cacheOrEvict(h *lockHeader) {
 // was removed. Caller holds the shard latch and must sync the mirror
 // before releasing it.
 func (s *shard) cacheOrEvictDeferred(h *lockHeader) bool {
-	if h == nil || !h.empty() {
+	if h == nil || h.published || !h.empty() {
+		// Published headers are never evicted or recycled: a fast op may
+		// hold a slot-loaded pointer to one at any time, and keeping the
+		// empty header resident (with an admitting all-zero grant word) is
+		// exactly what keeps a hot key's grants latch-free across
+		// transactions. Reclamation is deferred to Resize/slot pressure.
 		return false
 	}
 	delete(s.table, h.name)
+	// Canonicalize before recycling (or dropping): settleFast on an evicted
+	// header must see ModeNone and publish nothing.
+	h.groupMode = ModeNone
+	h.converters = nil
+	h.waiters = nil
 	if len(s.hfree) < headerFreelistCap {
-		h.groupMode = ModeNone
-		h.converters = nil
-		h.waiters = nil
 		s.hfree = append(s.hfree, h)
 	}
 	return true
@@ -1940,18 +2096,27 @@ func (m *Manager) finishRelease(s *shard, req *request) {
 		req.grantedAt = time.Time{}
 	}
 	h := req.header
+	m.sealFast(h)
 	h.removeGranted(req.owner)
 	m.freeRequestStructs(s, req)
 	h.recomputeGroupMode()
 	m.post(s, h)
 	s.cacheOrEvict(h)
+	m.settleFast(s, h)
 }
 
 // Release drops one granted lock, or cancels a waiting request for name.
 // Strict 2PL callers use ReleaseAll instead; Release supports weaker
 // isolation (e.g. cursor-stability read locks released at fetch).
 func (m *Manager) Release(o *Owner, name Name) error {
-	s := m.lockShard(m.shardOf(name))
+	si := m.shardOf(name)
+	// Symmetric fast path: a fast-granted IS/S/IX hold on a published
+	// header releases by CAS decrement, deferring header reclamation to the
+	// latched path (the emptied header stays resident and admitting).
+	if m.shards[si].fastPublishedN.Load() > 0 && m.tryFastRelease(o, name, si) {
+		return nil
+	}
+	s := m.lockShard(si)
 	o.mu.Lock()
 	req, ok := o.held.get(name)
 	if !ok {
@@ -2162,6 +2327,7 @@ func (o *Owner) resetForReuse() {
 		o.touchedHi[i] = 0
 	}
 	o.inWait.Store(0)
+	o.obsTick = 0
 }
 
 // reset clears a per-table index for owner reuse.
@@ -2279,7 +2445,15 @@ func (m *Manager) releaseShardBatch(s *shard, si int, o *Owner, b *releaseBatch,
 	// return its structures to the shard pool, accumulating the chain and
 	// app accounting instead of paying an atomic per lock. Headers are
 	// distinct (one request per name per owner), so each is touched once.
-	poolFreed, weightFreed := 0, 0
+	// A published queue-free header is settled immediately after its
+	// unlink — post would be a no-op and cacheOrEvictDeferred keeps it
+	// resident regardless — so the hot headers of a fast-path workload are
+	// fenced for one holder removal, not the whole batch. (The word
+	// reopens before the accounting below lands; a racing fast grant that
+	// sees the stale credit or quota merely falls back.) Everything else —
+	// headers with queues (fenced anyway) and unpublished headers (not
+	// fast-reachable) — defers to phase 2 as before.
+	poolFreed, weightFreed, fastFreed := 0, 0, 0
 	hdrs := b.hdrs[:0]
 	for _, r := range live {
 		if !r.grantedAt.IsZero() {
@@ -2287,34 +2461,76 @@ func (m *Manager) releaseShardBatch(s *shard, si int, o *Owner, b *releaseBatch,
 			r.grantedAt = time.Time{}
 		}
 		h := r.header
+		w, open := m.sealFastWord(h)
 		h.removeGranted(r.owner)
-		if r.handle.Structs() > 0 {
+		if r.fastLeased {
+			// Fast-path grant released at commit: recredit the shard's
+			// fast-free balance instead of the latched pool.
+			r.fastLeased = false
+			fastFreed += r.weight
+			weightFreed += r.weight
+		} else if r.handle.Structs() > 0 {
 			poolFreed += s.pool.FreeBatched(r.handle)
 			weightFreed += r.weight
 			r.handle = memblock.Handle{}
 		}
+		if open {
+			// The seal caught a live word, so its counts are exactly the
+			// pre-release granted group (and r — a granted holder of such a
+			// header — is a non-converting IS/S/IX grant represented in
+			// them): settle the removal with O(1) word arithmetic instead
+			// of an O(holders) chain recompute, bumping seq as every
+			// settle does.
+			nw := wordSub(w&^wordFence, r.mode)
+			seq := (nw >> wordSeqShift) & wordSeqMask
+			nw = nw&^(wordSeqMask<<wordSeqShift) | ((seq+1)&wordSeqMask)<<wordSeqShift
+			h.groupMode = Mode((nw >> wordGMShift) & wordGMMask)
+			h.word.Store(nw)
+			continue
+		}
 		h.recomputeGroupMode()
-		hdrs = append(hdrs, h)
+		if h.published && len(h.converters) == 0 && len(h.waiters) == 0 {
+			m.settleFast(s, h)
+		} else {
+			hdrs = append(hdrs, h)
+		}
 	}
 	// Settle accounting before posting: a grant fired by post reads the
 	// app quota and chain usage, and must see the whole release.
 	s.pool.SettleFree(poolFreed)
+	if fastFreed > 0 {
+		s.fastFree.Add(int64(fastFreed))
+		m.chain.ReturnReserved(fastFreed)
+	}
 	if weightFreed > 0 {
 		o.app.structs.Add(-int64(weightFreed))
 	}
-	// Phase 2: FIFO wakeups and header recycling, with one table-mirror
-	// sync for the entire visit.
+	// Phase 2: FIFO wakeups and header recycling for the deferred headers,
+	// with one table-mirror sync for the entire visit. Every header still
+	// sealed is settled before the latch drops (published headers survive
+	// cacheOrEvictDeferred).
 	evicted := false
 	for _, h := range hdrs {
 		m.post(s, h)
 		evicted = s.cacheOrEvictDeferred(h) || evicted
+		m.settleFast(s, h)
 	}
 	if evicted {
 		s.syncTableMirror()
 	}
 	for _, r := range live {
 		if r.recyclable && !r.everQueued {
-			s.pushBox(r.box)
+			if len(s.rfree) < boxFreelistCap {
+				s.pushBox(r.box)
+			} else {
+				// Shard cache full: feed the latch-free grant path's pool
+				// instead of the garbage collector. Same ownership contract
+				// as pushBox; boxes enter the pool zeroed.
+				b := r.box
+				b.req = request{}
+				b.pend.reset()
+				m.fastBoxPool.Put(b)
+			}
 		}
 	}
 	b.live, b.hdrs = live[:0], hdrs[:0]
@@ -2427,11 +2643,14 @@ func (m *Manager) Resize(targetPages int) int {
 	case targetPages > cur:
 		m.chain.Grow(targetPages - cur)
 	case targetPages < cur:
-		// Flush each shard's lease under its latch, then shrink. A pool
-		// may re-lease between its flush and the shrink; ShrinkBest is
-		// best-effort either way.
+		// Flush each shard's lease under its latch, then shrink. Idle fast
+		// credit is drained first (the Swap is safe against concurrent fast
+		// ops — a racing CAS observes zero and falls back to the latched
+		// path). A pool may re-lease between its flush and the shrink;
+		// ShrinkBest is best-effort either way.
 		for i := range m.shards {
 			s := m.lockShard(i)
+			m.drainFastCredit(s)
 			s.pool.Flush()
 			s.mu.Unlock()
 		}

@@ -194,6 +194,54 @@ func (h Handle) Structs() int {
 	return n
 }
 
+// Absorb merges other into h. Used by the fast-path lease: refills taken
+// from a shard's pool are folded into the shard's standing lease handle.
+func (h *Handle) Absorb(other Handle) {
+	if other.p0.b != nil {
+		h.add(other.p0)
+	}
+	for _, pt := range other.extra {
+		h.add(pt)
+	}
+}
+
+// Split removes up to n structures from h and returns a handle covering
+// them, taking from the most recently added parts first (extra tail, then
+// p0). The returned handle covers min(n, h.Structs()) structures.
+func (h *Handle) Split(n int) Handle {
+	var out Handle
+	for n > 0 && len(h.extra) > 0 {
+		last := &h.extra[len(h.extra)-1]
+		t := last.n
+		if t > n {
+			t = n
+		}
+		out.add(part{b: last.b, n: t})
+		last.n -= t
+		n -= t
+		if last.n == 0 {
+			h.extra = h.extra[:len(h.extra)-1]
+		}
+	}
+	if n > 0 && h.p0.b != nil {
+		t := h.p0.n
+		if t > n {
+			t = n
+		}
+		out.add(part{b: h.p0.b, n: t})
+		h.p0.n -= t
+		if h.p0.n == 0 {
+			if len(h.extra) > 0 {
+				h.p0 = h.extra[0]
+				h.extra = h.extra[1:]
+			} else {
+				h.p0 = part{}
+			}
+		}
+	}
+	return out
+}
+
 // Chain is the lock memory block chain. It is safe for concurrent use.
 type Chain struct {
 	mu        sync.Mutex
@@ -446,6 +494,28 @@ func (c *Chain) UsedPages() int {
 // of lockPercentPerApplication.
 func (c *Chain) Requests() int64 {
 	return c.requests.Load()
+}
+
+// ConsumeReserved records that n already-reserved structures (held in a
+// standing lease, e.g. a shard's fast-path credit) have been put to use by
+// a request. It adjusts only the atomic counters — the structures' blocks
+// were accounted at lease time — so it is safe to call without any latch.
+// Like Pool.Alloc, it counts as one lock-structure request.
+func (c *Chain) ConsumeReserved(n int) {
+	if n <= 0 {
+		return
+	}
+	c.used.Add(int64(n))
+	c.requests.Add(1)
+}
+
+// ReturnReserved undoes ConsumeReserved: n structures return from request
+// use to their standing lease. Latch-free, like ConsumeReserved.
+func (c *Chain) ReturnReserved(n int) {
+	if n <= 0 {
+		return
+	}
+	c.used.Add(int64(-n))
 }
 
 // Reserved returns the structures currently reserved from blocks — request
@@ -701,6 +771,54 @@ func (p *Pool) release(n int) {
 // become visible to the whole system.
 func (p *Pool) Flush() {
 	p.release(p.n)
+}
+
+// Lease moves up to n structures from the pool into a standing lease,
+// refilling from the chain when the pool runs short. Unlike Alloc it does
+// NOT bump the used or requests counters: leased structures stay reserved
+// but idle until ConsumeReserved marks them in use. It returns the handle
+// and the number of structures actually leased (possibly < n when the
+// chain is short; possibly 0). Caller holds the owning shard's latch.
+func (p *Pool) Lease(n int) (Handle, int) {
+	if n <= 0 {
+		return Handle{}, 0
+	}
+	if p.n < n {
+		var refill Handle
+		p.c.mu.Lock()
+		p.c.reserveLocked(n-p.n, &refill)
+		p.c.mu.Unlock()
+		p.refills.Add(1)
+		if refill.p0.b != nil {
+			p.push(refill.p0)
+		}
+		for _, pt := range refill.extra {
+			p.push(pt)
+		}
+	}
+	got := n
+	if got > p.n {
+		got = p.n
+	}
+	var h Handle
+	p.take(got, &h)
+	return h, got
+}
+
+// Restore returns standing-lease structures to the pool — the inverse of
+// Lease, with no used accounting. Caller holds the owning shard's latch.
+// The usual excess-release check applies so a large restored lease does
+// not strand memory in the pool.
+func (p *Pool) Restore(h Handle) {
+	if h.p0.b != nil {
+		p.push(h.p0)
+	}
+	for _, pt := range h.extra {
+		p.push(pt)
+	}
+	if p.n > 4*p.chunk {
+		p.release(p.n - p.chunk)
+	}
 }
 
 // Structs returns the number of structures currently pooled. Caller holds

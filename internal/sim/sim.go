@@ -132,6 +132,8 @@ func Run(cfg Config) *Result {
 	bufferPool := set.Series("bufferpool", "pages")
 	latchWaits := set.Series("latch waits", "count")
 	globalRuns := set.Series("global latch runs", "count")
+	fastHits := set.Series("fast-path hits", "count")
+	fastFallbacks := set.Series("fast-path fallbacks", "count")
 	globalStall := set.Series("global stall", "µs")
 	// Lock-wait quantiles come from the engine-clock histogram, so they are
 	// deterministic; admission latency is sampled wall clock → volatile.
@@ -215,6 +217,8 @@ func Run(cfg Config) *Result {
 			bufferPool.Record(now, float64(snap.BufferPoolPages))
 			latchWaits.Record(now, float64(snap.LockLatchWaits))
 			globalRuns.Record(now, float64(snap.LockGlobalRuns))
+			fastHits.Record(now, float64(snap.LockFastPathHits))
+			fastFallbacks.Record(now, float64(snap.LockFastPathFallbacks))
 			globalStall.Record(now, float64(snap.LockGlobalHoldMax)/1e3)
 			ws := cfg.DB.Locks().WaitHist().Snapshot()
 			waitP95.Record(now, ws.Quantile(0.95)/1e6)
