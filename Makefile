@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-commit bench-read obs-demo verify fmt vet
+.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-commit bench-read bench-diff smoke-read obs-demo verify fmt vet
 
 all: build
 
@@ -13,10 +13,11 @@ test:
 # Race-detector runs for the concurrency-sensitive packages: the sharded
 # lock table, its block-chain lease pools, the engine facade that exposes
 # the latch-free snapshot path, the lock-free observability primitives
-# (striped histograms, decision log), and the event ring.
+# (striped histograms, decision log), the event ring, and the transaction
+# layer (optimistic read tokens validated against concurrent writers).
 race:
 	$(GO) test -race ./internal/lockmgr ./internal/memblock ./internal/engine \
-		./internal/obs ./internal/trace
+		./internal/obs ./internal/trace ./internal/txn
 
 bench: bench-lock
 
@@ -54,14 +55,30 @@ bench-commit:
 	BENCH_JSON=$${BENCH_JSON:-BENCH_COMMIT.json} \
 		$(GO) test -run xxx -bench BenchmarkCommitThroughput -benchtime 1s .
 
-# bench-read measures the read-mostly hot-set shape (90% S/IS on a shared
-# hot set, 10% X on a disjoint one) — the regime the latch-free admission
-# fast path targets. BENCH_READPATH_BASELINE.json holds the pre-fast-path
+# bench-read measures the read-path shapes: readmostly (90% S/IS on a
+# shared hot set, 10% X on a disjoint one — the CAS fast path's regime) and
+# dss (≥99% S scans served by zero-CAS optimistic tokens — the seqlock
+# tier's regime). BENCH_READPATH_BASELINE.json holds the pre-fast-path
 # numbers (every grant serializes on its header's shard latch);
-# BENCH_READPATH_FASTPATH.json holds the grant-word CAS admission numbers.
+# BENCH_READPATH_FASTPATH.json the grant-word CAS admission numbers;
+# BENCH_READPATH_OPTIMISTIC.json the token-tier numbers.
 bench-read:
-	BENCH_JSON=$${BENCH_JSON:-BENCH_READPATH.json} \
-		$(GO) test -run xxx -bench 'BenchmarkLockScalability/readmostly' -benchtime 1s .
+	BENCH_JSON=$${BENCH_JSON:-BENCH_READPATH_OPTIMISTIC.json} \
+		$(GO) test -run xxx -bench 'BenchmarkLockScalability/(readmostly|dss)' -benchtime 1s .
+
+# bench-diff compares two BENCH_*.json trajectory files produced by the
+# benchmarks above, printing per-shape deltas (grants/sec, commits/sec,
+# hit rates). Usage: make bench-diff OLD=BENCH_READPATH_FASTPATH.json \
+# NEW=BENCH_READPATH_OPTIMISTIC.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
+
+# smoke-read is the -short gate run of the read bench: one iteration per
+# shape, no JSON (the b.N==1 probe never emits), just proof the dss/
+# readmostly harnesses still grant and validate.
+smoke-read:
+	$(GO) test -run xxx -bench 'BenchmarkLockScalability/(readmostly|dss)' \
+		-benchtime 1x -short .
 
 # obs-demo runs the workbench surge workload with the HTTP surface up and
 # curls it mid-run: /metrics must serve lock-wait histogram buckets and
@@ -79,9 +96,9 @@ obs-demo: build
 	wait $$pid
 
 # verify is the tier-1 gate (see ROADMAP.md): formatting, vet, build, the
-# full test suite, and the race-detector pass over the concurrency-
-# sensitive packages.
-verify: fmt vet build test race
+# full test suite, the race-detector pass over the concurrency-sensitive
+# packages, and a one-iteration smoke run of the read-path benches.
+verify: fmt vet build test race smoke-read
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,0 +1,162 @@
+// Command benchdiff compares two BENCH_*.json trajectory files (one JSON
+// record per line, as emitted by the repo's benchmarks under BENCH_JSON)
+// and prints per-shape deltas.
+//
+//	benchdiff OLD.json NEW.json
+//
+// Records are keyed by (bench, workload, locks, goroutines); when a file
+// holds several records for one key — go-bench ramps b.N, and each ramp
+// step appends a row — the LAST record wins, since it is the longest,
+// warmest measurement. Shapes present in only one file are listed, not
+// compared. The primary rate is grants_per_sec (lock-path benches) or
+// commits_per_sec (commit/engine benches); hit-rate columns appear when
+// either side carries fast-path or optimistic counters.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// record is the union of the scaleRecord / commitRecord shapes; absent
+// fields decode to zero and are simply not printed.
+type record struct {
+	Bench         string  `json:"bench"`
+	Workload      string  `json:"workload"`
+	Locks         int     `json:"locks"`
+	Goroutines    int     `json:"goroutines"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	GrantsPerSec  float64 `json:"grants_per_sec"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	FastHits      int64   `json:"fast_hits"`
+	FastFallbacks int64   `json:"fast_fallbacks"`
+	OptHits       int64   `json:"opt_hits"`
+	OptFailures   int64   `json:"opt_failures"`
+	OptHitRate    float64 `json:"opt_hit_rate"`
+	OptFailRate   float64 `json:"opt_fail_rate"`
+}
+
+func (r record) key() string {
+	return fmt.Sprintf("%s/%s/locks=%d/g=%d", r.Bench, r.Workload, r.Locks, r.Goroutines)
+}
+
+// rate returns the record's primary throughput metric and its unit.
+func (r record) rate() (float64, string) {
+	if r.GrantsPerSec > 0 {
+		return r.GrantsPerSec, "grants/s"
+	}
+	return r.CommitsPerSec, "commits/s"
+}
+
+// load reads a JSONL trajectory file into last-record-per-key form,
+// remembering insertion order for stable output.
+func load(path string) (map[string]record, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	recs := make(map[string]record)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		k := r.key()
+		if _, seen := recs[k]; !seen {
+			order = append(order, k)
+		}
+		recs[k] = r
+	}
+	return recs, order, sc.Err()
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// human renders a rate with engineering-style suffixes.
+func human(x float64) string {
+	switch {
+	case x >= 1e9:
+		return fmt.Sprintf("%.2fG", x/1e9)
+	case x >= 1e6:
+		return fmt.Sprintf("%.2fM", x/1e6)
+	case x >= 1e3:
+		return fmt.Sprintf("%.1fk", x/1e3)
+	default:
+		return fmt.Sprintf("%.0f", x)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRecs, oldOrder, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	newRecs, newOrder, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-50s %12s %12s %8s  %s\n", "shape", "old", "new", "delta", "notes")
+	var onlyOld, onlyNew []string
+	for _, k := range oldOrder {
+		o := oldRecs[k]
+		n, ok := newRecs[k]
+		if !ok {
+			onlyOld = append(onlyOld, k)
+			continue
+		}
+		or, unit := o.rate()
+		nr, _ := n.rate()
+		delta := "n/a"
+		if or > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nr/or-1))
+		}
+		notes := unit
+		if n.OptHits > 0 {
+			notes += fmt.Sprintf("  opt-hit %s fail %s", pct(n.OptHitRate), pct(n.OptFailRate))
+		} else if total := n.FastHits + n.FastFallbacks; total > 0 {
+			notes += fmt.Sprintf("  fast-hit %s", pct(float64(n.FastHits)/float64(total)))
+		}
+		fmt.Printf("%-50s %12s %12s %8s  %s\n", k, human(or), human(nr), delta, notes)
+	}
+	for _, k := range newOrder {
+		if _, ok := oldRecs[k]; !ok {
+			onlyNew = append(onlyNew, k)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	for _, k := range onlyOld {
+		r := oldRecs[k]
+		v, unit := r.rate()
+		fmt.Printf("%-50s %12s %12s %8s  only in %s (%s)\n", k, human(v), "-", "", os.Args[1], unit)
+	}
+	for _, k := range onlyNew {
+		r := newRecs[k]
+		v, unit := r.rate()
+		notes := fmt.Sprintf("only in %s (%s)", os.Args[2], unit)
+		if r.OptHits > 0 {
+			notes += fmt.Sprintf("  opt-hit %s fail %s", pct(r.OptHitRate), pct(r.OptFailRate))
+		}
+		fmt.Printf("%-50s %12s %12s %8s  %s\n", k, "-", human(v), "", notes)
+	}
+}

@@ -51,7 +51,9 @@ func main() {
 		rows      = flag.Int("rows", 65, "average row locks per transaction")
 		writes    = flag.Float64("writes", 0.3, "fraction of X-mode row locks")
 		workloadF = flag.String("workload", "oltp",
-			"workload shape: oltp | readmostly (90% S/IS on a shared hot set, 10% X — the latch-free admission regime)")
+			"workload shape: oltp | readmostly (90% S/IS on a shared hot set, 10% X — the latch-free admission regime) | dss (≥99% S reporting scans over a shared hot set — the zero-CAS optimistic regime)")
+		readonly = flag.Bool("readonly", false,
+			"run dss scans as readonly transactions (optimistic tokens validated at commit; dss workload only)")
 		chart    = flag.Bool("chart", true, "render ASCII charts")
 		events   = flag.Int("events", 10, "print the last N diagnostic events (0 = none)")
 		locks    = flag.Int("locks", 0, "dump up to N lock-table entries at the end")
@@ -103,10 +105,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "workbench: serving http://%s/metrics (also /debug/locks /debug/events /debug/tuner /debug/pprof)\n", bound)
 	}
 
+	if *readonly && *workloadF != "dss" {
+		fmt.Fprintf(os.Stderr, "workbench: -readonly only applies to -workload dss\n")
+		os.Exit(2)
+	}
+
 	prof := workload.DefaultOLTPProfile(db.Catalog())
 	prof.RowsMin = *rows * 6 / 10
 	prof.RowsMax = *rows * 14 / 10
 	prof.WriteFrac = *writes
+	dssProf := workload.DefaultDSSScanProfile(db.Catalog())
+	dssProf.ReadOnly = *readonly
 	switch *workloadF {
 	case "oltp":
 		// The default mix, shaped by -rows/-writes above.
@@ -119,8 +128,12 @@ func main() {
 		prof.WriteFrac = 0.1
 		prof.HotRows = 512
 		prof.HotFrac = 0.9
+	case "dss":
+		// The zero-CAS optimistic regime: repeating reporting scans, ≥99%
+		// S, every scan revisiting a shared hot set whose headers publish
+		// into the fast-slot array and then serve optimistic read tokens.
 	default:
-		fmt.Fprintf(os.Stderr, "workbench: unknown -workload %q (want oltp or readmostly)\n", *workloadF)
+		fmt.Fprintf(os.Stderr, "workbench: unknown -workload %q (want oltp, readmostly or dss)\n", *workloadF)
 		os.Exit(2)
 	}
 
@@ -130,7 +143,11 @@ func main() {
 	}
 	pool := make([]sim.Client, maxClients)
 	for i := range pool {
-		pool[i] = workload.NewOLTP(db, prof, int64(i+1))
+		if *workloadF == "dss" {
+			pool[i] = workload.NewDSSScan(db, dssProf, int64(i+1))
+		} else {
+			pool[i] = workload.NewOLTP(db, prof, int64(i+1))
+		}
 	}
 	schedule := workload.Constant(*clients)
 	if *surgeTo > 0 {
@@ -158,6 +175,13 @@ func main() {
 	if total := snap.LockFastPathHits + snap.LockFastPathFallbacks; total > 0 {
 		fmt.Printf("fast-path admits  %d of %d acquisitions (%.1f%% latch-free)\n",
 			snap.LockFastPathHits, total, 100*float64(snap.LockFastPathHits)/float64(total))
+	}
+	if attempts := snap.LockOptimisticHits + snap.LockFastPathHits + snap.LockFastPathFallbacks; snap.LockOptimisticHits > 0 {
+		// Hit rate over every admission attempt (tokens + CAS hits +
+		// latched fallbacks); failure rate over tokens issued.
+		fmt.Printf("optimistic reads  %d tokens (%.1f%% hit rate), %d validation failures (%.2f%%)\n",
+			snap.LockOptimisticHits, 100*float64(snap.LockOptimisticHits)/float64(attempts),
+			snap.LockOptimisticFailures, 100*float64(snap.LockOptimisticFailures)/float64(snap.LockOptimisticHits))
 	}
 	fmt.Printf("MAXLOCKS quota    %.1f%%\n", snap.QuotaPercent)
 	if ws := db.Locks().WaitHist().Snapshot(); ws.Total > 0 {

@@ -87,6 +87,15 @@ func reportCommit(b *testing.B, workload string, locks, goroutines int, commits 
 	apc := float64(acqs) / float64(commits)
 	b.ReportMetric(cps, "commits/sec")
 	b.ReportMetric(apc, "latch-acqs/commit")
+	if b.N == 1 {
+		// go test sizes every benchmark with a b.N==1 probe before the
+		// timed iterations; that cold-start run (empty allocator, cold
+		// caches) used to emit an outlier row into BENCH_COMMIT_*.json
+		// ahead of the real measurement. Skip JSON for the probe — a
+		// deliberate `-benchtime 1x` smoke run also stays out of the
+		// trajectory file, which is what a smoke run should do.
+		return
+	}
 	emitCommitJSON(b, commitRecord{
 		Bench:              "CommitThroughput",
 		Workload:           workload,

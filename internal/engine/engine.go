@@ -485,15 +485,22 @@ type Snapshot struct {
 	// admission rate.
 	LockFastPathHits      int64
 	LockFastPathFallbacks int64
-	QuotaPercent          float64
-	Overflow              int
-	OverflowGoal          int
-	BufferPoolPages       int
-	SortHeapPages         int
-	Commits, Aborts       int64
-	ActiveTxns            int
-	NumApps               int
-	LMOC                  int
+	// LockOptimisticHits counts zero-CAS optimistic read tokens issued;
+	// LockOptimisticFailures counts tokens refuted at validation (a
+	// writer, fence, or settle-seq wrap landed inside the read window).
+	// Optimistic hits ride above the fast-path partition: hits +
+	// fast-path hits + fallbacks covers every admission attempt.
+	LockOptimisticHits     int64
+	LockOptimisticFailures int64
+	QuotaPercent           float64
+	Overflow               int
+	OverflowGoal           int
+	BufferPoolPages        int
+	SortHeapPages          int
+	Commits, Aborts        int64
+	ActiveTxns             int
+	NumApps                int
+	LMOC                   int
 }
 
 // Snapshot captures the current engine state.
@@ -501,24 +508,26 @@ func (db *Database) Snapshot() Snapshot {
 	mem := db.set.Snapshot()
 	commits, aborts, active := db.txns.Stats()
 	s := Snapshot{
-		LockPages:             db.locks.Pages(),
-		UsedStructs:           db.locks.UsedStructs(),
-		CapacityStructs:       db.locks.CapacityStructs(),
-		FreeFraction:          db.locks.FreeFraction(),
-		LockStats:             db.locks.Stats(),
-		LockLatchWaits:        db.locks.LatchWaits(),
-		LockGlobalRuns:        db.locks.GlobalRuns(),
-		LockGlobalHoldMax:     db.locks.GlobalHoldMax(),
-		LockFastPathHits:      db.locks.FastPathHits(),
-		LockFastPathFallbacks: db.locks.FastPathFallbacks(),
-		Overflow:              mem.Overflow,
-		OverflowGoal:          mem.OverflowGoal,
-		BufferPoolPages:       mem.HeapPages["bufferpool"],
-		SortHeapPages:         mem.HeapPages["sortheap"],
-		Commits:               commits,
-		Aborts:                aborts,
-		ActiveTxns:            active,
-		NumApps:               db.locks.NumApps(),
+		LockPages:              db.locks.Pages(),
+		UsedStructs:            db.locks.UsedStructs(),
+		CapacityStructs:        db.locks.CapacityStructs(),
+		FreeFraction:           db.locks.FreeFraction(),
+		LockStats:              db.locks.Stats(),
+		LockLatchWaits:         db.locks.LatchWaits(),
+		LockGlobalRuns:         db.locks.GlobalRuns(),
+		LockGlobalHoldMax:      db.locks.GlobalHoldMax(),
+		LockFastPathHits:       db.locks.FastPathHits(),
+		LockFastPathFallbacks:  db.locks.FastPathFallbacks(),
+		LockOptimisticHits:     db.locks.OptimisticHits(),
+		LockOptimisticFailures: db.locks.OptimisticFailures(),
+		Overflow:               mem.Overflow,
+		OverflowGoal:           mem.OverflowGoal,
+		BufferPoolPages:        mem.HeapPages["bufferpool"],
+		SortHeapPages:          mem.HeapPages["sortheap"],
+		Commits:                commits,
+		Aborts:                 aborts,
+		ActiveTxns:             active,
+		NumApps:                db.locks.NumApps(),
 	}
 	if db.ctl != nil {
 		s.QuotaPercent = db.ctl.CurrentQuota()

@@ -139,6 +139,15 @@ func (db *Database) WriteMetrics(m *obs.MetricWriter) {
 	m.CounterVec("lockmem_fastpath_fallbacks_total", "acquisitions on the latched admission path", "shard",
 		db.locks.FastPathFallbackCounters().Values())
 
+	// Zero-CAS optimistic read tier: tokens issued vs tokens refuted at
+	// validation. failures/hits is the invalidation rate; hits ride above
+	// the fast-path partition (hits + fastpath hits + fallbacks covers
+	// every admission attempt).
+	m.CounterVec("lockmem_optimistic_hits_total", "optimistic read tokens issued", "shard",
+		db.locks.OptimisticHitCounters().Values())
+	m.CounterVec("lockmem_optimistic_failures_total", "optimistic read tokens failing validation", "shard",
+		db.locks.OptimisticFailureCounters().Values())
+
 	// Event ring: lifetime per-kind totals (survive eviction) + eviction.
 	m.CounterMap("lockmem_events_total", "diagnostic events by kind", "kind",
 		kindTotalsToStrings(db.events.TotalByKind()))

@@ -270,15 +270,31 @@ func (m *Manager) settleFast(s *shard, h *lockHeader) {
 			return // slot taken by another hot header; stay latched
 		}
 		h.published = true
-		h.word.Store(m.recomputeWord(h, 0))
+		h.word.Store(m.recomputeWord(h, h.epoch.Load()&wordSeqMask))
 		// Word before slot: a fast op that observes the pointer observes
 		// an initialized word (sequentially consistent atomics).
 		slot.Store(h)
 		s.fastPublishedN.Add(1)
 		return
 	}
-	seq := (h.word.Load() >> wordSeqShift) & wordSeqMask
-	h.word.Store(m.recomputeWord(h, (seq+1)&wordSeqMask))
+	// The settle seq is the low 11 bits of the 64-bit epoch, bumped iff the
+	// settled word is not S-token-admissible (fenced or nIX > 0). Every
+	// grant of a mode incompatible with a token — IX, SIX, U, X — settles
+	// to exactly such a word, so no invalidation is ever missed; settles
+	// between two open S/IS-only words are compatible count changes
+	// (S/IS releases, latched S/IS grants, no-op posts) and must NOT bump,
+	// or every commit-release of a real S lock would spuriously kill all
+	// outstanding tokens on the header. Bump-then-store keeps the
+	// word-seq ≡ epoch&mask identity CheckInvariants enforces: seq and
+	// epoch move in lockstep, both or neither.
+	nw := m.recomputeWord(h, 0)
+	var e uint64
+	if nw&wordFence != 0 || (nw>>wordNIXShift)&wordCntMask != 0 {
+		e = h.epoch.Add(1)
+	} else {
+		e = h.epoch.Load()
+	}
+	h.word.Store(nw | (e&wordSeqMask)<<wordSeqShift)
 }
 
 // recomputeWord builds the grant word for h's current latched state: the
@@ -491,6 +507,16 @@ func (m *Manager) fastAcquireGated(o *Owner, name Name, mode Mode, weight int, h
 	// granted-group fields against other fast ops; latched sections spin
 	// in sealFast until the Store below). Finish the grant under
 	// lk + o.mu, then release lk by storing the unlocked word.
+	if mode == ModeIX {
+		// An IX arrival invalidates optimistic S readers but bypasses the
+		// seal/settle protocol, so it must bump the reader epoch itself —
+		// and mirror the bump into the word's seq bits to keep the
+		// word-seq ≡ epoch&mask identity. S/IS admissions skip this: they
+		// cannot invalidate any optimistic reader (see optimistic.go's
+		// writer-obligations table).
+		e := h.epoch.Add(1)
+		nw = nw&^(wordSeqMask<<wordSeqShift) | (e&wordSeqMask)<<wordSeqShift
+	}
 	o.markTouched(si)
 	box, _ := m.fastBoxPool.Get().(*requestAndPending)
 	if box == nil {

@@ -191,6 +191,16 @@ func (m *Manager) checkInvariantsLocked() error {
 				if want := m.recomputeWord(h, seq); w != want {
 					return fmt.Errorf("lockmgr: %v grant word %#x disagrees with chain state %#x", name, w, want)
 				}
+				// Optimistic epoch cross-check: the word's 11-bit settle
+				// seq is defined as the low bits of the 64-bit reader
+				// epoch. Every latched settle and every fast IX admission
+				// bumps both together; with the world stopped they must
+				// coincide, or a wrapped seq could ABA an optimistic
+				// reader past a missed invalidation.
+				if e := h.epoch.Load(); e&wordSeqMask != seq {
+					return fmt.Errorf("lockmgr: %v settle seq %d desynced from epoch %d (low bits %d)",
+						name, seq, e, e&wordSeqMask)
+				}
 			} else if w != 0 {
 				return fmt.Errorf("lockmgr: %v unpublished header carries grant word %#x", name, w)
 			}

@@ -770,6 +770,17 @@ type lockHeader struct {
 	// across transactions.
 	word      atomic.Uint64
 	published bool
+
+	// epoch is the 64-bit extension of the word's 11-bit settle seq: it is
+	// bumped by every latched settle and by every fast-path admission of a
+	// reader-invalidating mode (IX), and the word's seq field always equals
+	// its low 11 bits (CheckInvariants enforces the identity). Optimistic
+	// zero-CAS readers stamp their tokens with it and validate it unchanged
+	// at release, so a seq wraparound (>2048 transitions inside one read
+	// window) can never ABA a reader into a false validation — the 64-bit
+	// epoch still differs even when the packed word is bit-identical. See
+	// optimistic.go.
+	epoch atomic.Uint64
 }
 
 // addGranted records r as a holder. Caller guarantees r's owner is not
@@ -1038,6 +1049,15 @@ type Manager struct {
 	fastHits      *metrics.ShardCounters
 	fastFallbacks *metrics.ShardCounters
 
+	// optHits counts zero-CAS optimistic read tokens issued; optFailures
+	// counts tokens that failed validation at release/commit (see
+	// optimistic.go). Together with fastHits/fastFallbacks these partition
+	// the read traffic: optHits + fastHits + fastFallbacks covers every
+	// admission attempt, and optFailures / optHits is the invalidation
+	// rate the workbench reports.
+	optHits     *metrics.ShardCounters
+	optFailures *metrics.ShardCounters
+
 	// fastBoxPool recycles request+Pending boxes for the latch-free grant
 	// path, which cannot pop the shard's latched rfree cache. Boxes enter
 	// zeroed (same contract as pushBox: recyclable, never queued, no
@@ -1117,6 +1137,8 @@ func New(cfg Config) *Manager {
 		latchAcqs:     metrics.NewShardCounters("lock table latch acquisitions", ns),
 		fastHits:      metrics.NewShardCounters("fast-path grants", ns),
 		fastFallbacks: metrics.NewShardCounters("fast-path fallbacks", ns),
+		optHits:       metrics.NewShardCounters("optimistic read tokens", ns),
+		optFailures:   metrics.NewShardCounters("optimistic validation failures", ns),
 	}
 	stripes := ns
 	if stripes > 64 {
@@ -2479,11 +2501,17 @@ func (m *Manager) releaseShardBatch(s *shard, si int, o *Owner, b *releaseBatch,
 			// pre-release granted group (and r — a granted holder of such a
 			// header — is a non-converting IS/S/IX grant represented in
 			// them): settle the removal with O(1) word arithmetic instead
-			// of an O(holders) chain recompute, bumping seq as every
-			// settle does.
+			// of an O(holders) chain recompute. Releasing a compatible
+			// holder is never an invalidating transition, so the epoch
+			// (and with it the word seq — wordSub preserves the seq
+			// bits) bumps only when the settled word still carries IX
+			// weight and thus is not S-token-admissible; an S/IS-only
+			// settle leaves outstanding optimistic tokens standing.
 			nw := wordSub(w&^wordFence, r.mode)
-			seq := (nw >> wordSeqShift) & wordSeqMask
-			nw = nw&^(wordSeqMask<<wordSeqShift) | ((seq+1)&wordSeqMask)<<wordSeqShift
+			if (nw>>wordNIXShift)&wordCntMask != 0 {
+				e := h.epoch.Add(1)
+				nw = nw&^(wordSeqMask<<wordSeqShift) | (e&wordSeqMask)<<wordSeqShift
+			}
 			h.groupMode = Mode((nw >> wordGMShift) & wordGMMask)
 			h.word.Store(nw)
 			continue

@@ -134,6 +134,11 @@ func Run(cfg Config) *Result {
 	globalRuns := set.Series("global latch runs", "count")
 	fastHits := set.Series("fast-path hits", "count")
 	fastFallbacks := set.Series("fast-path fallbacks", "count")
+	// Optimistic token counts advance deterministically under the sim's
+	// single-goroutine tick loop (token issue and validation are pure
+	// functions of lock-table state), so neither series is volatile.
+	optHits := set.Series("optimistic hits", "count")
+	optFailures := set.Series("optimistic failures", "count")
 	globalStall := set.Series("global stall", "µs")
 	// Lock-wait quantiles come from the engine-clock histogram, so they are
 	// deterministic; admission latency is sampled wall clock → volatile.
@@ -219,6 +224,8 @@ func Run(cfg Config) *Result {
 			globalRuns.Record(now, float64(snap.LockGlobalRuns))
 			fastHits.Record(now, float64(snap.LockFastPathHits))
 			fastFallbacks.Record(now, float64(snap.LockFastPathFallbacks))
+			optHits.Record(now, float64(snap.LockOptimisticHits))
+			optFailures.Record(now, float64(snap.LockOptimisticFailures))
 			globalStall.Record(now, float64(snap.LockGlobalHoldMax)/1e3)
 			ws := cfg.DB.Locks().WaitHist().Snapshot()
 			waitP95.Record(now, ws.Quantile(0.95)/1e6)

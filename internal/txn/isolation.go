@@ -26,6 +26,14 @@ const (
 	// UncommittedRead (UR) reads without row locks at all — only the
 	// table intent lock is taken.
 	UncommittedRead
+	// ReadOnly (RO) admits no writes and takes no locks on the happy
+	// path: reads acquire zero-CAS optimistic tokens (epoch-stamped
+	// seqlock reads on the published grant word) that are validated at
+	// commit. A read whose token cannot be issued falls back to a real S
+	// lock held to commit; a validation failure at commit aborts the
+	// transaction with ErrReadInvalidated, and RunReadOnly packages the
+	// bounded-backoff retry loop around that.
+	ReadOnly
 )
 
 func (i Isolation) String() string {
@@ -38,6 +46,8 @@ func (i Isolation) String() string {
 		return "CS"
 	case UncommittedRead:
 		return "UR"
+	case ReadOnly:
+		return "RO"
 	default:
 		return fmt.Sprintf("Isolation(%d)", uint8(i))
 	}
@@ -51,6 +61,9 @@ func (t *Txn) SetIsolation(iso Isolation) error {
 	}
 	if t.rowsLocked > 0 {
 		return fmt.Errorf("txn: isolation change after %d row locks", t.rowsLocked)
+	}
+	if len(t.tokens) > 0 {
+		return fmt.Errorf("txn: isolation change after %d optimistic reads", len(t.tokens))
 	}
 	t.isolation = iso
 	return nil

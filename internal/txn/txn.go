@@ -83,6 +83,13 @@ type Txn struct {
 	isolation Isolation
 	cursor    *lockmgr.Name // CS: the currently locked cursor position
 
+	// RO: optimistic read tokens awaiting commit validation, plus a
+	// one-entry cache of the table whose IS token is already stamped
+	// (scans revisit one table; a map would be overkill).
+	tokens     []lockmgr.OptToken
+	tokTable   uint32
+	tokTableOK bool
+
 	rowsLocked int64
 }
 
@@ -117,8 +124,17 @@ func (t *Txn) finish(to State, committed bool) {
 	}
 }
 
-// Commit ends the transaction, releasing all locks. Idempotent.
-func (t *Txn) Commit() { t.finish(StateCommitted, true) }
+// Commit ends the transaction, releasing all locks. Idempotent. A
+// ReadOnly transaction validates its optimistic read tokens here and
+// silently aborts when one fails — callers that need the verdict use
+// CommitValidated (or RunReadOnly, which retries).
+func (t *Txn) Commit() {
+	if len(t.tokens) > 0 && t.state == StateActive && !t.validateTokens() {
+		t.finish(StateAborted, false)
+		return
+	}
+	t.finish(StateCommitted, true)
+}
 
 // Abort rolls the transaction back, releasing all locks. Idempotent.
 func (t *Txn) Abort() { t.finish(StateAborted, false) }
@@ -127,6 +143,15 @@ func (t *Txn) Abort() { t.finish(StateAborted, false) }
 func (t *Txn) LockTable(ctx context.Context, table storage.TableID, mode lockmgr.Mode) error {
 	if t.state != StateActive {
 		return ErrNotActive
+	}
+	if t.isolation == ReadOnly {
+		if mode != lockmgr.ModeS && mode != lockmgr.ModeIS {
+			return ErrReadOnlyWrite
+		}
+		if tok, ok := t.mgr.locks.TryOptimisticRead(lockmgr.TableName(uint32(table)), mode); ok {
+			t.tokens = append(t.tokens, tok)
+			return nil
+		}
 	}
 	return t.mgr.locks.Acquire(ctx, t.owner, lockmgr.TableName(uint32(table)), mode, 1)
 }
@@ -137,6 +162,18 @@ func (t *Txn) LockTable(ctx context.Context, table storage.TableID, mode lockmgr
 func (t *Txn) LockRow(ctx context.Context, table storage.TableID, row uint64, mode lockmgr.Mode) error {
 	if t.state != StateActive {
 		return ErrNotActive
+	}
+	if t.isolation == ReadOnly {
+		if mode != lockmgr.ModeS {
+			return ErrReadOnlyWrite
+		}
+		if tt, rt, ok := t.readOptimisticRow(table, row); ok {
+			t.noteTokens(table, tt, rt)
+			return nil
+		}
+		// Token miss (unpublished header, conflicting holder, fence):
+		// fall through to the locking tiers below; the real S lock is
+		// held to commit and cannot be invalidated.
 	}
 	intent := lockmgr.IntentFor(mode)
 	if err := t.mgr.locks.Acquire(ctx, t.owner, lockmgr.TableName(uint32(table)), intent, 1); err != nil {
@@ -188,6 +225,19 @@ func (t *Txn) AcquireRow(table storage.TableID, row uint64, mode lockmgr.Mode, w
 	if t.state != StateActive {
 		op.state, op.err = OpDenied, ErrNotActive
 		return op
+	}
+	if t.isolation == ReadOnly {
+		if mode != lockmgr.ModeS {
+			op.state, op.err = OpDenied, ErrReadOnlyWrite
+			return op
+		}
+		if tt, rt, ok := t.readOptimisticRow(table, row); ok {
+			// Zero-CAS hit: the op completes instantly with no Pending at
+			// all — nothing was acquired, so there is nothing to poll.
+			t.noteTokens(table, tt, rt)
+			op.state = OpGranted
+			return op
+		}
 	}
 	if mode == lockmgr.ModeS && !t.applyIsolationBeforeRead(table, row) {
 		op.rowOp = false // UR: the intent lock is the whole operation
@@ -255,6 +305,18 @@ func (t *Txn) LockRange(ctx context.Context, table storage.TableID, row uint64, 
 	}
 	if rows < 1 {
 		return fmt.Errorf("txn: invalid range weight %d", rows)
+	}
+	if t.isolation == ReadOnly {
+		if mode != lockmgr.ModeS {
+			return ErrReadOnlyWrite
+		}
+		// A token carries no weight — it consumes no lock structures —
+		// so a range read is the same single-header seqlock read as a row
+		// read.
+		if tt, rt, ok := t.readOptimisticRow(table, row); ok {
+			t.noteTokens(table, tt, rt)
+			return nil
+		}
 	}
 	intent := lockmgr.IntentFor(mode)
 	if err := t.mgr.locks.Acquire(ctx, t.owner, lockmgr.TableName(uint32(table)), intent, 1); err != nil {

@@ -450,3 +450,238 @@ func (d *DSS) complete(commit bool) {
 	_ = d.conn.Close()
 	d.doneFlag = true
 }
+
+// DSSScanProfile parameterizes the scan-heavy decision-support shape: a
+// fleet of repeating reporting scans that are ≥99% S. Each transaction
+// scans the shared hot set (the rows every concurrent scan revisits — the
+// headers the zero-CAS optimistic tier publishes and serves), and every
+// ColdEvery-th transaction instead walks a chunk of the large cold key
+// range. A small WriteFrac of transactions are single-row updates, which
+// is what generates optimistic invalidations.
+type DSSScanProfile struct {
+	// Table is the fact table scanned.
+	Table *storage.Table
+	// HotRows is the shared hot set revisited by every scan.
+	HotRows uint64
+	// ScanRows is the number of rows a hot-set scan reads.
+	ScanRows int
+	// ColdEvery makes every ColdEvery-th transaction a cold-range scan
+	// (0 disables cold scans).
+	ColdEvery int
+	// ColdRows is the number of rows a cold scan reads, spread over the
+	// whole table beyond the hot set.
+	ColdRows int
+	// WriteFrac is the fraction of transactions that are single-row
+	// updates (X on one hot row). ≤ 0.01 keeps the mix ≥99% S.
+	WriteFrac float64
+	// RowsPerTick is the scan's locking rate.
+	RowsPerTick int
+	// ThinkTicks is the idle time between transactions.
+	ThinkTicks int
+	// HoldTicks holds the read set before commit (aggregation phase).
+	HoldTicks int
+	// ReadOnly runs the scans as readonly transactions: reads acquire
+	// zero-CAS optimistic tokens validated at commit, retrying on
+	// invalidation (writes still run as ordinary RR transactions).
+	ReadOnly bool
+}
+
+// DefaultDSSScanProfile returns the bench/workbench shape: 99.5% S over a
+// large key range with every scan revisiting a 256-row hot set, a cold
+// chunk walk every 8th transaction, and 0.5% single-row updates.
+func DefaultDSSScanProfile(cat *storage.Catalog) DSSScanProfile {
+	return DSSScanProfile{
+		Table:       cat.ByName("lineitem"),
+		HotRows:     256,
+		ScanRows:    48,
+		ColdEvery:   8,
+		ColdRows:    32,
+		WriteFrac:   0.005,
+		RowsPerTick: 48,
+		ThinkTicks:  1,
+		HoldTicks:   1,
+	}
+}
+
+// DSSScan is one repeating scan client.
+type DSSScan struct {
+	db   *engine.Database
+	prof DSSScanProfile
+	rng  *rand.Rand
+
+	conn   *engine.Conn
+	tx     *txn.Txn
+	op     *txn.Op
+	state  clientState
+	active bool
+
+	writing   bool
+	cold      bool
+	txCount   int64
+	rowsLeft  int
+	scanBase  uint64
+	scanNext  int
+	thinkLeft int
+	holdLeft  int
+
+	commits     int64
+	aborts      int64
+	invalidated int64
+	denials     int64
+}
+
+// NewDSSScan creates a repeating scan client with a deterministic seed.
+func NewDSSScan(db *engine.Database, prof DSSScanProfile, seed int64) *DSSScan {
+	return &DSSScan{db: db, prof: prof, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetActive marks the client as (in)active (drains like OLTP).
+func (c *DSSScan) SetActive(active bool) { c.active = active }
+
+// Active reports whether the client still occupies the system.
+func (c *DSSScan) Active() bool { return c.active || c.state != stateDisconnected }
+
+// Commits returns the client's committed transaction count.
+func (c *DSSScan) Commits() int64 { return c.commits }
+
+// Aborts returns the client's aborted transaction count.
+func (c *DSSScan) Aborts() int64 { return c.aborts }
+
+// Invalidated returns how many readonly commits failed optimistic
+// validation (each is retried as a fresh transaction).
+func (c *DSSScan) Invalidated() int64 { return c.invalidated }
+
+// Step advances the client by one tick.
+func (c *DSSScan) Step() {
+	switch c.state {
+	case stateDisconnected:
+		if !c.active {
+			return
+		}
+		c.conn = c.db.Connect()
+		c.state = stateThinking
+		c.thinkLeft = c.rng.Intn(c.prof.ThinkTicks + 1)
+	case stateThinking:
+		if !c.active {
+			if c.conn != nil {
+				_ = c.conn.Close()
+				c.conn = nil
+			}
+			c.state = stateDisconnected
+			return
+		}
+		c.thinkLeft--
+		if c.thinkLeft <= 0 {
+			c.begin()
+		}
+	case stateAcquiring:
+		c.acquire()
+	case stateHolding:
+		c.holdLeft--
+		if c.holdLeft <= 0 {
+			c.finish(true)
+		}
+	}
+}
+
+func (c *DSSScan) begin() {
+	c.txCount++
+	c.writing = c.rng.Float64() < c.prof.WriteFrac
+	c.cold = !c.writing && c.prof.ColdEvery > 0 && c.txCount%int64(c.prof.ColdEvery) == 0
+	c.tx = c.conn.Begin()
+	switch {
+	case c.writing:
+		c.rowsLeft = 1
+	case c.cold:
+		c.rowsLeft = c.prof.ColdRows
+		c.scanBase = c.prof.HotRows + c.rng.Uint64()%maxu64(c.prof.Table.Rows-c.prof.HotRows, 1)
+	default:
+		c.rowsLeft = c.prof.ScanRows
+		c.scanBase = c.rng.Uint64() % maxu64(c.prof.HotRows, 1)
+		if c.prof.ReadOnly {
+			_ = c.tx.SetIsolation(txn.ReadOnly)
+		}
+	}
+	c.scanNext = 0
+	c.state = stateAcquiring
+	c.op = nil
+	c.acquire()
+}
+
+func (c *DSSScan) acquire() {
+	budget := c.prof.RowsPerTick
+	for budget > 0 {
+		if c.op != nil {
+			switch c.op.Poll() {
+			case txn.OpWaiting:
+				return
+			case txn.OpDenied:
+				c.denials++
+				c.finish(false)
+				return
+			}
+			c.op = nil
+			c.rowsLeft--
+			budget--
+			continue
+		}
+		if c.rowsLeft <= 0 {
+			c.holdLeft = c.prof.HoldTicks
+			c.state = stateHolding
+			return
+		}
+		var row uint64
+		mode := lockmgr.ModeS
+		switch {
+		case c.writing:
+			mode = lockmgr.ModeX
+			row = c.rng.Uint64() % maxu64(c.prof.HotRows, 1)
+		case c.cold:
+			row = (c.scanBase + uint64(c.scanNext)) % c.prof.Table.Rows
+		default:
+			row = (c.scanBase + uint64(c.scanNext)) % maxu64(c.prof.HotRows, 1)
+		}
+		c.scanNext++
+		c.db.TouchRow(c.prof.Table, row)
+		c.op = c.tx.AcquireRow(c.prof.Table.ID, row, mode, 1)
+	}
+}
+
+func (c *DSSScan) finish(commit bool) {
+	if commit {
+		if err := c.tx.CommitValidated(); err != nil {
+			// Optimistic invalidation: the whole scan retries as a fresh
+			// transaction after the think-time backoff below (the
+			// client-level arm of the bounded retry loop).
+			c.invalidated++
+			c.aborts++
+			commit = false
+		} else {
+			c.commits++
+		}
+	} else {
+		c.tx.Abort()
+		c.aborts++
+	}
+	c.tx, c.op = nil, nil
+	c.state = stateThinking
+	think := c.prof.ThinkTicks
+	if !commit {
+		think += 1 // bounded backoff before the retry
+	}
+	c.thinkLeft = think
+	if !c.active {
+		if c.conn != nil {
+			_ = c.conn.Close()
+			c.conn = nil
+		}
+		c.state = stateDisconnected
+	}
+}
+
+func maxu64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
