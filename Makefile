@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-commit bench-read bench-diff smoke-read obs-demo verify fmt vet
+.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-commit bench-read bench-diff smoke-read smoke-commit obs-demo verify fmt vet
 
 all: build
 
@@ -46,11 +46,14 @@ bench-obs:
 		$(GO) test -run xxx -bench BenchmarkObsOverhead -benchtime 1s .
 
 # bench-commit measures the transaction commit path: short transactions
-# (2/8/64 locks, disjoint and hot-key) acquired and then released via
-# ReleaseAll, reporting commits/sec and shard-latch acquisitions per
-# commit. BENCH_COMMIT_BASELINE.json holds the full-sweep release path
-# (3×shards latches per commit); BENCH_COMMIT_RELEASEPATH.json holds the
-# touched-shard walk (O(shards touched)).
+# (2/8/64 locks, disjoint and hot-key, plus the commitstorm shape — 2
+# locks confined to 4 hot shards at 1/16/64 goroutines) acquired and then
+# released via ReleaseAll, reporting commits/sec and shard-latch
+# acquisitions per commit. BENCH_COMMIT_BASELINE.json holds the
+# full-sweep release path (3×shards latches per commit);
+# BENCH_COMMIT_RELEASEPATH.json the touched-shard walk (O(shards
+# touched)); BENCH_COMMIT_GROUPRELEASE.json the group-release path
+# (staged batches + flush leaders on storming shards).
 bench-commit:
 	BENCH_JSON=$${BENCH_JSON:-BENCH_COMMIT.json} \
 		$(GO) test -run xxx -bench BenchmarkCommitThroughput -benchtime 1s .
@@ -80,6 +83,16 @@ smoke-read:
 	$(GO) test -run xxx -bench 'BenchmarkLockScalability/(readmostly|dss)' \
 		-benchtime 1x -short .
 
+# smoke-commit runs the workbench commitstorm workload — short X
+# transactions confined to a few hot shards, with a shared row set that
+# generates genuine FIFO waits — and fails unless the group-release path
+# actually coalesced grant wakeups (-min-coalesced turns the counter into
+# an exit status).
+smoke-commit:
+	$(GO) run ./cmd/workbench -workload commitstorm -clients 64 -ticks 200 \
+		-chart=false -events 0 -min-coalesced 1 >/dev/null
+	@echo "smoke-commit: wakeups coalesced OK"
+
 # obs-demo runs the workbench surge workload with the HTTP surface up and
 # curls it mid-run: /metrics must serve lock-wait histogram buckets and
 # per-shard latch-wait counters; /debug/tuner must serve decision records.
@@ -97,8 +110,9 @@ obs-demo: build
 
 # verify is the tier-1 gate (see ROADMAP.md): formatting, vet, build, the
 # full test suite, the race-detector pass over the concurrency-sensitive
-# packages, and a one-iteration smoke run of the read-path benches.
-verify: fmt vet build test race smoke-read
+# packages, and one-iteration smoke runs of the read-path benches and the
+# group-release commit path.
+verify: fmt vet build test race smoke-read smoke-commit
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

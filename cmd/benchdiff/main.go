@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -104,18 +105,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
 		os.Exit(2)
 	}
-	oldRecs, oldOrder, err := load(os.Args[1])
-	if err != nil {
+	if err := run(os.Stdout, os.Args[1], os.Args[2]); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
 	}
-	newRecs, newOrder, err := load(os.Args[2])
+}
+
+// run diffs the two trajectory files into w: paired keys get a delta row,
+// and keys present in only one file get an explicit one-sided row rather
+// than being dropped — a shape that silently vanished from the comparison
+// is exactly the regression signal a diff must not hide.
+func run(w io.Writer, oldPath, newPath string) error {
+	oldRecs, oldOrder, err := load(oldPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(1)
+		return err
+	}
+	newRecs, newOrder, err := load(newPath)
+	if err != nil {
+		return err
 	}
 
-	fmt.Printf("%-50s %12s %12s %8s  %s\n", "shape", "old", "new", "delta", "notes")
+	fmt.Fprintf(w, "%-50s %12s %12s %8s  %s\n", "shape", "old", "new", "delta", "notes")
 	var onlyOld, onlyNew []string
 	for _, k := range oldOrder {
 		o := oldRecs[k]
@@ -136,7 +146,7 @@ func main() {
 		} else if total := n.FastHits + n.FastFallbacks; total > 0 {
 			notes += fmt.Sprintf("  fast-hit %s", pct(float64(n.FastHits)/float64(total)))
 		}
-		fmt.Printf("%-50s %12s %12s %8s  %s\n", k, human(or), human(nr), delta, notes)
+		fmt.Fprintf(w, "%-50s %12s %12s %8s  %s\n", k, human(or), human(nr), delta, notes)
 	}
 	for _, k := range newOrder {
 		if _, ok := oldRecs[k]; !ok {
@@ -148,15 +158,16 @@ func main() {
 	for _, k := range onlyOld {
 		r := oldRecs[k]
 		v, unit := r.rate()
-		fmt.Printf("%-50s %12s %12s %8s  only in %s (%s)\n", k, human(v), "-", "", os.Args[1], unit)
+		fmt.Fprintf(w, "%-50s %12s %12s %8s  only in %s (%s)\n", k, human(v), "-", "", oldPath, unit)
 	}
 	for _, k := range onlyNew {
 		r := newRecs[k]
 		v, unit := r.rate()
-		notes := fmt.Sprintf("only in %s (%s)", os.Args[2], unit)
+		notes := fmt.Sprintf("only in %s (%s)", newPath, unit)
 		if r.OptHits > 0 {
 			notes += fmt.Sprintf("  opt-hit %s fail %s", pct(r.OptHitRate), pct(r.OptFailRate))
 		}
-		fmt.Printf("%-50s %12s %12s %8s  %s\n", k, "-", human(v), "", notes)
+		fmt.Fprintf(w, "%-50s %12s %12s %8s  %s\n", k, "-", human(v), "", notes)
 	}
+	return nil
 }

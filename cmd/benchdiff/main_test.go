@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunOneSidedRows: keys absent from one file must appear as explicit
+// one-sided rows — a shape that vanished between trajectory files is a
+// regression signal the diff must not drop.
+func TestRunOneSidedRows(t *testing.T) {
+	oldPath := writeFile(t, "old.json", strings.Join([]string{
+		`{"bench":"CommitThroughput","workload":"disjoint","locks":2,"goroutines":16,"commits_per_sec":1000000}`,
+		`{"bench":"CommitThroughput","workload":"hotkey","locks":8,"goroutines":4,"commits_per_sec":500000}`,
+	}, "\n")+"\n")
+	newPath := writeFile(t, "new.json", strings.Join([]string{
+		`{"bench":"CommitThroughput","workload":"disjoint","locks":2,"goroutines":16,"commits_per_sec":1300000}`,
+		`{"bench":"CommitThroughput","workload":"commitstorm","locks":2,"goroutines":64,"commits_per_sec":900000}`,
+	}, "\n")+"\n")
+
+	var out strings.Builder
+	if err := run(&out, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+
+	pairedKey := "CommitThroughput/disjoint/locks=2/g=16"
+	oldOnlyKey := "CommitThroughput/hotkey/locks=8/g=4"
+	newOnlyKey := "CommitThroughput/commitstorm/locks=2/g=64"
+
+	var paired, oldOnly, newOnly bool
+	for _, line := range strings.Split(got, "\n") {
+		switch {
+		case strings.HasPrefix(line, pairedKey):
+			paired = true
+			if !strings.Contains(line, "+30.0%") {
+				t.Errorf("paired row missing delta: %q", line)
+			}
+			if strings.Contains(line, "only in") {
+				t.Errorf("paired row marked one-sided: %q", line)
+			}
+		case strings.HasPrefix(line, oldOnlyKey):
+			oldOnly = true
+			if !strings.Contains(line, "only in "+oldPath) {
+				t.Errorf("old-only row not attributed to %s: %q", oldPath, line)
+			}
+		case strings.HasPrefix(line, newOnlyKey):
+			newOnly = true
+			if !strings.Contains(line, "only in "+newPath) {
+				t.Errorf("new-only row not attributed to %s: %q", newPath, line)
+			}
+		}
+	}
+	if !paired {
+		t.Errorf("paired key %s missing from output:\n%s", pairedKey, got)
+	}
+	if !oldOnly {
+		t.Errorf("old-only key %s missing from output:\n%s", oldOnlyKey, got)
+	}
+	if !newOnly {
+		t.Errorf("new-only key %s missing from output:\n%s", newOnlyKey, got)
+	}
+}
+
+// TestRunLastRecordWins: several rows for one key (go-bench b.N ramps)
+// collapse to the final, warmest measurement.
+func TestRunLastRecordWins(t *testing.T) {
+	oldPath := writeFile(t, "old.json",
+		`{"bench":"B","workload":"w","locks":1,"goroutines":1,"commits_per_sec":100}`+"\n")
+	newPath := writeFile(t, "new.json", strings.Join([]string{
+		`{"bench":"B","workload":"w","locks":1,"goroutines":1,"commits_per_sec":1}`,
+		`{"bench":"B","workload":"w","locks":1,"goroutines":1,"commits_per_sec":200}`,
+	}, "\n")+"\n")
+
+	var out strings.Builder
+	if err := run(&out, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "+100.0%") {
+		t.Errorf("want delta from last record (+100.0%%), got:\n%s", out.String())
+	}
+}

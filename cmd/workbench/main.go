@@ -51,7 +51,9 @@ func main() {
 		rows      = flag.Int("rows", 65, "average row locks per transaction")
 		writes    = flag.Float64("writes", 0.3, "fraction of X-mode row locks")
 		workloadF = flag.String("workload", "oltp",
-			"workload shape: oltp | readmostly (90% S/IS on a shared hot set, 10% X — the latch-free admission regime) | dss (≥99% S reporting scans over a shared hot set — the zero-CAS optimistic regime)")
+			"workload shape: oltp | readmostly (90% S/IS on a shared hot set, 10% X — the latch-free admission regime) | dss (≥99% S reporting scans over a shared hot set — the zero-CAS optimistic regime) | commitstorm (short X transactions confined to a few hot shards — the group-release regime)")
+		minCoalesced = flag.Int64("min-coalesced", -1,
+			"exit 1 unless the run coalesced at least this many grant wakeups (-1 disables; smoke-test hook)")
 		readonly = flag.Bool("readonly", false,
 			"run dss scans as readonly transactions (optimistic tokens validated at commit; dss workload only)")
 		chart    = flag.Bool("chart", true, "render ASCII charts")
@@ -132,8 +134,14 @@ func main() {
 		// The zero-CAS optimistic regime: repeating reporting scans, ≥99%
 		// S, every scan revisiting a shared hot set whose headers publish
 		// into the fast-slot array and then serve optimistic read tokens.
+	case "commitstorm":
+		// The group-release regime: every client runs short X transactions
+		// whose rows are confined to a few hot shards, so concurrent
+		// commits collide on the same shard latches and coalesce through
+		// the staged release path; a shared hot set hit every 8th
+		// transaction generates FIFO waits — and coalesced wakeups.
 	default:
-		fmt.Fprintf(os.Stderr, "workbench: unknown -workload %q (want oltp, readmostly or dss)\n", *workloadF)
+		fmt.Fprintf(os.Stderr, "workbench: unknown -workload %q (want oltp, readmostly, dss or commitstorm)\n", *workloadF)
 		os.Exit(2)
 	}
 
@@ -142,10 +150,17 @@ func main() {
 		maxClients = *surgeTo
 	}
 	pool := make([]sim.Client, maxClients)
+	var stormPlan *workload.CommitStormPlan
+	if *workloadF == "commitstorm" {
+		stormPlan = workload.PlanCommitStorm(db, workload.DefaultCommitStormProfile(db.Catalog()), maxClients)
+	}
 	for i := range pool {
-		if *workloadF == "dss" {
+		switch *workloadF {
+		case "dss":
 			pool[i] = workload.NewDSSScan(db, dssProf, int64(i+1))
-		} else {
+		case "commitstorm":
+			pool[i] = workload.NewCommitStorm(db, stormPlan, i, int64(i+1))
+		default:
 			pool[i] = workload.NewOLTP(db, prof, int64(i+1))
 		}
 	}
@@ -182,6 +197,10 @@ func main() {
 		fmt.Printf("optimistic reads  %d tokens (%.1f%% hit rate), %d validation failures (%.2f%%)\n",
 			snap.LockOptimisticHits, 100*float64(snap.LockOptimisticHits)/float64(attempts),
 			snap.LockOptimisticFailures, 100*float64(snap.LockOptimisticFailures)/float64(snap.LockOptimisticHits))
+	}
+	if snap.LockReleaseBatches > 0 {
+		fmt.Printf("group release     %d batches, %d wakeups coalesced, %d visits staged for a leader\n",
+			snap.LockReleaseBatches, snap.LockWakeupsCoalesced, snap.LockFlushFollowerWaits)
 	}
 	fmt.Printf("MAXLOCKS quota    %.1f%%\n", snap.QuotaPercent)
 	if ws := db.Locks().WaitHist().Snapshot(); ws.Total > 0 {
@@ -222,5 +241,11 @@ func main() {
 	if *httpAddr != "" && *serveFor > 0 {
 		fmt.Fprintf(os.Stderr, "workbench: run finished; serving for another %s\n", *serveFor)
 		time.Sleep(*serveFor)
+	}
+
+	if *minCoalesced >= 0 && snap.LockWakeupsCoalesced < *minCoalesced {
+		fmt.Fprintf(os.Stderr, "workbench: coalesced %d grant wakeups, want >= %d\n",
+			snap.LockWakeupsCoalesced, *minCoalesced)
+		os.Exit(1)
 	}
 }

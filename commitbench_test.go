@@ -110,7 +110,16 @@ func reportCommit(b *testing.B, workload string, locks, goroutines int, commits 
 var (
 	commitGoroutines = []int{1, 4, 16}
 	commitTxSizes    = []int{2, 8, 64}
+
+	// commitstorm runs many more committers than it has hot shards — the
+	// group-release regime, where concurrently committing owners pile onto
+	// the same few shard latches.
+	stormGoroutines = []int{1, 16, 64}
 )
+
+// stormHotShards is the number of distinct shards the commitstorm workload
+// confines its rows to (K ≪ shards: the default shard count is ≥ 8).
+const stormHotShards = 4
 
 // BenchmarkCommitThroughput runs short transactions (NewOwner, L row
 // locks, ReleaseAll) with the DEFAULT shard count — the configuration the
@@ -133,6 +142,99 @@ func BenchmarkCommitThroughput(b *testing.B) {
 			})
 		}
 	}
+	for _, g := range stormGoroutines {
+		g := g
+		b.Run(fmt.Sprintf("commitstorm/locks=2/goroutines=%d", g), func(b *testing.B) {
+			benchCommitStorm(b, 2, g)
+		})
+	}
+}
+
+// stormRows builds, per goroutine, a disjoint row list confined to
+// stormHotShards distinct shards: rows[gi][k] holds rowsPer rows of hot
+// shard k for goroutine gi. Row hashing is deterministic, so every run (and
+// both sides of a before/after comparison) storms the same shards.
+func stormRows(m *lockmgr.Manager, table uint32, g, rowsPer int) [][][]uint64 {
+	need := g * rowsPer
+	var targets []int
+	byShard := make(map[int][]uint64, stormHotShards)
+	for row := uint64(0); ; row++ {
+		si := m.ShardOf(lockmgr.RowName(table, row))
+		if list, ok := byShard[si]; ok {
+			if len(list) < need {
+				byShard[si] = append(list, row)
+			}
+		} else if len(targets) < stormHotShards {
+			targets = append(targets, si)
+			byShard[si] = []uint64{row}
+		}
+		if len(targets) == stormHotShards {
+			done := true
+			for _, t := range targets {
+				if len(byShard[t]) < need {
+					done = false
+					break
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+	rows := make([][][]uint64, g)
+	for gi := 0; gi < g; gi++ {
+		rows[gi] = make([][]uint64, stormHotShards)
+		for k, t := range targets {
+			rows[gi][k] = byShard[t][gi*rowsPer : (gi+1)*rowsPer]
+		}
+	}
+	return rows
+}
+
+// benchCommitStorm is the many-owners/few-shards commit shape: every
+// transaction takes `locks` X row locks, each homed in a different one of
+// stormHotShards hot shards, then commits through FinishOwner. Rows are
+// disjoint across goroutines — no lock conflicts, so the measured cost is
+// purely the commit path's latch traffic on the shared hot shards.
+func benchCommitStorm(b *testing.B, locks, g int) {
+	m := lockmgr.New(lockmgr.Config{InitialPages: 32 * 256}) // default Shards
+	const rowsPer = 256
+	rows := stormRows(m, 1, g, rowsPer)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	perG := b.N/g + 1
+	start := make(chan struct{})
+	b.ResetTimer()
+	t0 := time.Now()
+	acq0 := latchAcqs(m)
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			app := m.RegisterApp()
+			mine := rows[id]
+			<-start
+			for n := 0; n < perG; n++ {
+				o := m.NewOwner(app)
+				for l := 0; l < locks; l++ {
+					shard := (n + l) % stormHotShards
+					row := mine[shard][(n*locks+l)%rowsPer]
+					if err := m.Acquire(ctx, o, lockmgr.RowName(1, row), lockmgr.ModeX, 1); err != nil {
+						b.Error(err)
+						m.FinishOwner(o)
+						return
+					}
+				}
+				m.FinishOwner(o)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	acqs := latchAcqs(m) - acq0
+	b.StopTimer()
+	reportCommit(b, "commitstorm", locks, g, int64(g*perG), elapsed, acqs)
 }
 
 func benchCommit(b *testing.B, workload string, locks, g int) {

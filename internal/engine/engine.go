@@ -492,6 +492,15 @@ type Snapshot struct {
 	// fast-path hits + fallbacks covers every admission attempt.
 	LockOptimisticHits     int64
 	LockOptimisticFailures int64
+	// LockReleaseBatches counts release batches applied by the group-release
+	// path (one per owner-visit, whether applied directly or drained by a
+	// flush leader). LockWakeupsCoalesced counts FIFO grant wakeups deferred
+	// out of a latched release section and fired in a post-walk pass.
+	// LockFlushFollowerWaits counts commit-side shard visits that staged
+	// their batch for a flush leader instead of latching the shard.
+	LockReleaseBatches     int64
+	LockWakeupsCoalesced   int64
+	LockFlushFollowerWaits int64
 	QuotaPercent           float64
 	Overflow               int
 	OverflowGoal           int
@@ -520,6 +529,9 @@ func (db *Database) Snapshot() Snapshot {
 		LockFastPathFallbacks:  db.locks.FastPathFallbacks(),
 		LockOptimisticHits:     db.locks.OptimisticHits(),
 		LockOptimisticFailures: db.locks.OptimisticFailures(),
+		LockReleaseBatches:     db.locks.ReleaseBatches(),
+		LockWakeupsCoalesced:   db.locks.WakeupsCoalesced(),
+		LockFlushFollowerWaits: db.locks.FlushFollowerWaits(),
 		Overflow:               mem.Overflow,
 		OverflowGoal:           mem.OverflowGoal,
 		BufferPoolPages:        mem.HeapPages["bufferpool"],

@@ -322,59 +322,133 @@ func (m *Manager) checkInvariantsLocked() error {
 		}
 	}
 
-	// Owner indexes agree with the lock table. ownersMu is a leaf lock,
-	// safe to take under the shard latches.
-	m.ownersMu.Lock()
-	owners := make([]*Owner, 0, m.nOwners)
-	for o := m.owners; o != nil; o = o.regNext {
-		owners = append(owners, o)
-	}
-	apps := make(map[int]*App, len(m.apps))
-	for id, a := range m.apps {
-		apps[id] = a
-	}
-	m.ownersMu.Unlock()
-	for _, o := range owners {
-		var heldErr error
-		o.held.each(func(name Name, req *request) {
-			h := m.shardFor(name).table[name]
-			if h == nil || h.getGranted(o) != req {
-				heldErr = fmt.Errorf("lockmgr: owner %d holds %v not present in table", o.id, name)
+	// Staged-but-unflushed group-release batches (grouprelease.go) are pure
+	// intent: every entry must still be fully resident — granted in its
+	// home shard's table, counted by the chain/quota/lease checks above —
+	// and its owner's teardown refcount must cover the batch. Staging is
+	// latch-free, so concurrent pushes can extend a list under the stopped
+	// world; drains cannot (they need the latch), which makes the snapshot
+	// walk and the ≥-style mirror checks stable.
+	stagedBatches := make(map[*Owner]int32)
+	stagedWeight := make(map[int]int64)
+	for i := range m.shards {
+		s := &m.shards[i]
+		staged := int32(0)
+		for sb := s.relHead.Load(); sb != nil; sb = sb.next {
+			staged++
+			o := sb.stagedOwner
+			if o == nil {
+				return fmt.Errorf("lockmgr: shard %d staged batch without owner", i)
 			}
-			if !o.isTouched(m.shardOf(name)) {
-				heldErr = fmt.Errorf("lockmgr: owner %d holds %v in shard %d without touched bit",
-					o.id, name, m.shardOf(name))
+			if sb.stagedShard != i {
+				return fmt.Errorf("lockmgr: shard %d staged batch homed to shard %d", i, sb.stagedShard)
 			}
-		})
-		if heldErr != nil {
-			return heldErr
-		}
-		// The latch-free inWait gauge must equal the owner's waiting-set
-		// population exactly while every latch is held: increments happen
-		// before a request joins a waiting set (under its shard latch) and
-		// decrements after it leaves, so with the whole table stopped the
-		// two counts coincide.
-		if got, want := o.inWait.Load(), int32(inWait[o]); got != want {
-			return fmt.Errorf("lockmgr: owner %d inWait gauge %d, waiting sets hold %d", o.id, got, want)
-		}
-		var tblErr error
-		o.eachTable(func(tid uint32, ot *ownerTable) bool {
-			structs := 0
-			ot.eachRow(func(row uint64, r *request) {
-				if hr, ok := o.held.get(RowName(tid, row)); !ok || hr != r {
-					tblErr = fmt.Errorf("lockmgr: owner %d byTable row %d desynced", o.id, row)
+			stagedBatches[o]++
+			for _, lst := range [2][]releaseEntry{sb.rows, sb.tables} {
+				for _, e := range lst {
+					if e.si != i {
+						return fmt.Errorf("lockmgr: staged entry %v routed to shard %d, staged on %d", e.name, e.si, i)
+					}
+					h := s.table[e.name]
+					if h == nil || h.getGranted(o) != e.req {
+						return fmt.Errorf("lockmgr: staged release of %v no longer granted in table", e.name)
+					}
+					if !e.req.granted {
+						return fmt.Errorf("lockmgr: staged release of %v lost its granted flag before the drain", e.name)
+					}
+					if e.req.fastLeased {
+						stagedWeight[o.app.id] += int64(e.req.weight)
+					} else {
+						stagedWeight[o.app.id] += int64(e.req.handle.Structs())
+					}
 				}
-				structs += r.weight
-			})
-			if tblErr == nil && structs != ot.rowStructs {
-				tblErr = fmt.Errorf("lockmgr: owner %d table %d rowStructs %d, want %d",
-					o.id, tid, ot.rowStructs, structs)
 			}
-			return tblErr == nil
-		})
-		if tblErr != nil {
-			return tblErr
 		}
+		if got := s.relLen.Load(); got < staged {
+			return fmt.Errorf("lockmgr: shard %d staging length mirror %d below %d staged batches", i, got, staged)
+		}
+	}
+	for o, n := range stagedBatches {
+		if got := o.stagedRefs.Load(); got < n {
+			return fmt.Errorf("lockmgr: owner %d staged refcount %d below %d staged batches", o.id, got, n)
+		}
+	}
+	// Staged weight is still charged weight: until a flush leader applies
+	// the batch, the quota gauges must keep carrying every staged struct.
+	for id, w := range stagedWeight {
+		if charged := int64(appStructs[id]); w > charged {
+			return fmt.Errorf("lockmgr: app %d staged-but-unflushed weight %d exceeds charged structs %d", id, w, charged)
+		}
+	}
+
+	// Owner indexes agree with the lock table. ownersMu is held across the
+	// whole pass, not just a list snapshot: a deregistered owner's
+	// teardown (dropStagedRef → resetForReuse, and pool reuse by NewOwner)
+	// wipes the indexes latch-free, and deregistration itself needs
+	// ownersMu — so pinning ownersMu keeps every visited owner alive and
+	// un-recycled for the duration. Lock order is shard latches → ownersMu
+	// → o.mu; both tails are leaves (no path takes ownersMu or a shard
+	// latch while holding o.mu, and none takes a latch under ownersMu).
+	apps := make(map[int]*App)
+	ownerErr := func() error {
+		m.ownersMu.Lock()
+		defer m.ownersMu.Unlock()
+		for id, a := range m.apps {
+			apps[id] = a
+		}
+		for o := m.owners; o != nil; o = o.regNext {
+			// o.mu excludes a commit mid-collect (collectDetach mutates
+			// the held indexes under o.mu alone); every other mutation is
+			// under a shard latch, excluded by the stopped world.
+			o.mu.Lock()
+			var heldErr error
+			o.held.each(func(name Name, req *request) {
+				h := m.shardFor(name).table[name]
+				if h == nil || h.getGranted(o) != req {
+					heldErr = fmt.Errorf("lockmgr: owner %d holds %v not present in table", o.id, name)
+				}
+				if !o.isTouched(m.shardOf(name)) {
+					heldErr = fmt.Errorf("lockmgr: owner %d holds %v in shard %d without touched bit",
+						o.id, name, m.shardOf(name))
+				}
+			})
+			if heldErr != nil {
+				o.mu.Unlock()
+				return heldErr
+			}
+			// The latch-free inWait gauge must equal the owner's waiting-set
+			// population exactly while every latch is held: increments happen
+			// before a request joins a waiting set (under its shard latch) and
+			// decrements after it leaves, so with the whole table stopped the
+			// two counts coincide.
+			if got, want := o.inWait.Load(), int32(inWait[o]); got != want {
+				o.mu.Unlock()
+				return fmt.Errorf("lockmgr: owner %d inWait gauge %d, waiting sets hold %d", o.id, got, want)
+			}
+			var tblErr error
+			o.eachTable(func(tid uint32, ot *ownerTable) bool {
+				structs := 0
+				ot.eachRow(func(row uint64, r *request) {
+					if hr, ok := o.held.get(RowName(tid, row)); !ok || hr != r {
+						tblErr = fmt.Errorf("lockmgr: owner %d byTable row %d desynced", o.id, row)
+					}
+					structs += r.weight
+				})
+				if tblErr == nil && structs != ot.rowStructs {
+					tblErr = fmt.Errorf("lockmgr: owner %d table %d rowStructs %d, want %d",
+						o.id, tid, ot.rowStructs, structs)
+				}
+				return tblErr == nil
+			})
+			o.mu.Unlock()
+			if tblErr != nil {
+				return tblErr
+			}
+		}
+		return nil
+	}()
+	if ownerErr != nil {
+		return ownerErr
 	}
 
 	// Per-application struct accounting matches the chain.

@@ -399,6 +399,31 @@ type Owner struct {
 	// after ReleaseAll returns, so they are left to the garbage collector.
 	everWaited bool
 
+	// stagedRefs counts the owner's release batches still staged on shard
+	// flush lists, plus one bias held by the release walk itself
+	// (grouprelease.go). The walk stores the bias under o.mu before any
+	// batch is published and drops it as its very last touch of the
+	// owner; each flush leader drops one ref after it has fully applied a
+	// staged batch. Whoever drops the count to zero owns the teardown:
+	// if recycleOnZero is set (FinishOwner's exclusive-pointer contract,
+	// decided before the first publish) it resets and pools the owner.
+	stagedRefs    atomic.Int32
+	recycleOnZero bool
+
+	// Commit-walk scratch, reused across this owner's transactions so the
+	// steady-state release walk touches no sync.Pool at all: the collect
+	// snapshot, the deferred posting/wake drain, and a small arsenal of
+	// staged-batch slots for storm-mode shard visits (overflow falls back
+	// to releaseBatchPool). A slot is safe to reuse because the owner is
+	// only recycled — and the walk only restarted — after stagedRefs hits
+	// zero, which requires every previously staged slot to have been
+	// applied. Touched only by the walk goroutine and (per staged slot,
+	// hand-off via the staging-list CAS) the one flush leader applying it.
+	walkBatch releaseBatch
+	drain     releaseDrain
+	sbArsenal [2]releaseBatch
+	sbUsed    int8
+
 	// Registry list links, guarded by Manager.ownersMu.
 	regPrev, regNext *Owner
 }
@@ -761,6 +786,14 @@ type lockHeader struct {
 	converters []*request // FIFO, priority over waiters
 	waiters    []*request // FIFO
 
+	// postPending marks a header already appended to the current shard
+	// visit's deferred posting list (grouprelease.go): when a flush leader
+	// applies several owners' release batches under one latch hold, two
+	// batches unlinking holders of the same header must queue it for the
+	// FIFO posting pass exactly once. Guarded by the shard latch; always
+	// false outside a latched release visit.
+	postPending bool
+
 	// word is the packed latch-free grant word (see fastpath.go); it is
 	// meaningful only once published is set (latch-guarded) and the
 	// header is installed in its shard's fastSlots. Published headers are
@@ -925,6 +958,37 @@ type shard struct {
 	fastLease      memblock.Handle
 	fastLeaseTotal int
 
+	// Group-release staging (grouprelease.go). relHead is the MPSC list
+	// of detached release batches published by committing owners on a
+	// storming shard; relLen mirrors its length for the latch-free flush
+	// triggers. A flush leader — elected by CAS on relFlush, or any
+	// latched visitor finding the list non-empty — swaps the list out and
+	// applies every staged batch in one latched section. relMu/relCond
+	// park stagers that hit the high-water backpressure bound until the
+	// next drain completes (relMu is never held together with the shard
+	// latch).
+	relHead  atomic.Pointer[releaseBatch]
+	relLen   atomic.Int32
+	relFlush atomic.Int32
+	relMu    sync.Mutex
+	relCond  *sync.Cond
+
+	// relStorm is the shard's commit-storm arm (hysteresis for the group
+	// stage). 0 means quiet: commits TryLock and apply directly, and only
+	// a failed TryLock — real latch contention — arms the shard. While
+	// armed, every commit visit stages its batch and yields briefly
+	// before electing a leader, so concurrent committers coalesce into
+	// one latched drain even when individual latched sections are too
+	// short to collide. Multi-batch drains re-arm to relStormArm;
+	// single-batch drains decay the arm by one, so a shard whose storm
+	// has passed falls back to the direct path within a few visits.
+	relStorm atomic.Int32
+
+	// relInline is the drain scratch for the admission path's piggyback
+	// drain (drainStagedInline). Latch-protected, like the table map, so
+	// the per-acquire drain allocates nothing.
+	relInline releaseDrain
+
 	// seq stamps the shard's published summary: it is bumped (under mu)
 	// whenever lock-table membership or wait-queue membership changes, so
 	// latch-free observers can tell whether two reads straddled a
@@ -1073,6 +1137,19 @@ type Manager struct {
 	latchWaits *metrics.ShardCounters
 	latchAcqs  *metrics.ShardCounters
 
+	// Group-release evidence (grouprelease.go). relBatches counts release
+	// batches applied per shard (one per owner-visit, whether the owner
+	// latched directly or a flush leader drained its staged batch);
+	// wakesCoalesced counts FIFO grant wakeups whose Pending completion
+	// was deferred out of the latched release section and fired in the
+	// post-walk pass; flushWaits counts owner-visits that staged their
+	// batch on a busy shard and waited for a leader instead of latching.
+	// relBatches / commits is the combining factor; flushWaits > 0 proves
+	// the staging path runs at all.
+	relBatches     *metrics.ShardCounters
+	wakesCoalesced *metrics.ShardCounters
+	flushWaits     *metrics.ShardCounters
+
 	// Latency histograms (lock-free; see internal/obs). waitHist records
 	// every wait's duration on the manager's clock — deterministic under
 	// the simulated clock — striped by home-shard index; releaseHist
@@ -1127,18 +1204,21 @@ func New(cfg Config) *Manager {
 	}
 	ns = nextPow2(ns)
 	m := &Manager{
-		chain:         memblock.New(cfg.InitialPages),
-		clk:           cfg.Clock,
-		cfg:           cfg,
-		shards:        make([]shard, ns),
-		shardMask:     uint64(ns - 1),
-		apps:          make(map[int]*App),
-		latchWaits:    metrics.NewShardCounters("lock table latch waits", ns),
-		latchAcqs:     metrics.NewShardCounters("lock table latch acquisitions", ns),
-		fastHits:      metrics.NewShardCounters("fast-path grants", ns),
-		fastFallbacks: metrics.NewShardCounters("fast-path fallbacks", ns),
-		optHits:       metrics.NewShardCounters("optimistic read tokens", ns),
-		optFailures:   metrics.NewShardCounters("optimistic validation failures", ns),
+		chain:          memblock.New(cfg.InitialPages),
+		clk:            cfg.Clock,
+		cfg:            cfg,
+		shards:         make([]shard, ns),
+		shardMask:      uint64(ns - 1),
+		apps:           make(map[int]*App),
+		latchWaits:     metrics.NewShardCounters("lock table latch waits", ns),
+		latchAcqs:      metrics.NewShardCounters("lock table latch acquisitions", ns),
+		fastHits:       metrics.NewShardCounters("fast-path grants", ns),
+		fastFallbacks:  metrics.NewShardCounters("fast-path fallbacks", ns),
+		optHits:        metrics.NewShardCounters("optimistic read tokens", ns),
+		optFailures:    metrics.NewShardCounters("optimistic validation failures", ns),
+		relBatches:     metrics.NewShardCounters("release batches applied", ns),
+		wakesCoalesced: metrics.NewShardCounters("wakeups coalesced", ns),
+		flushWaits:     metrics.NewShardCounters("flush follower waits", ns),
 	}
 	stripes := ns
 	if stripes > 64 {
@@ -1167,6 +1247,7 @@ func New(cfg Config) *Manager {
 		s.table = make(map[Name]*lockHeader)
 		s.waiting = make(map[*request]struct{})
 		s.pool = m.chain.NewPool(cfg.LeaseChunk)
+		s.relCond = sync.NewCond(&s.relMu)
 	}
 	return m
 }
@@ -1502,6 +1583,18 @@ func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool
 	o, name := req.owner, req.name
 	req.parked = false
 
+	// Staged group releases (grouprelease.go) are applied before this
+	// request's conflict evaluation can observe them as conflicts, so no
+	// waiter ever blocks behind — and no quota check ever charges for — a
+	// lock whose release has committed. The drain piggybacks on the latch
+	// the caller already holds, so every acquire that lands on a storming
+	// shard is a free flush: the release side's latch acquisition is gone
+	// entirely, not merely amortized. One predictable load when the list
+	// is empty.
+	if s.relHead.Load() != nil {
+		m.drainStagedInline(s, si)
+	}
+
 	o.mu.Lock()
 	if o.released {
 		// Use-after-release: the transaction already committed or
@@ -1562,6 +1655,14 @@ func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool
 		// The full admission pipeline may escalate, which re-enters this
 		// owner's state (releaseGranted takes o.mu); drop o.mu first.
 		o.mu.Unlock()
+		// Every latch is held: apply all staged releases everywhere before
+		// deciding that memory is truly exhausted — they are freeable
+		// structs no escalation should have to reclaim.
+		for i := range m.shards {
+			if ss := &m.shards[i]; ss.relHead.Load() != nil {
+				m.drainStagedInline(ss, i)
+			}
+		}
 		switch m.admitStructsGlobal(req) {
 		case admitDone:
 			return true // pipeline completed the pending (denied/parked)
@@ -1643,7 +1744,7 @@ func (m *Manager) startConversion(cur *request, target Mode, p *Pending, onGrant
 	cur.onGrant = onGrant
 	cur.onDeny = onDeny
 	if m.canConvert(cur, target) {
-		m.finishConversion(cur)
+		m.finishConversion(cur, nil)
 		m.settleFast(s, h)
 		return
 	}
@@ -1667,7 +1768,7 @@ func (m *Manager) canConvert(cur *request, target Mode) bool {
 	return ok
 }
 
-func (m *Manager) finishConversion(cur *request) {
+func (m *Manager) finishConversion(cur *request, d *releaseDrain) {
 	o := cur.owner
 	o.mu.Lock()
 	cur.mode = cur.convert
@@ -1675,7 +1776,7 @@ func (m *Manager) finishConversion(cur *request) {
 	cur.convert = ModeNone
 	o.mu.Unlock()
 	cur.header.recomputeGroupMode()
-	m.grant(cur)
+	m.grantDeferred(cur, d)
 }
 
 // admitResult is the outcome of the admission/allocation step.
@@ -1904,6 +2005,18 @@ func (m *Manager) installGrantedLocked(h *lockHeader, req *request) {
 // structures and are not registered in the lock table; they pass through
 // here all the same.
 func (m *Manager) grant(req *request) {
+	m.grantDeferred(req, nil)
+}
+
+// grantDeferred is grant with the wake-side work optionally coalesced: with
+// a non-nil drain the Pending completion (a channel close — a runtime
+// wakeup) and the onGrant continuation are appended to the drain's wake
+// list instead of firing under the latch; the release walk fires them in
+// one pass after every latch has been dropped (fireWakes). Everything the
+// lock-table invariants depend on — the grant install, the wait-histogram
+// sample, the inWait decrement — still happens here, under the latch, so a
+// stopped world never observes a granted request still counted as waiting.
+func (m *Manager) grantDeferred(req *request, d *releaseDrain) {
 	m.stats.grants.Add(1)
 	m.endWait(req)
 	if req.obsSampled {
@@ -1913,6 +2026,12 @@ func (m *Manager) grant(req *request) {
 	og := req.onGrant
 	req.pending = nil
 	req.onGrant, req.onDeny = nil, nil
+	if d != nil {
+		if p != nil || og != nil {
+			d.wakes = append(d.wakes, wakeEntry{p: p, og: og})
+		}
+		return
+	}
 	if p != nil {
 		p.complete(StatusGranted, nil)
 	}
@@ -1952,7 +2071,7 @@ func (m *Manager) deny(req *request, err error) {
 		o.mu.Unlock()
 		// The dead converter may have been the head of the priority
 		// queue, blocking requests that are now grantable.
-		m.post(s, h)
+		m.post(s, h, nil)
 	} else if h != nil {
 		for i, w := range h.waiters {
 			if w == req {
@@ -1963,7 +2082,7 @@ func (m *Manager) deny(req *request, err error) {
 		m.freeRequestStructs(s, req)
 		// Likewise: an incompatible head waiter's removal can unblock
 		// the requests queued behind it.
-		m.post(s, h)
+		m.post(s, h, nil)
 		s.cacheOrEvict(h)
 	} else {
 		// Parked request: never entered a queue, but may hold structures
@@ -2052,8 +2171,12 @@ func (s *shard) syncTableMirror() {
 
 // post wakes queued requests on h after a release or conversion, in strict
 // FIFO order: converters first, then waiters, stopping at the first
-// incompatible request. s is h's shard; the caller holds its latch.
-func (m *Manager) post(s *shard, h *lockHeader) {
+// incompatible request. s is h's shard; the caller holds its latch. A
+// non-nil drain defers each grant's Pending completion to the post-walk
+// wake pass (grantDeferred); the grant itself — queue removal, install,
+// accounting — is still applied here, so FIFO order is decided under the
+// latch and the deferred completions merely deliver it.
+func (m *Manager) post(s *shard, h *lockHeader, d *releaseDrain) {
 	if len(h.converters) == 0 && len(h.waiters) == 0 {
 		return
 	}
@@ -2064,7 +2187,7 @@ func (m *Manager) post(s *shard, h *lockHeader) {
 		}
 		h.converters = h.converters[1:]
 		s.delWaiting(c)
-		m.finishConversion(c)
+		m.finishConversion(c, d)
 	}
 	for len(h.waiters) > 0 {
 		w := h.waiters[0]
@@ -2074,7 +2197,7 @@ func (m *Manager) post(s *shard, h *lockHeader) {
 		h.waiters = h.waiters[1:]
 		s.delWaiting(w)
 		m.installGranted(h, w)
-		m.grant(w)
+		m.grantDeferred(w, d)
 	}
 }
 
@@ -2122,7 +2245,7 @@ func (m *Manager) finishRelease(s *shard, req *request) {
 	h.removeGranted(req.owner)
 	m.freeRequestStructs(s, req)
 	h.recomputeGroupMode()
-	m.post(s, h)
+	m.post(s, h, nil)
 	s.cacheOrEvict(h)
 	m.settleFast(s, h)
 }
@@ -2217,7 +2340,7 @@ func (m *Manager) cancel(o *Owner, name Name) {
 // revalidation: a request is released only if it is still the owner's live
 // entry for its name.
 func (m *Manager) ReleaseAll(o *Owner) {
-	m.releaseAll(o)
+	m.releaseAll(o, false)
 }
 
 // FinishOwner is ReleaseAll plus Owner recycling for callers that can
@@ -2229,16 +2352,15 @@ func (m *Manager) ReleaseAll(o *Owner) {
 // those owners are left to the garbage collector. ReleaseAll itself keeps
 // the stronger guarantee that duplicate concurrent calls are harmless.
 func (m *Manager) FinishOwner(o *Owner) {
-	if !m.releaseAll(o) || o.everWaited {
-		return
-	}
-	o.resetForReuse()
-	m.ownerPool.Put(o)
+	m.releaseAll(o, true)
 }
 
 // releaseAll does the work; it reports whether this call performed the
-// release (false when a racing ReleaseAll got there first).
-func (m *Manager) releaseAll(o *Owner) bool {
+// release (false when a racing ReleaseAll got there first). recycle is
+// FinishOwner's exclusive-pointer promise: when set (and the owner never
+// waited) the owner is pooled after its last staged batch is applied —
+// by this call if none were staged, by the final flush leader otherwise.
+func (m *Manager) releaseAll(o *Owner, recycle bool) bool {
 	// Release-latency sampling: one in relSampler.Stride() commits pays
 	// for the two clock reads bracketing the walk. The stride counter is
 	// deterministic, so under the simulated clock the recorded series
@@ -2260,52 +2382,92 @@ func (m *Manager) releaseAll(o *Owner) bool {
 	// Snapshot (name, request, shard) triples, rows before tables. Names
 	// are copied out of the held index — revalidation and shard routing
 	// never dereference a request pointer that a concurrent continuation
-	// might have released (and recycling might have rewritten). The batch
-	// and its scratch buffers come from a pool, so the steady-state commit
-	// walk allocates nothing.
-	batch := releaseBatchPool.Get().(*releaseBatch)
+	// might have released (and recycling might have rewritten). The batch,
+	// the drain, and the staged-batch arsenal are all owner-embedded
+	// scratch, so the steady-state commit walk allocates nothing and
+	// touches no sync.Pool.
+	batch := &o.walkBatch
 	batch.reset()
 	shards := o.touchedShards(batch.buf[:0])
 	if quiesced {
-		batch.collect(m, o)
+		// Snapshot AND detach in one pass: from here on the batch (and
+		// any per-shard staged copies of it) is the only path to these
+		// requests, so flush leaders never touch the owner's indexes.
+		// The walk holds one stagedRefs bias; it is dropped as the very
+		// last step below, so a leader draining a staged batch early can
+		// never tear the owner down under the walk. everWaited is stable
+		// for a quiesced owner, so the recycle decision is final here.
+		batch.collectDetach(m, o)
+		o.stagedRefs.Store(1)
+		o.recycleOnZero = recycle && !o.everWaited
+		o.sbUsed = 0
 	}
 	o.mu.Unlock()
 
+	drain := &o.drain
 	for _, si := range shards {
 		if quiesced && !batch.hasShard(si) {
 			continue // nothing held there and no waits in flight
 		}
+		if quiesced {
+			// Commit path: group release. The visit latches the shard
+			// itself only when the latch is free; otherwise the batch is
+			// staged on the shard's MPSC list for a flush leader to apply
+			// together with every other committer's (grouprelease.go).
+			m.releaseShardGrouped(si, o, batch, drain)
+			continue
+		}
 		s := m.lockShard(si)
-		if !quiesced {
-			// Abort path: withdraw this shard's waiting requests first
-			// (queued waiters, parked requests, in-flight conversions —
-			// a denied conversion reverts to its granted mode and is
-			// then released below). Skipped entirely when the shard has
-			// no waiters at all.
-			if len(s.waiting) > 0 {
-				var victims []*request
-				for req := range s.waiting {
-					if req.owner == o {
-						victims = append(victims, req)
-					}
-				}
-				for _, req := range victims {
-					m.deny(req, ErrCanceled)
+		// Abort path: withdraw this shard's waiting requests first
+		// (queued waiters, parked requests, in-flight conversions —
+		// a denied conversion reverts to its granted mode and is
+		// then released below). Skipped entirely when the shard has
+		// no waiters at all.
+		if len(s.waiting) > 0 {
+			var victims []*request
+			for req := range s.waiting {
+				if req.owner == o {
+					victims = append(victims, req)
 				}
 			}
-			// Re-read the held set for this shard: a wait granted after
-			// the release flag was set landed here under this latch.
-			batch.reset()
-			o.mu.Lock()
-			batch.collectShard(m, o, si)
-			o.mu.Unlock()
+			for _, req := range victims {
+				m.deny(req, ErrCanceled)
+			}
 		}
-		m.releaseShardBatch(s, si, o, batch, quiesced)
+		// Re-read the held set for this shard: a wait granted after
+		// the release flag was set landed here under this latch.
+		batch.reset()
+		o.mu.Lock()
+		batch.collectShard(m, o, si)
+		o.mu.Unlock()
+		m.releaseShardPhase1(s, si, o, batch, false, drain)
+		m.relBatches.Shard(si).Inc()
+		m.finishShardVisit(s, si, drain)
 		s.mu.Unlock()
+	}
+	// Flush triggers: the walk staged fire-and-forget batches on storming
+	// shards; before letting go, elect this committer flush leader on any
+	// touched shard whose staging list is due — enough batches for a
+	// worthwhile combined drain, or waiters that must not be left behind
+	// staged releases. The drained grants merge into this walk's wake
+	// pass. Shards below both bars keep accumulating: the next commit,
+	// the next conflicting acquire (which always flushes first), or an
+	// invariant sweep picks them up.
+	if quiesced {
+		for _, si := range shards {
+			m.maybeFlushShard(si, drain)
+		}
 	}
 	batch.buf = shards[:0]
 	batch.reset()
-	releaseBatchPool.Put(batch)
+
+	// The single deferred wake pass: every FIFO grant the walk (and any
+	// staged batches its shard visits drained) produced is completed here,
+	// with no latches held — wake-side work never re-latches a shard the
+	// walk already dropped. The owner-embedded drain is safe to use up to
+	// this point: the walk's stagedRefs bias (dropped below, last) keeps
+	// the owner from being recycled under it.
+	m.fireWakes(drain)
 
 	if sampled {
 		m.releaseHist.RecordStripe(int(o.id), int64(m.clk.Now().Sub(t0)))
@@ -2325,8 +2487,30 @@ func (m *Manager) releaseAll(o *Owner) bool {
 	}
 	o.regPrev, o.regNext = nil, nil
 	m.nOwners--
+	lastOut := m.nOwners == 0
 	m.ownersMu.Unlock()
 	m.flushConts()
+	if lastOut {
+		// Last one out turns off the lights: with no owner left to commit
+		// (and thus no future flush trigger), force-apply every staged
+		// batch so an idle manager charges nothing for finished
+		// transactions. New owners registering concurrently stage into
+		// freshly observed lists and carry their own triggers.
+		m.flushAllStaged(drain)
+	}
+
+	if quiesced {
+		// Drop the walk's stagedRefs bias — the walk's very last touch of
+		// the owner. If every staged batch has already been applied this
+		// performs the teardown; otherwise the final flush leader does.
+		m.dropStagedRef(o)
+	} else if recycle && !o.everWaited {
+		// Abort path never stages (and in practice never recycles — an
+		// owner with waits in flight has everWaited set); kept for the
+		// contract's sake.
+		o.resetForReuse()
+		m.ownerPool.Put(o)
+	}
 	return true
 }
 
@@ -2350,6 +2534,8 @@ func (o *Owner) resetForReuse() {
 	}
 	o.inWait.Store(0)
 	o.obsTick = 0
+	o.stagedRefs.Store(0)
+	o.recycleOnZero = false
 }
 
 // reset clears a per-table index for owner reuse.
@@ -2382,7 +2568,19 @@ type releaseBatch struct {
 	shards [maxShardWords]uint64
 	buf    []int // scratch for touchedShards
 	live   []*request
-	hdrs   []*lockHeader // scratch for the per-visit posting pass
+
+	// Staging fields (grouprelease.go). A commit visiting a storming
+	// shard copies that shard's entries into a dedicated pooled batch and
+	// publishes it on the shard's MPSC list — fire-and-forget: the
+	// entries were already detached from the owner's indexes at collect
+	// time, so the stager never touches the batch again and a flush
+	// leader returns it to the pool after applying it. next links the
+	// staging list: it is written before the publishing CAS and read only
+	// after the leader's Swap, so it needs no atomicity of its own.
+	next        *releaseBatch
+	stagedOwner *Owner
+	pooled      bool // from releaseBatchPool (vs owner arsenal): leader returns it
+	stagedShard int
 }
 
 var releaseBatchPool = sync.Pool{New: func() any { return new(releaseBatch) }}
@@ -2413,6 +2611,28 @@ func (b *releaseBatch) collect(m *Manager, o *Owner) {
 	})
 }
 
+// collectDetach buckets every held lock and then wipes the owner's held
+// and per-table indexes wholesale. Caller holds o.mu and has proved the
+// owner quiesced (released set, inWait == 0), so the snapshot is exact and
+// nothing can repopulate the indexes. Detaching here — rather than under
+// each shard latch during the walk — is what makes staged batches
+// self-contained: a flush leader applying one touches the lock table, the
+// request, and the app's atomic quota, but never the owner's indexes, so
+// leaders on different shards can apply the same owner's batches
+// concurrently. The requests stay granted (table truth is untouched until
+// a latched drain applies the batch); only the owner-side view is gone.
+func (b *releaseBatch) collectDetach(m *Manager, o *Owner) {
+	b.collect(m, o)
+	for i := 0; i < o.held.n && i < heldSmallMax; i++ {
+		o.held.arr[i] = heldEntry{}
+	}
+	o.held.n = 0
+	o.held.m = nil
+	o.ot0used, o.ot0tid = false, 0
+	o.ot0.reset()
+	o.byTable = nil
+}
+
 // collectShard buckets the held locks homed in shard si. Caller holds
 // o.mu (and the shard latch, so the filtered view stays accurate).
 func (b *releaseBatch) collectShard(m *Manager, o *Owner, si int) {
@@ -2423,19 +2643,30 @@ func (b *releaseBatch) collectShard(m *Manager, o *Owner, si int) {
 	})
 }
 
-// releaseShardBatch releases one shard's share of the batch: revalidate and
-// unlink every entry in a single o.mu critical section (rows first, then
-// tables — the pinned order), then finish each release — lock-table
-// removal, structure free, FIFO posting — without o.mu (posting takes other
-// owners' mutexes), and finally recycle the boxes of committed blocking
-// acquires into the shard's cache. Caller holds the shard latch.
+// releaseShardPhase1 releases one shard's share of the batch: revalidate
+// and unlink every entry in a single o.mu critical section (rows first,
+// then tables — the pinned order), then unlink each release from the lock
+// table, free its structures, and recycle the boxes of committed blocking
+// acquires into the shard's cache. Headers that still need a FIFO posting
+// pass, the pooled frees awaiting one SettleFree, and the fast credit
+// awaiting one recredit accumulate into the drain: the caller finishes the
+// visit — settle once, post once — with finishShardVisit, after applying
+// every batch it means to (its own plus any staged by other committers).
+// Caller holds the shard latch.
+//
 // frozen says the caller proved the owner's held set can no longer change
 // concurrently (the quiesced commit path: released was set under o.mu with
 // inWait == 0, so any in-flight admission is denied before touching held,
-// and no waits or escalation continuations exist to complete). When frozen,
-// the walk skips o.mu and pointer revalidation entirely — the snapshot is
-// exact. The abort path (waits in flight) passes frozen=false and pays both.
-func (m *Manager) releaseShardBatch(s *shard, si int, o *Owner, b *releaseBatch, frozen bool) {
+// and no waits or escalation continuations exist to complete). Frozen
+// batches were also detached from the owner's indexes at collect time
+// (collectDetach), so the frozen walk touches only the requests, the lock
+// table, and the app's atomic quota — never o.mu or the held index. That
+// is what lets flush leaders on different shards apply the same owner's
+// staged batches concurrently: each request lives in exactly one batch,
+// and everything a leader touches is either request-local or guarded by
+// the latch it holds. The abort path (waits in flight) passes frozen=false
+// and pays o.mu plus pointer revalidation.
+func (m *Manager) releaseShardPhase1(s *shard, si int, o *Owner, b *releaseBatch, frozen bool, d *releaseDrain) {
 	live := b.live[:0]
 	if !frozen {
 		o.mu.Lock()
@@ -2455,28 +2686,35 @@ func (m *Manager) releaseShardBatch(s *shard, si int, o *Owner, b *releaseBatch,
 				if cur, ok := o.held.get(e.name); !ok || cur != e.req || !e.req.granted {
 					continue
 				}
+				m.releaseOwnerStateLocked(e.req)
+			} else {
+				// Frozen batches were detached from the owner's indexes
+				// at collect time (collectDetach); only the table-facing
+				// grant flag remains to clear, under this latch, together
+				// with the removeGranted below.
+				e.req.granted = false
 			}
-			m.releaseOwnerStateLocked(e.req)
 			live = append(live, e.req)
 		}
 	}
 	if !frozen {
 		o.mu.Unlock()
 	}
-	// Phase 1: unlink every released request from the lock table and
-	// return its structures to the shard pool, accumulating the chain and
-	// app accounting instead of paying an atomic per lock. Headers are
-	// distinct (one request per name per owner), so each is touched once.
-	// A published queue-free header is settled immediately after its
-	// unlink — post would be a no-op and cacheOrEvictDeferred keeps it
-	// resident regardless — so the hot headers of a fast-path workload are
-	// fenced for one holder removal, not the whole batch. (The word
-	// reopens before the accounting below lands; a racing fast grant that
-	// sees the stale credit or quota merely falls back.) Everything else —
-	// headers with queues (fenced anyway) and unpublished headers (not
-	// fast-reachable) — defers to phase 2 as before.
+	// Unlink every released request from the lock table and return its
+	// structures to the shard pool, accumulating the chain and app
+	// accounting instead of paying an atomic per lock. Within one batch
+	// headers are distinct (one request per name per owner), but a leader
+	// draining several batches can meet the same header again — the
+	// postPending flag queues it for the posting pass exactly once. A
+	// published queue-free header is settled immediately after its unlink —
+	// post would be a no-op and cacheOrEvictDeferred keeps it resident
+	// regardless — so the hot headers of a fast-path workload are fenced
+	// for one holder removal, not the whole batch. (The word reopens before
+	// the accounting below lands; a racing fast grant that sees the stale
+	// credit or quota merely falls back.) Everything else — headers with
+	// queues (fenced anyway) and unpublished headers (not fast-reachable) —
+	// defers to the visit's posting pass.
 	poolFreed, weightFreed, fastFreed := 0, 0, 0
-	hdrs := b.hdrs[:0]
 	for _, r := range live {
 		if !r.grantedAt.IsZero() {
 			m.holdHist.RecordStripe(m.shardOf(r.name), time.Since(r.grantedAt).Nanoseconds())
@@ -2519,33 +2757,21 @@ func (m *Manager) releaseShardBatch(s *shard, si int, o *Owner, b *releaseBatch,
 		h.recomputeGroupMode()
 		if h.published && len(h.converters) == 0 && len(h.waiters) == 0 {
 			m.settleFast(s, h)
-		} else {
-			hdrs = append(hdrs, h)
+		} else if !h.postPending {
+			h.postPending = true
+			d.hdrs = append(d.hdrs, h)
 		}
 	}
-	// Settle accounting before posting: a grant fired by post reads the
-	// app quota and chain usage, and must see the whole release.
-	s.pool.SettleFree(poolFreed)
-	if fastFreed > 0 {
-		s.fastFree.Add(int64(fastFreed))
-		m.chain.ReturnReserved(fastFreed)
-	}
+	d.poolFreed += poolFreed
+	d.fastFreed += fastFreed
+	// App quota settles per batch (each batch has its own application);
+	// chain and pool totals settle once per visit in finishShardVisit.
 	if weightFreed > 0 {
 		o.app.structs.Add(-int64(weightFreed))
 	}
-	// Phase 2: FIFO wakeups and header recycling for the deferred headers,
-	// with one table-mirror sync for the entire visit. Every header still
-	// sealed is settled before the latch drops (published headers survive
-	// cacheOrEvictDeferred).
-	evicted := false
-	for _, h := range hdrs {
-		m.post(s, h)
-		evicted = s.cacheOrEvictDeferred(h) || evicted
-		m.settleFast(s, h)
-	}
-	if evicted {
-		s.syncTableMirror()
-	}
+	// Box recycling: live requests are fully unlinked (never queued, so
+	// the posting pass cannot reference them) — recycle before the drain
+	// moves on to the next batch.
 	for _, r := range live {
 		if r.recyclable && !r.everQueued {
 			if len(s.rfree) < boxFreelistCap {
@@ -2561,7 +2787,40 @@ func (m *Manager) releaseShardBatch(s *shard, si int, o *Owner, b *releaseBatch,
 			}
 		}
 	}
-	b.live, b.hdrs = live[:0], hdrs[:0]
+	b.live = live[:0]
+}
+
+// finishShardVisit completes a latched release visit after every batch —
+// the caller's own and any staged ones — has gone through
+// releaseShardPhase1: settle the pooled frees and fast credit once, run the
+// FIFO posting pass over the deferred headers (grant completions coalesce
+// into the drain's wake list), and sync the table mirror once. Caller holds
+// the shard latch and drops it right after; the wakes fire later, with no
+// latches held (fireWakes).
+func (m *Manager) finishShardVisit(s *shard, si int, d *releaseDrain) {
+	// Settle accounting before posting: a grant fired by post reads the
+	// app quota and chain usage, and must see the whole release.
+	s.pool.SettleFree(d.poolFreed)
+	if d.fastFreed > 0 {
+		s.fastFree.Add(int64(d.fastFreed))
+		m.chain.ReturnReserved(d.fastFreed)
+	}
+	evicted := false
+	wakes0 := len(d.wakes)
+	for _, h := range d.hdrs {
+		h.postPending = false
+		m.post(s, h, d)
+		evicted = s.cacheOrEvictDeferred(h) || evicted
+		m.settleFast(s, h)
+	}
+	if evicted {
+		s.syncTableMirror()
+	}
+	if n := len(d.wakes) - wakes0; n > 0 {
+		m.wakesCoalesced.Shard(si).Add(int64(n))
+	}
+	d.hdrs = d.hdrs[:0]
+	d.poolFreed, d.fastFreed = 0, 0
 }
 
 // deadline computes the wait deadline for a new waiter.
@@ -2761,6 +3020,11 @@ func (m *Manager) HeldMode(o *Owner, name Name) Mode {
 
 // NumShards returns the number of lock-table shards.
 func (m *Manager) NumShards() int { return len(m.shards) }
+
+// ShardOf returns the index of the shard that homes name. Workload
+// generators and benchmarks use it to build shard-targeted access patterns
+// (e.g. a commit storm confined to a few hot shards); it takes no latches.
+func (m *Manager) ShardOf(name Name) int { return m.shardOf(name) }
 
 // LatchWaits returns the total number of contended shard-latch
 // acquisitions — the direct measure of lock-table latch contention the

@@ -623,9 +623,11 @@ func (c *Chain) NewPool(chunk int) *Pool {
 	return &Pool{c: c, chunk: chunk}
 }
 
-// push adds a part to the pool, merging with the top part when it
-// references the same block.
-func (p *Pool) push(pt part) {
+// pushRaw adds a part to the pool, merging with the top part when it
+// references the same block, WITHOUT refreshing the latch-free pooled
+// mirror. Batch free paths call it once per lock and sync the mirror once
+// in SettleFree; everything else goes through push.
+func (p *Pool) pushRaw(pt part) {
 	if pt.n <= 0 {
 		return
 	}
@@ -635,6 +637,12 @@ func (p *Pool) push(pt part) {
 		p.parts = append(p.parts, pt)
 	}
 	p.n += pt.n
+}
+
+// push adds a part to the pool, merging with the top part when it
+// references the same block.
+func (p *Pool) push(pt part) {
+	p.pushRaw(pt)
 	p.pooled.Store(int64(p.n))
 }
 
@@ -714,35 +722,37 @@ func (p *Pool) Free(h Handle) {
 }
 
 // FreeBatched returns the structures covered by h to the pool like Free,
-// but defers the chain-level used accounting and the excess-release check
-// to SettleFree. Batch release paths (a commit returning many locks to one
-// shard) call it once per lock and settle once per shard visit, turning a
-// per-lock atomic on the shared chain counter into a per-visit one. It
-// returns the number of structures freed, to be summed into SettleFree.
+// but defers the chain-level used accounting, the latch-free pooled
+// mirror refresh, and the excess-release check to SettleFree. Batch
+// release paths (a commit returning many locks to one shard) call it once
+// per lock and settle once per shard visit, turning two per-lock atomics
+// (the shared chain counter and the pooled mirror) into per-visit ones.
+// It returns the number of structures freed, to be summed into SettleFree.
 func (p *Pool) FreeBatched(h Handle) int {
 	total := h.Structs()
 	if total == 0 {
 		return 0
 	}
 	if h.p0.b != nil {
-		p.push(h.p0)
+		p.pushRaw(h.p0)
 	}
 	for _, pt := range h.extra {
-		p.push(pt)
+		p.pushRaw(pt)
 	}
 	return total
 }
 
 // SettleFree completes a batch of FreeBatched calls: one used-counter
-// update for the whole batch, then the same excess-release check Free
-// performs. total must be the sum of the FreeBatched return values since
-// the last settle. Caller holds the owning shard's latch throughout the
-// batch, so chain accounting is exact again before any concurrent observer
-// can latch the shard.
+// update and one pooled-mirror refresh for the whole batch, then the same
+// excess-release check Free performs. total must be the sum of the
+// FreeBatched return values since the last settle. Caller holds the
+// owning shard's latch throughout the batch, so chain accounting is exact
+// again before any concurrent observer can latch the shard.
 func (p *Pool) SettleFree(total int) {
 	if total == 0 {
 		return
 	}
+	p.pooled.Store(int64(p.n))
 	p.c.used.Add(int64(-total))
 	if p.n > 4*p.chunk {
 		p.release(p.n - p.chunk)

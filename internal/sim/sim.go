@@ -139,6 +139,14 @@ func Run(cfg Config) *Result {
 	// functions of lock-table state), so neither series is volatile.
 	optHits := set.Series("optimistic hits", "count")
 	optFailures := set.Series("optimistic failures", "count")
+	// Group-release counters advance deterministically under the sim's
+	// single-goroutine tick loop: with one goroutine the commit path never
+	// loses a TryLock, so every batch applies on the direct visit and the
+	// follower-wait series stays zero — a property the determinism test
+	// pins down.
+	relBatches := set.Series("release batches", "count")
+	wakesCoalesced := set.Series("wakeups coalesced", "count")
+	flushFollowers := set.Series("flush follower waits", "count")
 	globalStall := set.Series("global stall", "µs")
 	// Lock-wait quantiles come from the engine-clock histogram, so they are
 	// deterministic; admission latency is sampled wall clock → volatile.
@@ -226,6 +234,9 @@ func Run(cfg Config) *Result {
 			fastFallbacks.Record(now, float64(snap.LockFastPathFallbacks))
 			optHits.Record(now, float64(snap.LockOptimisticHits))
 			optFailures.Record(now, float64(snap.LockOptimisticFailures))
+			relBatches.Record(now, float64(snap.LockReleaseBatches))
+			wakesCoalesced.Record(now, float64(snap.LockWakeupsCoalesced))
+			flushFollowers.Record(now, float64(snap.LockFlushFollowerWaits))
 			globalStall.Record(now, float64(snap.LockGlobalHoldMax)/1e3)
 			ws := cfg.DB.Locks().WaitHist().Snapshot()
 			waitP95.Record(now, ws.Quantile(0.95)/1e6)
