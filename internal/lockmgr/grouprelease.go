@@ -26,7 +26,15 @@ package lockmgr
 //     list is non-empty (drainStagedInline — a piggyback drain under the
 //     latch the acquirer already paid for, no election needed), so
 //     conflict evaluation and quota checks always see staged releases
-//     applied first, at zero extra latch acquisitions;
+//     applied first, at zero extra latch acquisitions. The admission path
+//     re-checks the list again right after a request joins the waiting
+//     set (enqueueWaiter / startConversion): the post-addWaiting re-check
+//     and the walk's waiter-aware trigger form a store/load pair in both
+//     directions, so a batch staged inside an acquirer's latched section
+//     can never slip past both — the one interleave where neither side
+//     alone would fire (trigger reads nWaiting before the enqueue, list
+//     still below threshold, shard then goes quiet) is caught by the
+//     re-check;
 //   - a stager that hits the high-water bound (backpressure) — the one
 //     case a committer waits: it spins, then parks on the shard's flush
 //     condition until a drain completes, electing itself if no leader is
@@ -192,6 +200,13 @@ func (m *Manager) releaseShardGrouped(si int, o *Owner, b *releaseBatch, d *rele
 // needs, and a stager must never leave waiters behind its own staged
 // batch. In the waiter case the trigger waits out an active leader
 // instead of skipping: the leader's last swap may predate our push.
+//
+// The nWaiting read is racy against an acquirer mid-admission: its
+// latched section may have checked relHead before our push and not yet
+// reached addWaiting when we load here. That interleave is closed on the
+// admission side — enqueueWaiter re-checks relHead after the addWaiting
+// store (see its comment for the pairing argument), so skipping on a
+// stale nWaiting can never strand a waiter.
 func (m *Manager) maybeFlushShard(si int, d *releaseDrain) {
 	s := &m.shards[si]
 	for {

@@ -223,6 +223,108 @@ func TestGroupReleaseStagedInvariants(t *testing.T) {
 	}
 }
 
+// TestGroupReleaseAdmissionWindowRace pins the lost-flush-trigger
+// interleave: an acquirer's latched admission section checks the staging
+// list at entry (empty), and a commit then stages the release of the very
+// lock the acquirer is about to queue behind — before the acquirer's
+// addWaiting store. The commit's walk-end trigger sees no waiters and a
+// below-threshold list, so it skips the flush; with no further traffic on
+// the shard, only the admission path's post-enqueue re-check is left to
+// apply the staged release. Without it the waiter blocks forever behind
+// an already-committed release. The hook fires the commit synchronously
+// inside the window, making the interleave deterministic.
+func TestGroupReleaseAdmissionWindowRace(t *testing.T) {
+	m := newMgr(Config{})
+	app := m.RegisterApp()
+	row := RowName(1, 1)
+	s := &m.shards[m.ShardOf(row)]
+
+	holder := m.NewOwner(app)
+	mustGrant(t, m.AcquireAsync(holder, row, ModeX, 1), "holder X")
+
+	waiter := m.NewOwner(app) // registered before the commit: no last-owner-out force flush
+	fired := false
+	testHookPreEnqueue = func(*Manager, int) {
+		if fired {
+			return
+		}
+		fired = true
+		s.relStorm.Store(relStormArm)
+		m.FinishOwner(holder)
+		if s.relHead.Load() == nil {
+			t.Error("commit did not stage (storm path never engaged)")
+		}
+	}
+	defer func() { testHookPreEnqueue = nil }()
+
+	p := m.AcquireAsync(waiter, row, ModeX, 1)
+	if !fired {
+		t.Fatal("admission never reached the enqueue window")
+	}
+	select {
+	case <-p.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter stranded behind a staged release (lost flush trigger)")
+	}
+	if st, err := p.Status(); st != StatusGranted {
+		t.Fatalf("waiter: status=%v err=%v", st, err)
+	}
+	m.FinishOwner(waiter)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupReleaseConversionWindowRace: the same lost-trigger interleave
+// against the converter queue — a commit stages the release of the only
+// incompatible shared holder while an upgrade (S→X) is inside its latched
+// section, after conflict evaluation but before the converter joins the
+// waiting set. The post-enqueue re-check in startConversion must drain
+// the staged batch and let the conversion complete.
+func TestGroupReleaseConversionWindowRace(t *testing.T) {
+	m := newMgr(Config{})
+	app := m.RegisterApp()
+	row := RowName(1, 1)
+	s := &m.shards[m.ShardOf(row)]
+
+	other := m.NewOwner(app)
+	mustGrant(t, m.AcquireAsync(other, row, ModeS, 1), "other S")
+
+	conv := m.NewOwner(app)
+	mustGrant(t, m.AcquireAsync(conv, row, ModeS, 1), "conv S")
+
+	fired := false
+	testHookPreEnqueue = func(*Manager, int) {
+		if fired {
+			return
+		}
+		fired = true
+		s.relStorm.Store(relStormArm)
+		m.FinishOwner(other)
+		if s.relHead.Load() == nil {
+			t.Error("commit did not stage (storm path never engaged)")
+		}
+	}
+	defer func() { testHookPreEnqueue = nil }()
+
+	p := m.AcquireAsync(conv, row, ModeX, 1)
+	if !fired {
+		t.Fatal("conversion never reached the enqueue window")
+	}
+	select {
+	case <-p.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("converter stranded behind a staged release (lost flush trigger)")
+	}
+	if st, err := p.Status(); st != StatusGranted {
+		t.Fatalf("conversion: status=%v err=%v", st, err)
+	}
+	m.FinishOwner(conv)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestGroupReleaseStormRacingControlPlane: a commit storm (every release
 // staged) racing the whole control plane — CheckInvariants' stopped-world
 // sweep, deadlock detection, timeout sweeps, and quota-driven escalation.

@@ -1676,11 +1676,7 @@ func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool
 			m.grant(req)
 			return true
 		}
-		m.beginWait(req)
-		h.waiters = append(h.waiters, req)
-		req.header = h
-		s.addWaiting(req)
-		m.settleFast(s, h)
+		m.enqueueWaiter(s, si, h, req)
 		return true
 	}
 
@@ -1717,12 +1713,45 @@ func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool
 		return true
 	}
 	o.mu.Unlock()
+	m.enqueueWaiter(s, si, h, req)
+	return true
+}
+
+// testHookPreEnqueue, when non-nil, runs right before an admission
+// enqueues a waiter or converter (shard latch held in fast mode, every
+// latch in global mode; o.mu dropped) — inside the window between
+// startRequest's entry drain and the waiting-set store. Tests use it to
+// interleave a staged release into that window; always nil outside tests.
+var testHookPreEnqueue func(m *Manager, si int)
+
+// enqueueWaiter queues req on h's waiter list and registers it in the
+// shard's waiting set. Caller holds the shard latch (and every other
+// latch in global mode) but not o.mu.
+//
+// The staged-release re-check after the enqueue closes a lost-trigger
+// race with the group-release walk (grouprelease.go): a batch staged
+// during this latched section races its walk-end flush trigger against
+// this enqueue — maybeFlushShard's nWaiting load can run before
+// addWaiting's store and, with the list below the combining threshold,
+// skip the flush, leaving this waiter blocked behind an already-committed
+// release with no trigger left on a quiet shard. The accesses cross
+// (stager: push relHead, then load nWaiting; here: store nWaiting, then
+// load relHead — all sequentially consistent), so at least one side
+// always observes the other: either the trigger sees the waiter and
+// flushes, or the re-check sees the batch and drains it under the latch
+// already held — symmetric with the entry check in startRequest.
+func (m *Manager) enqueueWaiter(s *shard, si int, h *lockHeader, req *request) {
+	if testHookPreEnqueue != nil {
+		testHookPreEnqueue(m, si)
+	}
 	m.beginWait(req)
 	h.waiters = append(h.waiters, req)
 	req.header = h
 	s.addWaiting(req)
 	m.settleFast(s, h)
-	return true
+	if s.relHead.Load() != nil {
+		m.drainStagedInline(s, si)
+	}
 }
 
 // startConversion upgrades a granted request to target mode, waiting in the
@@ -1730,7 +1759,8 @@ func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool
 // attached to the conversion outcome. Caller holds cur's home shard latch.
 func (m *Manager) startConversion(cur *request, target Mode, p *Pending, onGrant func(*Manager), onDeny func(*Manager, error)) {
 	h := cur.header
-	s := m.shardFor(cur.name)
+	si := m.shardOf(cur.name)
+	s := &m.shards[si]
 	// A conversion mutates the granted group (mode change) or the converter
 	// queue; either way the grant word must be fenced first so no fast CAS
 	// admits against a stale group mode mid-conversion.
@@ -1748,10 +1778,20 @@ func (m *Manager) startConversion(cur *request, target Mode, p *Pending, onGrant
 		m.settleFast(s, h)
 		return
 	}
+	if testHookPreEnqueue != nil {
+		testHookPreEnqueue(m, si)
+	}
 	m.beginWait(cur)
 	h.converters = append(h.converters, cur)
 	s.addWaiting(cur)
 	m.settleFast(s, h)
+	// Same lost-trigger re-check as enqueueWaiter: a release staged during
+	// this latched section may hold exactly the incompatible grant this
+	// conversion is queued behind, and its walk-end trigger may have read
+	// nWaiting before the addWaiting store above.
+	if s.relHead.Load() != nil {
+		m.drainStagedInline(s, si)
+	}
 }
 
 // canConvert reports whether cur can convert to target given the other
