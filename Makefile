@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-commit bench-read bench-diff smoke-read smoke-commit obs-demo verify fmt vet
+.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-obs-profiler bench-commit bench-read bench-diff smoke-read smoke-commit smoke-profile obs-demo verify fmt vet
 
 all: build
 
@@ -44,6 +44,18 @@ bench-engine:
 bench-obs:
 	BENCH_JSON=$${BENCH_JSON:-BENCH_OBS_OVERHEAD.json} \
 		$(GO) test -run xxx -bench BenchmarkObsOverhead -benchtime 1s .
+
+# bench-obs-profiler measures the contention profiler's cost on the engine
+# hot path: profiler off (ProfileDisabled, wall-clock sampling off) vs the
+# default-on configuration, work-for-work on identical iteration counts,
+# on the hotkey and readmostly shapes at 16 goroutines. The pinned
+# iteration count keeps each leg long enough for the best-of-three pairing
+# to see past scheduler noise on small machines. The acceptance bound is
+# overhead below 3% of commits/sec; BENCH_OBS_PROFILER.json records the
+# evidence.
+bench-obs-profiler:
+	BENCH_JSON=$${BENCH_JSON:-BENCH_OBS_PROFILER.json} \
+		$(GO) test -run xxx -bench BenchmarkObsProfiler -benchtime 120000x .
 
 # bench-commit measures the transaction commit path: short transactions
 # (2/8/64 locks, disjoint and hot-key, plus the commitstorm shape — 2
@@ -93,6 +105,28 @@ smoke-commit:
 		-chart=false -events 0 -min-coalesced 1 >/dev/null
 	@echo "smoke-commit: wakeups coalesced OK"
 
+# smoke-profile runs the workbench commitstorm (hot-key) workload with the
+# HTTP surface up and curls the contention profiler mid-run: /debug/hotlocks
+# must serve a non-empty top-K (a "name" field proves at least one tracked
+# hot lock) and /debug/waiters must have observed a wait edge ("holder"
+# proves a live blocked-on row). The run then prints the -profile report.
+smoke-profile: build
+	@set -e; \
+	$(GO) run ./cmd/workbench -workload commitstorm -clients 64 -ticks 2500 \
+		-chart=false -events 0 -profile -http 127.0.0.1:8373 -serve-for 4s >/dev/null & \
+	pid=$$!; \
+	ok=""; \
+	for i in $$(seq 1 40); do \
+		sleep 0.5; \
+		if curl -sf http://127.0.0.1:8373/debug/hotlocks | grep -q '"name"' \
+		&& curl -sf http://127.0.0.1:8373/debug/waiters | grep -q '"holder"'; then \
+			ok=1; break; \
+		fi; \
+	done; \
+	if [ -z "$$ok" ]; then echo "smoke-profile: no hot lock + wait edge observed"; kill $$pid 2>/dev/null; exit 1; fi; \
+	echo "smoke-profile: hot locks + wait edges OK"; \
+	wait $$pid
+
 # obs-demo runs the workbench surge workload with the HTTP surface up and
 # curls it mid-run: /metrics must serve lock-wait histogram buckets and
 # per-shard latch-wait counters; /debug/tuner must serve decision records.
@@ -110,9 +144,9 @@ obs-demo: build
 
 # verify is the tier-1 gate (see ROADMAP.md): formatting, vet, build, the
 # full test suite, the race-detector pass over the concurrency-sensitive
-# packages, and one-iteration smoke runs of the read-path benches and the
-# group-release commit path.
-verify: fmt vet build test race smoke-read smoke-commit
+# packages, and one-iteration smoke runs of the read-path benches, the
+# group-release commit path, and the contention profiler's live endpoints.
+verify: fmt vet build test race smoke-read smoke-commit smoke-profile
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -31,6 +31,7 @@ func main() {
 		chart    = flag.Bool("chart", false, "render headline series as ASCII charts")
 		md       = flag.Bool("markdown", false, "emit findings as markdown tables")
 		httpAddr = flag.String("http", "", "serve /metrics, /debug/* and pprof for the live experiment engine")
+		profile  = flag.Bool("profile", false, "print each experiment's contention-profiler report (top hot locks, wait chains, latch profile)")
 	)
 	flag.Parse()
 
@@ -74,6 +75,12 @@ func main() {
 		}
 		if !outcome.Passed() {
 			failed++
+		}
+		if *profile {
+			// The experiment's engine is the most recently opened one.
+			if db := engine.Live(); db != nil {
+				fmt.Print(db.Locks().ContentionReport(10))
+			}
 		}
 		if outcome.Result != nil {
 			if *csvDir != "" {

@@ -22,6 +22,23 @@ import (
 	"repro/internal/workload"
 )
 
+// validateProfile checks -profile against the run shape: the contention
+// report summarizes a finished workload, so it is meaningless without a
+// terminal run (positive -ticks) driving at least one client — the same
+// "flag without a referent" class of mistake validateSurge rejects.
+func validateProfile(profile bool, ticks, clients int) error {
+	if !profile {
+		return nil
+	}
+	if ticks <= 0 {
+		return fmt.Errorf("-profile needs a terminal workload: -ticks %d never finishes a run to report on", ticks)
+	}
+	if clients <= 0 {
+		return fmt.Errorf("-profile needs a workload to profile: -clients %d runs nothing", clients)
+	}
+	return nil
+}
+
 // validateSurge checks the surge flag pair: -surge-at positions a surge in
 // time, so it is meaningless (and used to be silently ignored) without a
 // -surge-to target.
@@ -56,6 +73,7 @@ func main() {
 			"exit 1 unless the run coalesced at least this many grant wakeups (-1 disables; smoke-test hook)")
 		readonly = flag.Bool("readonly", false,
 			"run dss scans as readonly transactions (optimistic tokens validated at commit; dss workload only)")
+		profile  = flag.Bool("profile", false, "print the contention-profiler report (top-10 hot locks, wait chains, latch profile) in the final summary")
 		chart    = flag.Bool("chart", true, "render ASCII charts")
 		events   = flag.Int("events", 10, "print the last N diagnostic events (0 = none)")
 		locks    = flag.Int("locks", 0, "dump up to N lock-table entries at the end")
@@ -65,6 +83,10 @@ func main() {
 	flag.Parse()
 
 	if err := validateSurge(*surgeTo, *surgeAt); err != nil {
+		fmt.Fprintf(os.Stderr, "workbench: %v\n", err)
+		os.Exit(2)
+	}
+	if err := validateProfile(*profile, *ticks, *clients); err != nil {
 		fmt.Fprintf(os.Stderr, "workbench: %v\n", err)
 		os.Exit(2)
 	}
@@ -104,7 +126,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "workbench: -http %s: %v\n", *httpAddr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "workbench: serving http://%s/metrics (also /debug/locks /debug/events /debug/tuner /debug/pprof)\n", bound)
+		fmt.Fprintf(os.Stderr, "workbench: serving http://%s/metrics (also /debug/locks /debug/events /debug/tuner /debug/hotlocks /debug/waiters /debug/flight /debug/pprof)\n", bound)
 	}
 
 	if *readonly && *workloadF != "dss" {
@@ -211,6 +233,11 @@ func main() {
 	if rs := db.Locks().ReleaseHist().Snapshot(); rs.Total > 0 {
 		fmt.Printf("commit release    p50 %s  p99 %s (%d releases)\n",
 			time.Duration(rs.Quantile(0.50)), time.Duration(rs.Quantile(0.99)), rs.Total)
+	}
+
+	if *profile {
+		fmt.Println()
+		fmt.Print(db.Locks().ContentionReport(10))
 	}
 
 	if *events > 0 {

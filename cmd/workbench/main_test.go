@@ -23,3 +23,25 @@ func TestValidateSurge(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateProfile(t *testing.T) {
+	cases := []struct {
+		name           string
+		profile        bool
+		ticks, clients int
+		wantErr        bool
+	}{
+		{"no profile, anything goes", false, 0, 0, false},
+		{"profile with workload", true, 600, 32, false},
+		{"profile without ticks", true, 0, 32, true},
+		{"profile with negative ticks", true, -1, 32, true},
+		{"profile without clients", true, 600, 0, true},
+	}
+	for _, tc := range cases {
+		err := validateProfile(tc.profile, tc.ticks, tc.clients)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateProfile(%v, %d, %d) = %v, wantErr=%v",
+				tc.name, tc.profile, tc.ticks, tc.clients, err, tc.wantErr)
+		}
+	}
+}

@@ -21,6 +21,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/baseline"
@@ -110,6 +111,10 @@ type Config struct {
 	// hold-time histograms (0 = default 64, negative = disabled); see
 	// lockmgr.Config.ObsSampleStride.
 	ObsSampleStride int
+	// ProfileDisabled switches the lock manager's contention profiler
+	// (hot-lock sketch, flight recorder, latch profile) off; see
+	// lockmgr.Config.ProfileDisabled.
+	ProfileDisabled bool
 }
 
 func (c *Config) fillDefaults() {
@@ -175,6 +180,7 @@ type Database struct {
 
 	decis    *obs.DecisionLog // tuning decisions (adaptive policy)
 	tuneHist *obs.Histogram   // TuneOnce wall-clock duration
+	ticks    atomic.Int64     // Tick() count, drives hot-lock decay epochs
 }
 
 // Open builds a Database from cfg.
@@ -221,6 +227,7 @@ func Open(cfg Config) (*Database, error) {
 		Events:          (*eventForwarder)(db),
 		Shards:          cfg.LockShards,
 		ObsSampleStride: cfg.ObsSampleStride,
+		ProfileDisabled: cfg.ProfileDisabled,
 	}
 
 	switch cfg.Policy {
@@ -456,11 +463,20 @@ func (f *eventForwarder) OnDenial(appID int, reason error) {
 	f.add(kind, appID, reason.Error())
 }
 
+// hotDecayEvery is the hot-lock decay epoch in ticks: every 64 ticks the
+// contention profiler halves its blame scores, aging past storms out of
+// the /debug/hotlocks ranking.
+const hotDecayEvery = 64
+
 // Tick performs the per-tick maintenance a real engine would run on
-// background threads: lock wait timeouts and deadlock detection.
+// background threads: lock wait timeouts, deadlock detection, and the
+// contention profiler's decay epoch.
 func (db *Database) Tick() {
 	db.locks.SweepTimeouts()
 	db.locks.DetectDeadlocks()
+	if db.ticks.Add(1)%hotDecayEvery == 0 {
+		db.locks.DecayHotLocks()
+	}
 }
 
 // Snapshot is a point-in-time view of the engine for metrics capture.

@@ -21,18 +21,26 @@ var live atomic.Pointer[Database]
 // Live returns the most recently opened Database (nil before any Open).
 func Live() *Database { return live.Load() }
 
+// queryEvents applies a /debug/events query (kind filter, then recency
+// limit) to the ring's retained window.
+func queryEvents(r *trace.Ring, q obs.EventQuery) []trace.Event {
+	evs := trace.Filter(r.Events(), q.Kind)
+	if q.Last > 0 && len(evs) > q.Last {
+		evs = evs[len(evs)-q.Last:]
+	}
+	return evs
+}
+
 // Handlers adapts this Database to the obs HTTP surface.
 func (db *Database) Handlers() obs.Handlers {
 	return obs.Handlers{
-		Metrics: db.WriteMetrics,
-		Locks:   func() any { return db.locks.DumpLocks() },
-		Events: func(n int) any {
-			if n > 0 {
-				return db.events.Tail(n)
-			}
-			return db.events.Events()
-		},
-		Tuner: func(q obs.TunerQuery) any { return db.decis.Query(q.Kind, q.N) },
+		Metrics:  db.WriteMetrics,
+		Locks:    func() any { return db.locks.DumpLocks() },
+		Events:   func(q obs.EventQuery) any { return queryEvents(db.events, q) },
+		Tuner:    func(q obs.TunerQuery) any { return db.decis.Query(q.Kind, q.N) },
+		Hotlocks: func(n int) any { return db.locks.HotLocks(n) },
+		Waiters:  func() any { return db.locks.DumpWaiters() },
+		Flight:   func(q obs.FlightQuery) any { return db.locks.FlightEvents(q.Shard, q.Last) },
 	}
 }
 
@@ -56,19 +64,33 @@ func LiveHandlers() obs.Handlers {
 			}
 			return nil
 		},
-		Events: func(n int) any {
-			db := Live()
-			if db == nil {
-				return nil
+		Events: func(q obs.EventQuery) any {
+			if db := Live(); db != nil {
+				return queryEvents(db.events, q)
 			}
-			if n > 0 {
-				return db.events.Tail(n)
-			}
-			return db.events.Events()
+			return nil
 		},
 		Tuner: func(q obs.TunerQuery) any {
 			if db := Live(); db != nil {
 				return db.decis.Query(q.Kind, q.N)
+			}
+			return nil
+		},
+		Hotlocks: func(n int) any {
+			if db := Live(); db != nil {
+				return db.locks.HotLocks(n)
+			}
+			return nil
+		},
+		Waiters: func() any {
+			if db := Live(); db != nil {
+				return db.locks.DumpWaiters()
+			}
+			return nil
+		},
+		Flight: func(q obs.FlightQuery) any {
+			if db := Live(); db != nil {
+				return db.locks.FlightEvents(q.Shard, q.Last)
 			}
 			return nil
 		},
@@ -159,9 +181,9 @@ func (db *Database) WriteMetrics(m *obs.MetricWriter) {
 		db.locks.FlushFollowerWaitCounters().Values())
 
 	// Event ring: lifetime per-kind totals (survive eviction) + eviction.
-	m.CounterMap("lockmem_events_total", "diagnostic events by kind", "kind",
+	m.CounterMap("lockmem_trace_events_total", "diagnostic events by kind", "kind",
 		kindTotalsToStrings(db.events.TotalByKind()))
-	m.Counter("lockmem_events_evicted_total", "events aged out of the ring", db.events.Evicted())
+	m.Counter("lockmem_trace_evicted_total", "events aged out of the ring", db.events.Evicted())
 
 	// Tuning-decision log.
 	m.CounterMap("lockmem_tuning_decisions_total", "tuning decisions by kind", "kind",
@@ -185,4 +207,34 @@ func (db *Database) WriteMetrics(m *obs.MetricWriter) {
 		db.locks.AdmissionHist().Snapshot(), 1e-9)
 	m.Histogram("lockmem_tuning_pass_seconds", "STMM TuneOnce duration (wall clock)",
 		db.tuneHist.Snapshot(), 1e-9)
+
+	// Contention profiler: the current top-10 hot locks as labelled gauges
+	// (blame is a decayed score, so these are gauges, not counters), plus
+	// the merged per-shard latch hold/wait profile when wall-clock sampling
+	// is on. Scrapes are lock-free like everything above.
+	if hot := db.locks.HotLocks(10); len(hot) > 0 {
+		blame := make(map[string]float64, len(hot))
+		wait := make(map[string]float64, len(hot))
+		qmax := make(map[string]float64, len(hot))
+		fb := make(map[string]float64, len(hot))
+		opt := make(map[string]float64, len(hot))
+		for _, hl := range hot {
+			blame[hl.Name] = float64(hl.BlameNs) * 1e-9
+			wait[hl.Name] = float64(hl.WaitNs) * 1e-9
+			qmax[hl.Name] = float64(hl.QueueDepthMax)
+			fb[hl.Name] = float64(hl.Fallbacks)
+			opt[hl.Name] = float64(hl.OptFailures)
+		}
+		m.GaugeMap("lockmem_hotlock_blame_seconds", "decayed contention blame of the top-K hot locks", "lock", blame)
+		m.GaugeMap("lockmem_hotlock_wait_seconds", "attributed wait time of the top-K hot locks", "lock", wait)
+		m.GaugeMap("lockmem_hotlock_queue_depth_max", "queue-depth high-water of the top-K hot locks", "lock", qmax)
+		m.GaugeMap("lockmem_hotlock_fallbacks", "fast-path fallbacks attributed to the top-K hot locks", "lock", fb)
+		m.GaugeMap("lockmem_hotlock_optimistic_failures", "optimistic validation failures attributed to the top-K hot locks", "lock", opt)
+	}
+	if lp := db.locks.LatchProfile(); lp != nil {
+		m.Histogram("lockmem_latch_hold_seconds", "shard-latch hold time (sampled, wall clock)",
+			lp.MergedHold(), 1e-9)
+		m.Histogram("lockmem_latch_wait_seconds", "contended shard-latch acquire time (wall clock)",
+			lp.MergedWait(), 1e-9)
+	}
 }

@@ -146,7 +146,7 @@ func (m *Manager) DetectDeadlocks() int {
 				}
 			}
 		}
-		s.mu.Unlock()
+		m.unlockShard(s)
 	}
 
 	// Phase 2: latch-free DFS over the snapshot graph, collecting each
@@ -265,7 +265,7 @@ func (m *Manager) validateAndBreak(cyc []waitEdge, waitingBy map[*Owner][]*reque
 	for _, req := range rest {
 		s := m.lockShard(m.shardOf(req.name))
 		n += m.denyVictimReq(victim, req)
-		s.mu.Unlock()
+		m.unlockShard(s)
 	}
 	return n
 }

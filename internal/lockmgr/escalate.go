@@ -1,5 +1,11 @@
 package lockmgr
 
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
 // Lock escalation (paper sections 1 and 2.2): when lock memory is
 // constrained, or an application exceeds lockPercentPerApplication, the
 // manager promotes the application's row locks on one table to a single
@@ -66,6 +72,11 @@ func (m *Manager) escalate(o *Owner, parked *request) bool {
 	}
 	if m.cfg.Events != nil {
 		m.cfg.Events.OnEscalation(o.app.id, victim, target)
+	}
+	if m.flight != nil {
+		tn := victimOT.tableReq.name
+		m.flightAdd(m.shardOf(tn), trace.KindEscalation, o.app.id,
+			fmt.Sprintf("%s to=%s owner=%d", tn, target, o.id))
 	}
 
 	if parked != nil {
@@ -166,7 +177,7 @@ func (m *Manager) freeEscalatedRows(o *Owner, table uint32) {
 			}
 			m.releaseGranted(e.r)
 		}
-		s.mu.Unlock()
+		m.unlockShard(s)
 	}
 }
 
@@ -185,15 +196,15 @@ func (m *Manager) retryParked(parked *request) {
 	s := m.lockShard(si)
 	s.delWaiting(parked)
 	if parked.pending == nil {
-		s.mu.Unlock()
+		m.unlockShard(s)
 		return // already denied (timed out) while parked
 	}
 	if st, _ := parked.pending.Status(); st != StatusWaiting {
-		s.mu.Unlock()
+		m.unlockShard(s)
 		return
 	}
 	ok := m.startRequest(s, si, parked, false)
-	s.mu.Unlock()
+	m.unlockShard(s)
 	if !ok {
 		// runGlobal survivor: same admission-of-last-resort rationale as
 		// AcquireAsync — the retry may itself need quota growth or a
@@ -221,5 +232,5 @@ func (m *Manager) abandonParked(parked *request, err error) {
 			m.deny(parked, err)
 		}
 	}
-	s.mu.Unlock()
+	m.unlockShard(s)
 }

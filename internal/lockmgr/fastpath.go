@@ -87,6 +87,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Grant-word field layout.
@@ -613,8 +614,13 @@ func (m *Manager) fastReleaseGated(o *Owner, name Name, si int, s *shard) bool {
 		return false
 	}
 	if !req.grantedAt.IsZero() {
-		m.holdHist.RecordStripe(si, time.Since(req.grantedAt).Nanoseconds())
+		held := time.Since(req.grantedAt).Nanoseconds()
+		m.holdHist.RecordStripe(si, held)
 		req.grantedAt = time.Time{}
+		if m.flight != nil {
+			m.flightAdd(si, trace.KindRelease, o.app.id,
+				fmt.Sprintf("%s mode=%s owner=%d held=%s (fast)", req.name, req.mode, o.id, time.Duration(held)))
+		}
 	}
 	h.removeGranted(o)
 	h.groupMode = Mode((nw >> wordGMShift) & wordGMMask)

@@ -140,7 +140,7 @@ func (m *Manager) releaseShardGrouped(si int, o *Owner, b *releaseBatch, d *rele
 			// broadcasts when it finishes.
 			m.drainStagedLocked(s, si, d)
 			m.finishShardVisit(s, si, d)
-			s.mu.Unlock()
+			m.unlockShard(s)
 			return
 		}
 		// Real latch contention on the commit path: arm the storm stage
@@ -221,7 +221,7 @@ func (m *Manager) maybeFlushShard(si int, d *releaseDrain) {
 			m.lockShard(si)
 			n := m.drainStagedLocked(s, si, d)
 			m.finishShardVisit(s, si, d)
-			s.mu.Unlock()
+			m.unlockShard(s)
 			s.relFlush.Store(0)
 			m.signalFlushed(s)
 			// Combining feedback: group drains keep the shard armed,
@@ -275,7 +275,7 @@ func (m *Manager) flushBackpressured(s *shard, si int, d *releaseDrain) {
 			m.lockShard(si)
 			m.drainStagedLocked(s, si, d)
 			m.finishShardVisit(s, si, d)
-			s.mu.Unlock()
+			m.unlockShard(s)
 			s.relFlush.Store(0)
 			m.signalFlushed(s)
 			return
@@ -358,7 +358,7 @@ func (m *Manager) flushAllStaged(d *releaseDrain) {
 				m.lockShard(si)
 				m.drainStagedLocked(s, si, d)
 				m.finishShardVisit(s, si, d)
-				s.mu.Unlock()
+				m.unlockShard(s)
 				s.relFlush.Store(0)
 				m.signalFlushed(s)
 				m.fireWakes(d)

@@ -77,7 +77,7 @@ func (m *Manager) DumpLocks() []LockInfo {
 			m.settleFast(s, h)
 			out = append(out, li)
 		}
-		s.mu.Unlock()
+		m.unlockShard(s)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Name, out[j].Name
@@ -483,6 +483,48 @@ func (m *Manager) checkInvariantsLocked() error {
 	}
 	if leased := m.chain.Reserved() - m.chain.Used(); leased != pooled {
 		return fmt.Errorf("lockmgr: chain leases %d structs beyond use, shard pools + fast credit hold %d", leased, pooled)
+	}
+
+	// Contention-profiler sketch cross-check (profiler.go). Under the
+	// stopped world every latched recorder is quiescent, so the sketch
+	// must be internally consistent with the lock table's own structure:
+	// every tracked key homes to the stripe it is filed under (the
+	// stripe-by-home-shard discipline all Observe calls follow), no key
+	// appears twice in one stripe, no counter is negative, and each
+	// stripe's Σ Score never exceeds its lifetime observed blame — the
+	// space-saving total identity (takeovers move score between keys,
+	// decay only shrinks it).
+	if m.hot != nil {
+		type stripeKey struct {
+			stripe int
+			name   Name
+		}
+		seen := make(map[stripeKey]struct{})
+		perStripe := make(map[int]int64)
+		for _, e := range m.hot.Entries() {
+			if got := m.shardOf(e.Key); got != e.Stripe {
+				return fmt.Errorf("lockmgr: hot sketch key %s filed on stripe %d, homes to shard %d", e.Key, e.Stripe, got)
+			}
+			sk := stripeKey{e.Stripe, e.Key}
+			if _, dup := seen[sk]; dup {
+				return fmt.Errorf("lockmgr: hot sketch key %s tracked twice on stripe %d", e.Key, e.Stripe)
+			}
+			seen[sk] = struct{}{}
+			if e.Score < 0 || e.Err < 0 {
+				return fmt.Errorf("lockmgr: hot sketch key %s has negative score %d / err %d", e.Key, e.Score, e.Err)
+			}
+			for mi, v := range e.Vals {
+				if v < 0 {
+					return fmt.Errorf("lockmgr: hot sketch key %s metric %d negative (%d)", e.Key, mi, v)
+				}
+			}
+			perStripe[e.Stripe] += e.Score
+		}
+		for stripe, sum := range perStripe {
+			if lifetime := m.hot.StripeObserved(stripe); sum > lifetime {
+				return fmt.Errorf("lockmgr: hot sketch stripe %d scores sum to %d, only %d blame ever observed", stripe, sum, lifetime)
+			}
+		}
 	}
 	return nil
 }

@@ -108,6 +108,7 @@ import (
 	"repro/internal/memblock"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Errors returned to lock requesters.
@@ -318,6 +319,12 @@ type Config struct {
 	// durations are always recorded — they use the manager's Clock, not
 	// the wall clock, and cost one atomic add at grant/deny.
 	ObsSampleStride int
+	// ProfileDisabled switches the contention profiler (hot-lock sketch,
+	// flight recorder, latch profile — see profiler.go) off entirely.
+	// The default (false) keeps it on: its hot-path cost is one or two
+	// uncontended atomic adds per contention event, benchmarked under 3%
+	// (see bench-obs-profiler).
+	ProfileDisabled bool
 }
 
 // App is a connected application, the unit of quota accounting.
@@ -928,10 +935,20 @@ const boxFreelistCap = 64
 // shard is one stripe of the lock table.
 type shard struct {
 	mu      sync.Mutex
+	idx     int // position in Manager.shards; set once at New
 	table   map[Name]*lockHeader
 	waiting map[*request]struct{}
-	pool    *memblock.Pool // lease cache; guarded by mu
-	hfree   []*lockHeader  // recycled headers (with empty granted maps)
+
+	// Latch-profile sampling state, guarded by mu: latchTick advances on
+	// every lockShard acquisition; when it hits the sampling stride the
+	// acquisition stamps holdT0 and the matching unlockShard records the
+	// hold time. Raw s.mu.Unlock() sites (runGlobal's descending sweep)
+	// simply leave a stale stamp, which the next lockShard clears before
+	// anything reads it.
+	latchTick uint64
+	holdT0    time.Time
+	pool      *memblock.Pool // lease cache; guarded by mu
+	hfree     []*lockHeader  // recycled headers (with empty granted maps)
 
 	// rfree is the shard's cache of recycled request+Pending boxes,
 	// guarded by mu like hfree; boxes are pushed (zeroed) by ReleaseAll
@@ -1167,6 +1184,17 @@ type Manager struct {
 	obsSampler  obs.Sampler
 	relSampler  obs.Sampler
 
+	// Contention profiler (profiler.go): the hot-lock blame sketch and
+	// per-shard flight recorder run on the manager's clock and are on
+	// unless Config.ProfileDisabled; the latch hold/wait profile is
+	// wall-clock and additionally obeys ObsSampleStride < 0. All
+	// nil-safe: a disabled profiler costs one predictable branch per
+	// hook.
+	hot             *obs.HotSketch[Name]
+	latchProf       *obs.LatchProf
+	flight          []*trace.Ring
+	latchSampleMask uint64
+
 	stats statCounters
 }
 
@@ -1244,11 +1272,13 @@ func New(cfg Config) *Manager {
 	}
 	for i := range m.shards {
 		s := &m.shards[i]
+		s.idx = i
 		s.table = make(map[Name]*lockHeader)
 		s.waiting = make(map[*request]struct{})
 		s.pool = m.chain.NewPool(cfg.LeaseChunk)
 		s.relCond = sync.NewCond(&s.relMu)
 	}
+	m.initProfiler(cfg, ns, stride)
 	return m
 }
 
@@ -1283,9 +1313,41 @@ func (m *Manager) lockShard(i int) *shard {
 	m.latchAcqs.Shard(i).Inc()
 	if !s.mu.TryLock() {
 		m.latchWaits.Shard(i).Inc()
-		s.mu.Lock()
+		if lp := m.latchProf; lp != nil {
+			// Contended acquire: the goroutine is about to block anyway,
+			// so the two clock reads are not on any fast path.
+			t0 := time.Now()
+			s.mu.Lock()
+			lp.RecordWait(i, time.Since(t0).Nanoseconds())
+		} else {
+			s.mu.Lock()
+		}
+	}
+	if m.latchProf != nil {
+		// Sampled hold-time stamp. The tick lives in the shard and
+		// advances under its latch — no shared cache line — and a stale
+		// stamp left by a raw unlock is cleared here before any
+		// unlockShard could read it.
+		s.latchTick++
+		if s.latchTick&m.latchSampleMask == 0 {
+			s.holdT0 = time.Now()
+		} else if !s.holdT0.IsZero() {
+			s.holdT0 = time.Time{}
+		}
 	}
 	return s
+}
+
+// unlockShard releases a latch taken by lockShard, recording the sampled
+// hold time when this acquisition was the one-in-stride stamped one. The
+// paired form is diagnostics only: raw s.mu.Unlock() remains correct
+// everywhere (the sample is simply dropped).
+func (m *Manager) unlockShard(s *shard) {
+	if lp := m.latchProf; lp != nil && !s.holdT0.IsZero() {
+		lp.RecordHold(s.idx, time.Since(s.holdT0).Nanoseconds())
+		s.holdT0 = time.Time{}
+	}
+	s.mu.Unlock()
 }
 
 // runGlobal executes f with every shard latch held (taken in ascending
@@ -1487,6 +1549,13 @@ func (m *Manager) acquireAsync(o *Owner, name Name, mode Mode, weight int, recyc
 		}
 	}
 	m.fastFallbacks.Shard(si).Inc()
+	// Attribute-only (zero blame): every latched acquisition lands here —
+	// including modes the fast path never attempts — so charging blame per
+	// fallback would let cold private keys churn the sketch's slots and
+	// evict genuinely wait-blamed locks. A zero-score observation credits
+	// the counter on already-tracked keys and is dropped otherwise, which
+	// also keeps this hook allocation- and CAS-free.
+	m.hot.Observe(si, name, 0, obs.HotFallbacks, 1)
 	// The request and its Pending are one allocation — and on a steady
 	// commit workload not even that: ReleaseAll recycles the boxes of
 	// committed transactions into the home shard's cache. The cache is
@@ -1520,7 +1589,7 @@ func (m *Manager) acquireAsync(o *Owner, name Name, mode Mode, weight int, recyc
 		// this path, so a dry shard self-heals here.)
 		m.maybeRefillFastCredit(s)
 	}
-	s.mu.Unlock()
+	m.unlockShard(s)
 	if !ok {
 		// The fast path backed out (quota or lease shortfall) without
 		// mutating anything; re-run the full admission pipeline with
@@ -1748,6 +1817,15 @@ func (m *Manager) enqueueWaiter(s *shard, si int, h *lockHeader, req *request) {
 	h.waiters = append(h.waiters, req)
 	req.header = h
 	s.addWaiting(req)
+	// Contention-profiler hooks: charge the enqueue and record the queue
+	// depth high-water, then log the wait in the shard's flight ring. The
+	// requester is about to park, so the Sprintf is off every fast path.
+	depth := len(h.converters) + len(h.waiters)
+	m.hot.Observe(si, h.name, hotEventBlameNs, obs.HotQueueMax, int64(depth))
+	if m.flight != nil {
+		m.flightAdd(si, trace.KindWait, req.owner.app.id,
+			fmt.Sprintf("%s mode=%s owner=%d depth=%d", h.name, req.mode, req.owner.id, depth))
+	}
 	m.settleFast(s, h)
 	if s.relHead.Load() != nil {
 		m.drainStagedInline(s, si)
@@ -1784,6 +1862,13 @@ func (m *Manager) startConversion(cur *request, target Mode, p *Pending, onGrant
 	m.beginWait(cur)
 	h.converters = append(h.converters, cur)
 	s.addWaiting(cur)
+	// Same profiler hooks as enqueueWaiter, for the converter queue.
+	depth := len(h.converters) + len(h.waiters)
+	m.hot.Observe(si, h.name, hotEventBlameNs, obs.HotQueueMax, int64(depth))
+	if m.flight != nil {
+		m.flightAdd(si, trace.KindWait, cur.owner.app.id,
+			fmt.Sprintf("%s convert=%s owner=%d depth=%d", h.name, target, cur.owner.id, depth))
+	}
 	m.settleFast(s, h)
 	// Same lost-trigger re-check as enqueueWaiter: a release staged during
 	// this latched section may hold exactly the incompatible grant this
@@ -2058,6 +2143,12 @@ func (m *Manager) grant(req *request) {
 // stopped world never observes a granted request still counted as waiting.
 func (m *Manager) grantDeferred(req *request, d *releaseDrain) {
 	m.stats.grants.Add(1)
+	if m.flight != nil && !req.waitStart.IsZero() {
+		si := m.shardOf(req.name)
+		m.flightAdd(si, trace.KindGrant, req.owner.app.id,
+			fmt.Sprintf("%s mode=%s owner=%d waited=%s",
+				req.name, req.effectiveMode(), req.owner.id, m.clk.Now().Sub(req.waitStart)))
+	}
 	m.endWait(req)
 	if req.obsSampled {
 		req.grantedAt = time.Now()
@@ -2277,8 +2368,16 @@ func (m *Manager) releaseOwnerStateLocked(req *request) {
 // take other owners' mutexes).
 func (m *Manager) finishRelease(s *shard, req *request) {
 	if !req.grantedAt.IsZero() {
-		m.holdHist.RecordStripe(m.shardOf(req.name), time.Since(req.grantedAt).Nanoseconds())
+		held := time.Since(req.grantedAt).Nanoseconds()
+		m.holdHist.RecordStripe(m.shardOf(req.name), held)
 		req.grantedAt = time.Time{}
+		if m.flight != nil {
+			// Sampled (same 1/stride population as the hold histogram),
+			// so the flight ring sees a representative release stream
+			// without a Sprintf per commit.
+			m.flightAdd(m.shardOf(req.name), trace.KindRelease, req.owner.app.id,
+				fmt.Sprintf("%s mode=%s owner=%d held=%s", req.name, req.mode, req.owner.id, time.Duration(held)))
+		}
 	}
 	h := req.header
 	m.sealFast(h)
@@ -2306,7 +2405,7 @@ func (m *Manager) Release(o *Owner, name Name) error {
 	req, ok := o.held.get(name)
 	if !ok {
 		o.mu.Unlock()
-		s.mu.Unlock()
+		m.unlockShard(s)
 		return fmt.Errorf("lockmgr: owner %d does not hold %v", o.id, name)
 	}
 	if req.converting {
@@ -2315,14 +2414,14 @@ func (m *Manager) Release(o *Owner, name Name) error {
 		o.mu.Unlock()
 		m.deny(req, ErrCanceled)
 		m.releaseGranted(req)
-		s.mu.Unlock()
+		m.unlockShard(s)
 		m.flushConts()
 		return nil
 	}
 	m.releaseOwnerStateLocked(req)
 	o.mu.Unlock()
 	m.finishRelease(s, req)
-	s.mu.Unlock()
+	m.unlockShard(s)
 	m.flushConts()
 	return nil
 }
@@ -2347,7 +2446,7 @@ func (m *Manager) cancel(o *Owner, name Name) {
 			break
 		}
 	}
-	s.mu.Unlock()
+	m.unlockShard(s)
 	m.flushConts()
 }
 
@@ -2483,7 +2582,7 @@ func (m *Manager) releaseAll(o *Owner, recycle bool) bool {
 		m.releaseShardPhase1(s, si, o, batch, false, drain)
 		m.relBatches.Shard(si).Inc()
 		m.finishShardVisit(s, si, drain)
-		s.mu.Unlock()
+		m.unlockShard(s)
 	}
 	// Flush triggers: the walk staged fire-and-forget batches on storming
 	// shards; before letting go, elect this committer flush leader on any
@@ -2907,7 +3006,11 @@ func (m *Manager) endWait(req *request) {
 	}
 	d := m.clk.Now().Sub(req.waitStart)
 	req.waitStart = time.Time{}
-	m.waitHist.RecordStripe(m.shardOf(req.name), int64(d))
+	si := m.shardOf(req.name)
+	m.waitHist.RecordStripe(si, int64(d))
+	// Blame the lock for the whole wait (manager clock — deterministic
+	// under the simulated clock). Nil-safe no-op when the profiler is off.
+	m.hot.Observe(si, req.name, int64(d), obs.HotWaitNs, int64(d))
 	req.owner.inWait.Add(-1)
 }
 
@@ -2953,7 +3056,7 @@ func (m *Manager) SweepTimeouts() int {
 			m.deny(req, ErrTimeout)
 			denied++
 		}
-		s.mu.Unlock()
+		m.unlockShard(s)
 	}
 	m.flushConts()
 	return denied
@@ -2979,7 +3082,7 @@ func (m *Manager) Resize(targetPages int) int {
 			s := m.lockShard(i)
 			m.drainFastCredit(s)
 			s.pool.Flush()
-			s.mu.Unlock()
+			m.unlockShard(s)
 		}
 		m.chain.ShrinkBest(cur - targetPages)
 	}
@@ -3048,7 +3151,7 @@ func (m *Manager) Stats() Stats {
 // HeldMode returns the mode the owner currently holds on name, or ModeNone.
 func (m *Manager) HeldMode(o *Owner, name Name) Mode {
 	s := m.lockShard(m.shardOf(name))
-	defer s.mu.Unlock()
+	defer m.unlockShard(s)
 	o.mu.Lock()
 	req, ok := o.held.get(name)
 	o.mu.Unlock()

@@ -79,6 +79,7 @@ import (
 	"runtime"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // OptToken is an epoch-stamped optimistic read token: evidence that mode
@@ -164,6 +165,9 @@ func (m *Manager) ValidateOptimistic(t OptToken) bool {
 	}
 	if w&(wordLk|wordFence) != 0 || !wordOptAdmit(w, t.mode) || t.h.epoch.Load() != t.epoch {
 		m.optFailures.Shard(int(t.si)).Inc()
+		// Blame the lock for the wasted optimistic read (latch-free — the
+		// sketch's CAS path tolerates racing validators).
+		m.hot.Observe(int(t.si), t.h.name, hotEventBlameNs, obs.HotOptFailures, 1)
 		return false
 	}
 	return true

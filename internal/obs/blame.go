@@ -1,0 +1,175 @@
+// blame.go turns a wait-for edge dump into the blocked-on blame report
+// behind /debug/waiters: per-owner "blocked on lock L held by owner O for
+// D" rows, convoy detection (N waiters queued behind one holder on one
+// lock), and the longest blocked-on chain. The edges come from the lock
+// manager's per-shard deadlock-detector export (one shard latch at a time,
+// never the all-shard latch); this file is pure graph analysis and knows
+// nothing about lock tables.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// BlameEdge is one observed wait: WaiterID's request on Lock is queued
+// behind HolderID (a granted holder, a converter, or an earlier waiter —
+// the same blocking relation the deadlock detector searches).
+type BlameEdge struct {
+	WaiterID  uint64 `json:"waiter"`
+	WaiterApp int    `json:"waiter_app"`
+	HolderID  uint64 `json:"holder"`
+	HolderApp int    `json:"holder_app"`
+	Lock      string `json:"lock"`
+	Mode      string `json:"mode"`
+	WaitNs    int64  `json:"wait_ns"`
+}
+
+// String renders the edge as the report's human-readable row.
+func (e BlameEdge) String() string {
+	return fmt.Sprintf("owner %d blocked on %s (mode %s) held by owner %d for %s",
+		e.WaiterID, e.Lock, e.Mode, e.HolderID, time.Duration(e.WaitNs))
+}
+
+// Convoy is N waiters queued behind one holder on one lock.
+type Convoy struct {
+	HolderID uint64 `json:"holder"`
+	Lock     string `json:"lock"`
+	Waiters  int    `json:"waiters"`
+}
+
+// BlameReport is the /debug/waiters payload.
+type BlameReport struct {
+	// Edges is the full dump, sorted (waiter, holder, lock) for a stable
+	// rendering; Rows is the same dump as human-readable lines.
+	Edges []BlameEdge `json:"edges"`
+	Rows  []string    `json:"rows"`
+	// Waiters counts distinct blocked owners.
+	Waiters int `json:"waiters"`
+	// Convoys lists (holder, lock) pairs with at least two distinct
+	// waiters behind them, most crowded first.
+	Convoys []Convoy `json:"convoys"`
+	// LongestChain is a maximal blocked-on owner chain (each owner waits
+	// on the next); LongestChainLen is its length in owners. Chains are
+	// cut at cycles (a genuine deadlock is the detector's job, not the
+	// profiler's), so the length is a lower bound in that rare window.
+	LongestChain    []uint64 `json:"longest_chain"`
+	LongestChainLen int      `json:"longest_chain_len"`
+}
+
+// BuildBlame assembles the report from an edge dump.
+func BuildBlame(edges []BlameEdge) BlameReport {
+	rep := BlameReport{Edges: append([]BlameEdge(nil), edges...)}
+	sort.Slice(rep.Edges, func(i, j int) bool {
+		a, b := rep.Edges[i], rep.Edges[j]
+		if a.WaiterID != b.WaiterID {
+			return a.WaiterID < b.WaiterID
+		}
+		if a.HolderID != b.HolderID {
+			return a.HolderID < b.HolderID
+		}
+		return a.Lock < b.Lock
+	})
+	rep.Rows = make([]string, len(rep.Edges))
+	for i, e := range rep.Edges {
+		rep.Rows[i] = e.String()
+	}
+
+	// Distinct blocked owners, convoy groups, and the owner adjacency.
+	waiters := make(map[uint64]struct{})
+	type convoyKey struct {
+		holder uint64
+		lock   string
+	}
+	convoy := make(map[convoyKey]map[uint64]struct{})
+	next := make(map[uint64][]uint64) // waiter → holders, deduped
+	seen := make(map[[2]uint64]struct{})
+	for _, e := range rep.Edges {
+		waiters[e.WaiterID] = struct{}{}
+		ck := convoyKey{e.HolderID, e.Lock}
+		if convoy[ck] == nil {
+			convoy[ck] = make(map[uint64]struct{})
+		}
+		convoy[ck][e.WaiterID] = struct{}{}
+		pair := [2]uint64{e.WaiterID, e.HolderID}
+		if _, dup := seen[pair]; !dup && e.WaiterID != e.HolderID {
+			seen[pair] = struct{}{}
+			next[e.WaiterID] = append(next[e.WaiterID], e.HolderID)
+		}
+	}
+	rep.Waiters = len(waiters)
+	for ck, ws := range convoy {
+		if len(ws) >= 2 {
+			rep.Convoys = append(rep.Convoys, Convoy{HolderID: ck.holder, Lock: ck.lock, Waiters: len(ws)})
+		}
+	}
+	sort.Slice(rep.Convoys, func(i, j int) bool {
+		a, b := rep.Convoys[i], rep.Convoys[j]
+		if a.Waiters != b.Waiters {
+			return a.Waiters > b.Waiters
+		}
+		if a.HolderID != b.HolderID {
+			return a.HolderID < b.HolderID
+		}
+		return a.Lock < b.Lock
+	})
+
+	// Longest blocked-on chain: memoized depth-first walk over the owner
+	// graph, deterministic (adjacency sorted) and cycle-cut (an on-stack
+	// target contributes nothing).
+	for _, hs := range next {
+		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	}
+	depth := make(map[uint64]int)  // longest chain starting at owner
+	via := make(map[uint64]uint64) // successor achieving that depth
+	onStack := make(map[uint64]bool)
+	var dfs func(o uint64) int
+	dfs = func(o uint64) int {
+		if d, ok := depth[o]; ok {
+			return d
+		}
+		if onStack[o] {
+			return 0
+		}
+		onStack[o] = true
+		best, bestVia := 0, uint64(0)
+		for _, to := range next[o] {
+			if d := dfs(to); d > best {
+				best, bestVia = d, to
+			}
+		}
+		onStack[o] = false
+		d := best + 1
+		if best > 0 {
+			via[o] = bestVia
+		}
+		depth[o] = d
+		return d
+	}
+	starts := make([]uint64, 0, len(next))
+	for o := range next {
+		starts = append(starts, o)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	bestStart, bestLen := uint64(0), 0
+	for _, o := range starts {
+		if d := dfs(o); d > bestLen {
+			bestStart, bestLen = o, d
+		}
+	}
+	if bestLen > 0 {
+		rep.LongestChainLen = bestLen
+		o := bestStart
+		rep.LongestChain = append(rep.LongestChain, o)
+		for {
+			to, ok := via[o]
+			if !ok {
+				break
+			}
+			rep.LongestChain = append(rep.LongestChain, to)
+			o = to
+		}
+	}
+	return rep
+}

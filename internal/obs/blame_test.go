@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func edge(waiter, holder uint64, lock string) BlameEdge {
+	return BlameEdge{WaiterID: waiter, HolderID: holder, Lock: lock, Mode: "X", WaitNs: 1e6}
+}
+
+func TestBuildBlameEmpty(t *testing.T) {
+	rep := BuildBlame(nil)
+	if rep.Waiters != 0 || len(rep.Convoys) != 0 || rep.LongestChainLen != 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+}
+
+func TestBuildBlameRowsAndWaiters(t *testing.T) {
+	rep := BuildBlame([]BlameEdge{
+		edge(3, 1, "row(1.7)"),
+		edge(2, 1, "row(1.7)"),
+		edge(2, 4, "row(2.9)"), // one waiter blocked behind two holders
+	})
+	if rep.Waiters != 2 {
+		t.Fatalf("waiters = %d, want 2", rep.Waiters)
+	}
+	// Sorted (waiter, holder, lock).
+	if rep.Edges[0].WaiterID != 2 || rep.Edges[0].HolderID != 1 ||
+		rep.Edges[1].HolderID != 4 || rep.Edges[2].WaiterID != 3 {
+		t.Fatalf("edge order: %+v", rep.Edges)
+	}
+	if len(rep.Rows) != 3 || !strings.Contains(rep.Rows[0], "owner 2 blocked on row(1.7) (mode X) held by owner 1") {
+		t.Fatalf("rows: %v", rep.Rows)
+	}
+}
+
+func TestBuildBlameConvoys(t *testing.T) {
+	var edges []BlameEdge
+	// Five waiters behind holder 1 on one lock; two behind holder 9 on
+	// another; a lone waiter behind holder 20 (not a convoy).
+	for w := uint64(2); w <= 6; w++ {
+		edges = append(edges, edge(w, 1, "row(5.1)"))
+	}
+	edges = append(edges, edge(7, 9, "row(6.2)"), edge(8, 9, "row(6.2)"))
+	edges = append(edges, edge(10, 20, "row(7.3)"))
+	// A duplicate edge must not inflate the waiter count.
+	edges = append(edges, edge(2, 1, "row(5.1)"))
+
+	rep := BuildBlame(edges)
+	if len(rep.Convoys) != 2 {
+		t.Fatalf("convoys: %+v", rep.Convoys)
+	}
+	if rep.Convoys[0].HolderID != 1 || rep.Convoys[0].Waiters != 5 || rep.Convoys[0].Lock != "row(5.1)" {
+		t.Fatalf("most crowded convoy first: %+v", rep.Convoys[0])
+	}
+	if rep.Convoys[1].HolderID != 9 || rep.Convoys[1].Waiters != 2 {
+		t.Fatalf("second convoy: %+v", rep.Convoys[1])
+	}
+}
+
+func TestBuildBlameLongestChain(t *testing.T) {
+	// 5 → 4 → 3 → 2 → 1 plus a short branch 6 → 1.
+	rep := BuildBlame([]BlameEdge{
+		edge(5, 4, "a"), edge(4, 3, "b"), edge(3, 2, "c"), edge(2, 1, "d"),
+		edge(6, 1, "e"),
+	})
+	if rep.LongestChainLen != 5 {
+		t.Fatalf("chain len = %d, want 5", rep.LongestChainLen)
+	}
+	if want := []uint64{5, 4, 3, 2, 1}; !reflect.DeepEqual(rep.LongestChain, want) {
+		t.Fatalf("chain = %v, want %v", rep.LongestChain, want)
+	}
+}
+
+// TestBuildBlameCycleCut: a cycle (a genuine deadlock mid-detection) must
+// not hang or panic the walk; the chain is cut at the repeated owner.
+func TestBuildBlameCycleCut(t *testing.T) {
+	rep := BuildBlame([]BlameEdge{
+		edge(1, 2, "a"), edge(2, 3, "b"), edge(3, 1, "c"), // 3-cycle
+		edge(9, 1, "d"), // tail into the cycle
+	})
+	if rep.LongestChainLen < 3 || rep.LongestChainLen > 4 {
+		t.Fatalf("cycle chain len = %d (%v)", rep.LongestChainLen, rep.LongestChain)
+	}
+	seen := make(map[uint64]bool)
+	for _, o := range rep.LongestChain {
+		if seen[o] {
+			t.Fatalf("chain revisits owner %d: %v", o, rep.LongestChain)
+		}
+		seen[o] = true
+	}
+}
+
+// TestBuildBlameDeterministic shuffles the same edge dump and checks the
+// whole report — edges, convoys, chain — is order-independent.
+func TestBuildBlameDeterministic(t *testing.T) {
+	base := []BlameEdge{
+		edge(5, 4, "a"), edge(4, 3, "b"), edge(3, 2, "c"),
+		edge(7, 4, "a"), edge(8, 4, "a"), edge(9, 3, "b"),
+	}
+	ref := BuildBlame(base)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]BlameEdge(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := BuildBlame(shuffled)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("report depends on edge order:\n%+v\nvs\n%+v", got, ref)
+		}
+	}
+}

@@ -82,6 +82,67 @@ func TestMergeAssociativeAndCommutative(t *testing.T) {
 	}
 }
 
+// TestQuantileBoundSurvivesMergeOrder is the merge-order property test:
+// one value stream split across many histograms (as the per-shard latch
+// profiles and per-stripe wait histograms split theirs), whose snapshots
+// are then merged in random orders. Every merge order must produce the
+// identical snapshot, and that snapshot's quantiles must satisfy the same
+// factor-of-two bound as a single histogram fed the whole stream.
+func TestQuantileBoundSurvivesMergeOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const parts = 9
+	hs := make([]*Histogram, parts)
+	for i := range hs {
+		hs[i] = NewHistogram("t", "ns", 2)
+	}
+	vals := make([]int64, 0, 30000)
+	for i := 0; i < 30000; i++ {
+		v := int64(math.Exp(rng.Float64()*14)) + 1
+		vals = append(vals, v)
+		// Skewed split: part 0 sees half the stream, the rest share it.
+		p := 0
+		if rng.Intn(2) == 0 {
+			p = 1 + rng.Intn(parts-1)
+		}
+		hs[p].RecordStripe(i, v)
+	}
+	snaps := make([]Snapshot, parts)
+	for i, h := range hs {
+		snaps[i] = h.Snapshot()
+	}
+
+	var ref Snapshot
+	for trial := 0; trial < 20; trial++ {
+		order := rng.Perm(parts)
+		var merged Snapshot
+		for _, i := range order {
+			merged = merged.Merge(snaps[i])
+		}
+		if trial == 0 {
+			ref = merged
+			continue
+		}
+		if merged != ref {
+			t.Fatalf("merge order %v produced a different snapshot", order)
+		}
+	}
+	if ref.Total != uint64(len(vals)) {
+		t.Fatalf("merged total %d, want %d", ref.Total, len(vals))
+	}
+	sortInt64(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(len(vals)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		truth := float64(vals[rank])
+		est := ref.Quantile(q)
+		if ratio := est / truth; ratio <= 0.5 || ratio > 2.0 {
+			t.Errorf("q=%g: merged estimate %g vs truth %g (ratio %g) outside (1/2, 2]", q, est, truth, ratio)
+		}
+	}
+}
+
 // TestQuantileAccuracyBound checks the documented factor-of-two bound:
 // for values recorded from a known distribution, the estimated quantile
 // must satisfy estimate/true ∈ (1/2, 2].

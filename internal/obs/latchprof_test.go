@@ -1,0 +1,47 @@
+package obs
+
+import "testing"
+
+func TestLatchProfRecordAndMerge(t *testing.T) {
+	lp := NewLatchProf(4)
+	if lp.Shards() != 4 {
+		t.Fatalf("shards = %d", lp.Shards())
+	}
+	lp.RecordHold(0, 100)
+	lp.RecordHold(2, 100)
+	lp.RecordWait(2, 5000)
+	if got := lp.Hold(0).Total; got != 1 {
+		t.Fatalf("shard 0 holds = %d", got)
+	}
+	if got := lp.Hold(1).Total; got != 0 {
+		t.Fatalf("shard 1 holds = %d", got)
+	}
+	if got := lp.MergedHold().Total; got != 2 {
+		t.Fatalf("merged holds = %d", got)
+	}
+	if got := lp.MergedWait().Total; got != 1 {
+		t.Fatalf("merged waits = %d", got)
+	}
+	// Shard index wraps rather than panicking (defensive: callers index by
+	// home shard, which is already in range).
+	lp.RecordHold(6, 100)
+	if got := lp.Hold(2).Total; got != 2 {
+		t.Fatalf("wrapped record landed elsewhere: %d", got)
+	}
+}
+
+func TestLatchProfNilSafe(t *testing.T) {
+	var lp *LatchProf
+	lp.RecordHold(0, 1)
+	lp.RecordWait(0, 1)
+	if lp.Shards() != 0 || lp.Hold(0).Total != 0 || lp.Wait(0).Total != 0 ||
+		lp.MergedHold().Total != 0 || lp.MergedWait().Total != 0 {
+		t.Fatal("nil LatchProf must no-op")
+	}
+}
+
+func TestLatchProfMinimumShards(t *testing.T) {
+	if got := NewLatchProf(0).Shards(); got != 1 {
+		t.Fatalf("0 shards gave %d, want 1", got)
+	}
+}

@@ -57,6 +57,21 @@ func (m *MetricWriter) CounterMap(name, help, label string, vals map[string]int6
 	}
 }
 
+// GaugeMap emits one gauge per key, labelled {label="key"}, keys in
+// sorted order so output is deterministic. The hot-lock top-K exposition
+// uses this: a lock's blame is a decayed score, not a monotone counter.
+func (m *MetricWriter) GaugeMap(name, help, label string, vals map[string]float64) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(m.w, "%s{%s=%q} %s\n", name, label, k, formatFloat(vals[k]))
+	}
+}
+
 // Histogram emits a Snapshot as a Prometheus histogram: cumulative
 // `_bucket{le="..."}` samples for every non-empty bucket (plus the
 // mandatory +Inf bucket), `_sum`, and `_count`. scale multiplies the

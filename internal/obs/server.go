@@ -17,6 +17,22 @@ type TunerQuery struct {
 	N    int
 }
 
+// EventQuery narrows a /debug/events request: Kind filters by event kind
+// name (empty = all), Last limits to the most recent N matching events
+// (0 = all retained).
+type EventQuery struct {
+	Kind string
+	Last int
+}
+
+// FlightQuery narrows a /debug/flight request: Shard selects one shard's
+// flight ring (negative = all shards merged), Last limits to the most
+// recent N events (0 = all retained).
+type FlightQuery struct {
+	Shard int
+	Last  int
+}
+
 // Handlers supplies the data behind the debug endpoints. Each callback is
 // invoked per request, so the mux always serves the live engine state;
 // nil callbacks answer 404 (surface not wired). Callbacks returning any
@@ -27,9 +43,17 @@ type Handlers struct {
 	// Locks returns the current lock-table dump (/debug/locks).
 	Locks func() any
 	// Events returns recent trace events (/debug/events, newest last).
-	Events func(n int) any
+	Events func(q EventQuery) any
 	// Tuner returns tuning decisions matching the query (/debug/tuner).
 	Tuner func(q TunerQuery) any
+	// Hotlocks returns the contention profiler's current top-N hot locks
+	// (/debug/hotlocks).
+	Hotlocks func(n int) any
+	// Waiters returns the live blocked-on blame report (/debug/waiters).
+	Waiters func() any
+	// Flight returns flight-recorder events matching the query
+	// (/debug/flight).
+	Flight func(q FlightQuery) any
 }
 
 // NewMux builds the observability mux: /metrics (Prometheus text),
@@ -61,7 +85,38 @@ func NewMux(h Handlers) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		writeJSON(w, h.Events(intParam(r, "n", 0)))
+		// ?last= is the documented limit; ?n= stays as an alias so the
+		// pre-profiler URLs keep working.
+		last := intParam(r, "last", 0)
+		if last == 0 {
+			last = intParam(r, "n", 0)
+		}
+		writeJSON(w, h.Events(EventQuery{Kind: r.URL.Query().Get("kind"), Last: last}))
+	})
+
+	mux.HandleFunc("/debug/hotlocks", func(w http.ResponseWriter, r *http.Request) {
+		if h.Hotlocks == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, h.Hotlocks(intParam(r, "n", 10)))
+	})
+
+	mux.HandleFunc("/debug/waiters", func(w http.ResponseWriter, r *http.Request) {
+		if h.Waiters == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, h.Waiters())
+	})
+
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		if h.Flight == nil {
+			http.NotFound(w, r)
+			return
+		}
+		q := FlightQuery{Shard: intParam(r, "shard", -1), Last: intParam(r, "last", 0)}
+		writeJSON(w, h.Flight(q))
 	})
 
 	mux.HandleFunc("/debug/tuner", func(w http.ResponseWriter, r *http.Request) {
@@ -90,8 +145,11 @@ func NewMux(h Handlers) *http.ServeMux {
 		fmt.Fprint(w, "lockmem observability\n\n"+
 			"  /metrics        Prometheus text exposition\n"+
 			"  /debug/locks    live lock-table dump (JSON)\n"+
-			"  /debug/events   recent trace events (?n=50)\n"+
+			"  /debug/events   recent trace events (?last=50&kind=escalation)\n"+
 			"  /debug/tuner    tuning decisions (?n=20&kind=tuning-pass)\n"+
+			"  /debug/hotlocks contention profiler top-K hot locks (?n=10)\n"+
+			"  /debug/waiters  live blocked-on blame report (JSON)\n"+
+			"  /debug/flight   flight-recorder events (?shard=3&last=50)\n"+
 			"  /debug/pprof/   Go runtime profiles\n")
 	})
 

@@ -68,10 +68,13 @@ func TestMuxEndpoints(t *testing.T) {
 	mux := NewMux(Handlers{
 		Metrics: func(m *MetricWriter) { m.Counter("up", "liveness", 1) },
 		Locks:   func() any { return []string{"row(1.2)"} },
-		Events:  func(n int) any { return map[string]int{"n": n} },
+		Events:  func(q EventQuery) any { return map[string]any{"kind": q.Kind, "last": q.Last} },
 		Tuner: func(q TunerQuery) any {
 			return log.Query(q.Kind, q.N)
 		},
+		Hotlocks: func(n int) any { return map[string]int{"topk": n} },
+		Waiters:  func() any { return BuildBlame(nil) },
+		Flight:   func(q FlightQuery) any { return map[string]int{"shard": q.Shard, "last": q.Last} },
 	})
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
@@ -100,8 +103,38 @@ func TestMuxEndpoints(t *testing.T) {
 	}
 
 	code, body, _ = get("/debug/events?n=5")
-	if code != 200 || !strings.Contains(body, `"n": 5`) {
-		t.Errorf("/debug/events: %d %q", code, body)
+	if code != 200 || !strings.Contains(body, `"last": 5`) {
+		t.Errorf("/debug/events ?n= alias: %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/events?last=7&kind=escalation")
+	if code != 200 || !strings.Contains(body, `"last": 7`) || !strings.Contains(body, `"kind": "escalation"`) {
+		t.Errorf("/debug/events ?last=&kind=: %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/hotlocks?n=3")
+	if code != 200 || !strings.Contains(body, `"topk": 3`) {
+		t.Errorf("/debug/hotlocks: %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/hotlocks")
+	if code != 200 || !strings.Contains(body, `"topk": 10`) {
+		t.Errorf("/debug/hotlocks default n: %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/waiters")
+	if code != 200 || !strings.Contains(body, `"waiters": 0`) {
+		t.Errorf("/debug/waiters: %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/flight?shard=2&last=9")
+	if code != 200 || !strings.Contains(body, `"shard": 2`) || !strings.Contains(body, `"last": 9`) {
+		t.Errorf("/debug/flight: %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/flight")
+	if code != 200 || !strings.Contains(body, `"shard": -1`) {
+		t.Errorf("/debug/flight default shard: %d %q", code, body)
 	}
 
 	code, body, _ = get("/debug/tuner?kind=sync-growth")
@@ -136,7 +169,7 @@ func TestMuxEndpoints(t *testing.T) {
 func TestMuxNilHandlers(t *testing.T) {
 	srv := httptest.NewServer(NewMux(Handlers{}))
 	defer srv.Close()
-	for _, p := range []string{"/metrics", "/debug/locks", "/debug/events", "/debug/tuner"} {
+	for _, p := range []string{"/metrics", "/debug/locks", "/debug/events", "/debug/tuner", "/debug/hotlocks", "/debug/waiters", "/debug/flight"} {
 		resp, err := http.Get(srv.URL + p)
 		if err != nil {
 			t.Fatal(err)

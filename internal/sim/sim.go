@@ -157,6 +157,11 @@ func Run(cfg Config) *Result {
 	// deterministic — all zeros under the fake clock, real latencies live.
 	releaseP99 := set.Series("lock release p99", "ms")
 	admitP99 := set.Series("admission p99", "µs")
+	// Hot-lock blame sums the contention profiler's decayed sketch scores.
+	// Wait blame is stamped on the engine clock and event blame is a fixed
+	// charge, so under the fake clock the series is byte-deterministic —
+	// the determinism test pins the profiler's attribution itself.
+	hotBlame := set.Series("hot-lock blame", "ms")
 
 	res := &Result{Series: set}
 	var lastCommits int64
@@ -195,6 +200,11 @@ func Run(cfg Config) *Result {
 		cfg.DB.Locks().SweepTimeouts()
 		if detectEvery > 0 && tick%detectEvery == 0 {
 			cfg.DB.Locks().DetectDeadlocks()
+		}
+		// Same decay epoch the engine's Tick runs: deterministic, since it
+		// is keyed to the tick counter, not any clock.
+		if (tick+1)%64 == 0 {
+			cfg.DB.Locks().DecayHotLocks()
 		}
 		if (tick+1)%cfg.TuneEvery == 0 {
 			if rep, ok := cfg.DB.TuneOnce(); ok {
@@ -243,6 +253,7 @@ func Run(cfg Config) *Result {
 			waitP99.Record(now, ws.Quantile(0.99)/1e6)
 			releaseP99.Record(now, cfg.DB.Locks().ReleaseHist().Snapshot().Quantile(0.99)/1e6)
 			admitP99.Record(now, cfg.DB.Locks().AdmissionHist().Snapshot().Quantile(0.99)/1e3)
+			hotBlame.Record(now, float64(cfg.DB.Locks().HotLockBlameNs())/1e6)
 		}
 	}
 

@@ -22,6 +22,11 @@ const (
 	KindTimeout
 	KindQuotaDenial
 	KindMemoryDenial
+	// Flight-recorder kinds (the lock manager's per-shard rings): a wait
+	// beginning, a grant (after a wait, or sampled), and a sampled release.
+	KindGrant
+	KindWait
+	KindRelease
 )
 
 func (k Kind) String() string {
@@ -40,6 +45,12 @@ func (k Kind) String() string {
 		return "quota-denial"
 	case KindMemoryDenial:
 		return "memory-denial"
+	case KindGrant:
+		return "grant"
+	case KindWait:
+		return "wait"
+	case KindRelease:
+		return "release"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -153,6 +164,22 @@ func (r *Ring) CountByKind() map[Kind]int {
 	out := make(map[Kind]int)
 	for _, e := range r.Events() {
 		out[e.Kind]++
+	}
+	return out
+}
+
+// Filter returns the events whose kind renders as the given name
+// ("escalation", "grant", ...), preserving order. An empty kind keeps
+// everything — the /debug/events ?kind= contract.
+func Filter(evs []Event, kind string) []Event {
+	if kind == "" {
+		return evs
+	}
+	out := evs[:0:0]
+	for _, e := range evs {
+		if e.Kind.String() == kind {
+			out = append(out, e)
+		}
 	}
 	return out
 }

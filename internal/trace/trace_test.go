@@ -16,7 +16,8 @@ func TestKindStrings(t *testing.T) {
 		KindEscalation: "escalation", KindSyncGrowth: "sync-growth",
 		KindTuningPass: "tuning-pass", KindDeadlock: "deadlock",
 		KindTimeout: "timeout", KindQuotaDenial: "quota-denial",
-		KindMemoryDenial: "memory-denial",
+		KindMemoryDenial: "memory-denial", KindGrant: "grant",
+		KindWait: "wait", KindRelease: "release",
 	} {
 		if kind.String() != want {
 			t.Errorf("%d = %q", kind, kind.String())
@@ -76,6 +77,29 @@ func TestCountByKind(t *testing.T) {
 	counts := r.CountByKind()
 	if counts[KindEscalation] != 2 || counts[KindSyncGrowth] != 1 {
 		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	evs := []Event{
+		ev(KindGrant, "g1"), ev(KindWait, "w1"), ev(KindGrant, "g2"),
+		ev(KindRelease, "r1"), ev(KindEscalation, "e1"),
+	}
+	got := Filter(evs, "grant")
+	if len(got) != 2 || got[0].Detail != "g1" || got[1].Detail != "g2" {
+		t.Fatalf("Filter(grant) = %v", got)
+	}
+	// Empty kind passes everything through, order preserved.
+	if all := Filter(evs, ""); len(all) != len(evs) {
+		t.Fatalf("Filter(\"\") kept %d of %d", len(all), len(evs))
+	}
+	if none := Filter(evs, "no-such-kind"); len(none) != 0 {
+		t.Fatalf("Filter(unknown) = %v", none)
+	}
+	// The filtered slice must not alias the input's backing array.
+	got[0].Detail = "mutated"
+	if evs[0].Detail != "g1" {
+		t.Fatal("Filter aliased its input")
 	}
 }
 
