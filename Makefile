@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-obs-profiler bench-commit bench-read bench-diff smoke-read smoke-commit smoke-profile obs-demo verify fmt vet
+.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-obs-profiler bench-commit bench-read bench-latch bench-diff smoke-read smoke-commit smoke-profile smoke-latch obs-demo verify fmt vet
 
 all: build
 
@@ -11,13 +11,14 @@ test:
 	$(GO) test ./...
 
 # Race-detector runs for the concurrency-sensitive packages: the sharded
-# lock table, its block-chain lease pools, the engine facade that exposes
-# the latch-free snapshot path, the lock-free observability primitives
-# (striped histograms, decision log), the event ring, and the transaction
-# layer (optimistic read tokens validated against concurrent writers).
+# lock table, its spin-then-park shard latch, its block-chain lease pools,
+# the engine facade that exposes the latch-free snapshot path, the
+# lock-free observability primitives (striped histograms, decision log),
+# the event ring, and the transaction layer (optimistic read tokens
+# validated against concurrent writers).
 race:
-	$(GO) test -race ./internal/lockmgr ./internal/memblock ./internal/engine \
-		./internal/obs ./internal/trace ./internal/txn
+	$(GO) test -race ./internal/latch ./internal/lockmgr ./internal/memblock \
+		./internal/engine ./internal/obs ./internal/trace ./internal/txn
 
 bench: bench-lock
 
@@ -81,6 +82,23 @@ bench-read:
 	BENCH_JSON=$${BENCH_JSON:-BENCH_READPATH_OPTIMISTIC.json} \
 		$(GO) test -run xxx -bench 'BenchmarkLockScalability/(readmostly|dss)' -benchtime 1s .
 
+# bench-latch runs the shard-latch A/B (hotkey + commitstorm + readmostly
+# at 16/64 goroutines) twice: once with a fixed 64-spin budget (the naive
+# fixed-spin latch, LATCH_SPIN=64) into BENCH_LATCH_BASELINE.json, once
+# under the adaptive controller (LATCH_SPIN unset) into
+# BENCH_LATCH_ADAPTIVE.json. The pinned iteration count means both legs do
+# identical work (work-for-work comparison, no go-bench sizing probes),
+# and -count 3 emits three independent runs per shape — contended waits on
+# a loaded box are scheduler-quantized and run-to-run noisy, so compare
+# pooled means (sum of mean_wait_ns×contended over sum of contended), not
+# single rows. EXPERIMENTS.md records the acceptance numbers.
+bench-latch:
+	rm -f BENCH_LATCH_BASELINE.json BENCH_LATCH_ADAPTIVE.json
+	BENCH_JSON=BENCH_LATCH_BASELINE.json LATCH_SPIN=64 \
+		$(GO) test -run xxx -bench BenchmarkLatchContention -benchtime 3000000x -count 3 .
+	BENCH_JSON=BENCH_LATCH_ADAPTIVE.json \
+		$(GO) test -run xxx -bench BenchmarkLatchContention -benchtime 3000000x -count 3 .
+
 # bench-diff compares two BENCH_*.json trajectory files produced by the
 # benchmarks above, printing per-shape deltas (grants/sec, commits/sec,
 # hit rates). Usage: make bench-diff OLD=BENCH_READPATH_FASTPATH.json \
@@ -127,6 +145,23 @@ smoke-profile: build
 	echo "smoke-profile: hot locks + wait edges OK"; \
 	wait $$pid
 
+# smoke-latch runs the workbench commitstorm workload with the HTTP
+# surface up and asserts the spin-then-park latch counters are on
+# /metrics: the three lockmem_latch_{spins,parks,handoffs}_total families
+# must be served per shard (values may be zero mid-run — the assertion is
+# that the instrumented latch is wired into the exposition, not that the
+# sim contends).
+smoke-latch: build
+	@set -e; \
+	$(GO) run ./cmd/workbench -workload commitstorm -clients 64 -ticks 400 \
+		-chart=false -events 0 -http 127.0.0.1:8374 -serve-for 5s >/dev/null & \
+	pid=$$!; sleep 3; \
+	curl -sf http://127.0.0.1:8374/metrics | grep -m1 'lockmem_latch_spins_total{shard="0"}'; \
+	curl -sf http://127.0.0.1:8374/metrics | grep -m1 'lockmem_latch_parks_total{shard="0"}'; \
+	curl -sf http://127.0.0.1:8374/metrics | grep -m1 'lockmem_latch_handoffs_total{shard="0"}'; \
+	echo "smoke-latch: latch counters OK"; \
+	wait $$pid
+
 # obs-demo runs the workbench surge workload with the HTTP surface up and
 # curls it mid-run: /metrics must serve lock-wait histogram buckets and
 # per-shard latch-wait counters; /debug/tuner must serve decision records.
@@ -145,8 +180,9 @@ obs-demo: build
 # verify is the tier-1 gate (see ROADMAP.md): formatting, vet, build, the
 # full test suite, the race-detector pass over the concurrency-sensitive
 # packages, and one-iteration smoke runs of the read-path benches, the
-# group-release commit path, and the contention profiler's live endpoints.
-verify: fmt vet build test race smoke-read smoke-commit smoke-profile
+# group-release commit path, the contention profiler's live endpoints, and
+# the spin-then-park latch counters on /metrics.
+verify: fmt vet build test race smoke-read smoke-commit smoke-profile smoke-latch
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -71,6 +71,8 @@ func main() {
 			"workload shape: oltp | readmostly (90% S/IS on a shared hot set, 10% X — the latch-free admission regime) | dss (≥99% S reporting scans over a shared hot set — the zero-CAS optimistic regime) | commitstorm (short X transactions confined to a few hot shards — the group-release regime)")
 		minCoalesced = flag.Int64("min-coalesced", -1,
 			"exit 1 unless the run coalesced at least this many grant wakeups (-1 disables; smoke-test hook)")
+		latchSpin = flag.Int("latch-spin", -1,
+			"shard-latch spin budget: -1 = adaptive controller, 0 = park immediately, n>0 = fixed budget")
 		readonly = flag.Bool("readonly", false,
 			"run dss scans as readonly transactions (optimistic tokens validated at commit; dss workload only)")
 		profile  = flag.Bool("profile", false, "print the contention-profiler report (top-10 hot locks, wait chains, latch profile) in the final summary")
@@ -104,6 +106,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Flag convention (-1 adaptive, 0 park-immediately, n>0 fixed) maps onto
+	// lockmgr's Config.LatchSpin encoding (0 adaptive, <0 park, >0 fixed).
+	spinCfg := 0
+	switch {
+	case *latchSpin == 0:
+		spinCfg = -1
+	case *latchSpin > 0:
+		spinCfg = *latchSpin
+	}
+
 	clk := clock.NewSim()
 	db, err := engine.Open(engine.Config{
 		DatabasePages:    *dbMB * 256, // 256 pages per MB
@@ -112,6 +124,7 @@ func main() {
 		StaticQuotaPct:   *maxlocks,
 		Clock:            clk,
 		LockTimeout:      60 * time.Second,
+		LatchSpin:        spinCfg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workbench: %v\n", err)
@@ -223,6 +236,11 @@ func main() {
 	if snap.LockReleaseBatches > 0 {
 		fmt.Printf("group release     %d batches, %d wakeups coalesced, %d visits staged for a leader\n",
 			snap.LockReleaseBatches, snap.LockWakeupsCoalesced, snap.LockFlushFollowerWaits)
+	}
+	if contended := snap.LockLatchSpins + snap.LockLatchParks; contended > 0 {
+		fmt.Printf("latch contention  %d contended acquires (%.1f%% spin-won), %d parks, %d handoffs\n",
+			contended, 100*float64(snap.LockLatchSpins)/float64(contended),
+			snap.LockLatchParks, snap.LockLatchHandoffs)
 	}
 	fmt.Printf("MAXLOCKS quota    %.1f%%\n", snap.QuotaPercent)
 	if ws := db.Locks().WaitHist().Snapshot(); ws.Total > 0 {

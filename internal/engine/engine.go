@@ -115,6 +115,10 @@ type Config struct {
 	// (hot-lock sketch, flight recorder, latch profile) off; see
 	// lockmgr.Config.ProfileDisabled.
 	ProfileDisabled bool
+	// LatchSpin overrides the shard latches' spin policy; see
+	// lockmgr.Config.LatchSpin (0 = adaptive controller, >0 = fixed spin
+	// budget, <0 = park immediately).
+	LatchSpin int
 }
 
 func (c *Config) fillDefaults() {
@@ -228,6 +232,7 @@ func Open(cfg Config) (*Database, error) {
 		Shards:          cfg.LockShards,
 		ObsSampleStride: cfg.ObsSampleStride,
 		ProfileDisabled: cfg.ProfileDisabled,
+		LatchSpin:       cfg.LatchSpin,
 	}
 
 	switch cfg.Policy {
@@ -256,6 +261,9 @@ func Open(cfg Config) (*Database, error) {
 	}
 
 	db.locks = lockmgr.New(lockCfg)
+	// Latch spin-budget retunes are tuning decisions like any other: route
+	// them into the same decision log so /debug/tuner can replay them.
+	db.locks.SetLatchDecisionLog(db.decis)
 	db.txns = txn.NewManager(db.locks)
 
 	if db.ctl != nil {
@@ -517,15 +525,24 @@ type Snapshot struct {
 	LockReleaseBatches     int64
 	LockWakeupsCoalesced   int64
 	LockFlushFollowerWaits int64
-	QuotaPercent           float64
-	Overflow               int
-	OverflowGoal           int
-	BufferPoolPages        int
-	SortHeapPages          int
-	Commits, Aborts        int64
-	ActiveTxns             int
-	NumApps                int
-	LMOC                   int
+	// LockLatchSpins counts contended shard-latch acquisitions won in the
+	// spin phase of the spin-then-park latch; LockLatchParks counts those
+	// that parked on the latch's condition instead; LockLatchHandoffs
+	// counts unlocks that signalled a parked waiter. Spins + parks is the
+	// contended-acquire total the adaptive spin-budget controller tunes
+	// against (LockLatchWaits remains the profiler's sampled view).
+	LockLatchSpins    int64
+	LockLatchParks    int64
+	LockLatchHandoffs int64
+	QuotaPercent      float64
+	Overflow          int
+	OverflowGoal      int
+	BufferPoolPages   int
+	SortHeapPages     int
+	Commits, Aborts   int64
+	ActiveTxns        int
+	NumApps           int
+	LMOC              int
 }
 
 // Snapshot captures the current engine state.
@@ -548,6 +565,9 @@ func (db *Database) Snapshot() Snapshot {
 		LockReleaseBatches:     db.locks.ReleaseBatches(),
 		LockWakeupsCoalesced:   db.locks.WakeupsCoalesced(),
 		LockFlushFollowerWaits: db.locks.FlushFollowerWaits(),
+		LockLatchSpins:         db.locks.LatchSpinHits(),
+		LockLatchParks:         db.locks.LatchParks(),
+		LockLatchHandoffs:      db.locks.LatchHandoffs(),
 		Overflow:               mem.Overflow,
 		OverflowGoal:           mem.OverflowGoal,
 		BufferPoolPages:        mem.HeapPages["bufferpool"],

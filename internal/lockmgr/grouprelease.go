@@ -55,6 +55,19 @@ package lockmgr
 // pointer the drain's quota settle needs) cannot be reset or reused while
 // any batch is in flight.
 //
+// Contended-acquire signal (internal/latch): the storm arm and the shard
+// latch's adaptive spin-budget controller share one definition of
+// contention — a latch acquire that found the latch held. A commit visit's
+// failed TryLock records exactly one contended acquire on the latch (the
+// same event a blocking acquire's slow-path entry records), so the
+// hysteresis that routes commits into the staging path and the tuner that
+// sizes the latch's spin budget observe the same stream: a shard whose
+// commits keep failing TryLock is simultaneously armed for group release
+// and retuned toward its hold-time-appropriate spin budget. The arming
+// rule itself is unchanged — quiet-shard visits TryLock (via
+// tryLockShard, which also runs lockShard's acquire-side profiler
+// bookkeeping) and a failure arms relStorm.
+//
 // Interaction with the fast path (fastpath.go): staging touches no grant
 // word — it is invisible to CAS admissions and optimistic readers. The
 // leader's unlink pass uses the same seal/settle protocol as a direct
@@ -128,11 +141,10 @@ type releaseDrain struct {
 func (m *Manager) releaseShardGrouped(si int, o *Owner, b *releaseBatch, d *releaseDrain) {
 	s := &m.shards[si]
 	if s.relStorm.Load() == 0 && s.relHead.Load() == nil {
-		if s.mu.TryLock() {
+		if _, ok := m.tryLockShard(si); ok {
 			// Quiet shard: a group of one. A batch staged between the
 			// list check and the TryLock (a racing commit that failed
 			// its own TryLock against us) is drained here too.
-			m.latchAcqs.Shard(si).Inc()
 			m.releaseShardPhase1(s, si, o, b, true, d)
 			m.relBatches.Shard(si).Inc()
 			// No relCond broadcast for batches drained here: stagers only
@@ -143,8 +155,12 @@ func (m *Manager) releaseShardGrouped(si int, o *Owner, b *releaseBatch, d *rele
 			m.unlockShard(s)
 			return
 		}
-		// Real latch contention on the commit path: arm the storm stage
-		// and fall through to the group protocol.
+		// Contended commit-side acquire. The failed TryLock just recorded
+		// one contended acquire on the shard latch itself — the same
+		// signal its spin-budget controller tunes from — so the storm arm
+		// and the latch tuner fire on one shared definition of "this
+		// shard is contended" (see the header). Arm the storm stage and
+		// fall through to the group protocol.
 		s.relStorm.Store(relStormArm)
 	}
 

@@ -105,6 +105,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/latch"
 	"repro/internal/memblock"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -325,6 +326,16 @@ type Config struct {
 	// uncontended atomic adds per contention event, benchmarked under 3%
 	// (see bench-obs-profiler).
 	ProfileDisabled bool
+	// LatchSpin overrides the shard-latch spin policy. 0 (the default)
+	// enables the adaptive per-shard controller: each latch's spin
+	// budget is retuned from its sampled hold times and spin outcomes,
+	// collapsing to 0 on a single P or when spinners outnumber P's.
+	// A positive value pins every shard latch to that fixed spin budget
+	// (clamped to latch.BudgetCap) — the experimental control for A/B
+	// runs, which also bypasses the adaptive guards so the budget is
+	// spent exactly as configured. A negative value pins the budget to 0
+	// (park immediately, the stock sync.Mutex-like behaviour).
+	LatchSpin int
 }
 
 // App is a connected application, the unit of quota accounting.
@@ -934,17 +945,24 @@ const boxFreelistCap = 64
 
 // shard is one stripe of the lock table.
 type shard struct {
-	mu      sync.Mutex
+	// mu is the shard latch: an adaptive spin-then-park latch
+	// (internal/latch) whose per-shard spin budget is retuned from the
+	// sampled hold times unlockShard feeds it. Acquire through lockShard
+	// or tryLockShard (they run the profiler bookkeeping); raw
+	// s.mu.Unlock() remains correct everywhere a paired unlockShard is
+	// not wanted (runGlobal's descending sweep, deadlock validation).
+	mu      latch.Latch
 	idx     int // position in Manager.shards; set once at New
 	table   map[Name]*lockHeader
 	waiting map[*request]struct{}
 
 	// Latch-profile sampling state, guarded by mu: latchTick advances on
-	// every lockShard acquisition; when it hits the sampling stride the
-	// acquisition stamps holdT0 and the matching unlockShard records the
-	// hold time. Raw s.mu.Unlock() sites (runGlobal's descending sweep)
-	// simply leave a stale stamp, which the next lockShard clears before
-	// anything reads it.
+	// every latched acquisition (lockShard and tryLockShard); when it
+	// hits the sampling stride the acquisition stamps holdT0 and the
+	// matching unlockShard records the hold time. Raw s.mu.Unlock()
+	// sites (runGlobal's descending sweep) simply leave a stale stamp,
+	// which the next stamped acquisition — lockShard or tryLockShard —
+	// clears before anything reads it.
 	latchTick uint64
 	holdT0    time.Time
 	pool      *memblock.Pool // lease cache; guarded by mu
@@ -1273,6 +1291,13 @@ func New(cfg Config) *Manager {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.idx = i
+		s.mu.Init()
+		switch {
+		case cfg.LatchSpin > 0:
+			s.mu.SetFixedBudget(cfg.LatchSpin)
+		case cfg.LatchSpin < 0:
+			s.mu.SetFixedBudget(0)
+		}
 		s.table = make(map[Name]*lockHeader)
 		s.waiting = make(map[*request]struct{})
 		s.pool = m.chain.NewPool(cfg.LeaseChunk)
@@ -1311,23 +1336,48 @@ func (m *Manager) shardFor(name Name) *shard {
 func (m *Manager) lockShard(i int) *shard {
 	s := &m.shards[i]
 	m.latchAcqs.Shard(i).Inc()
-	if !s.mu.TryLock() {
-		m.latchWaits.Shard(i).Inc()
-		if lp := m.latchProf; lp != nil {
-			// Contended acquire: the goroutine is about to block anyway,
-			// so the two clock reads are not on any fast path.
-			t0 := time.Now()
-			s.mu.Lock()
-			lp.RecordWait(i, time.Since(t0).Nanoseconds())
-		} else {
-			s.mu.Lock()
+	if lp := m.latchProf; lp != nil {
+		// LockProfiled times only the contended path: the goroutine is
+		// about to spin or park anyway, so the two clock reads are not
+		// on any fast path.
+		if waitNs, contended := s.mu.LockProfiled(); contended {
+			m.latchWaits.Shard(i).Inc()
+			lp.RecordWait(i, waitNs)
 		}
+	} else if s.mu.Lock() {
+		m.latchWaits.Shard(i).Inc()
 	}
+	m.stampLatchAcquire(s)
+	return s
+}
+
+// tryLockShard attempts shard i's latch without blocking. A successful
+// attempt runs the same acquire-side bookkeeping as lockShard — the
+// acquisition count and the sampled hold-stamp advance, which also clears
+// any stale stamp a raw unlock left behind, so a TryLock'd visit can never
+// attribute a bogus hold time to the profile (the manager.go:946 stale
+// holdT0 hazard). A failed attempt is a contended acquire: the latch's own
+// contended counter records it (the unified contention signal the spin
+// controller and the commit-storm hysteresis share); latchWaits is not
+// bumped because no acquisition happened.
+func (m *Manager) tryLockShard(i int) (*shard, bool) {
+	s := &m.shards[i]
+	if !s.mu.TryLock() {
+		return s, false
+	}
+	m.latchAcqs.Shard(i).Inc()
+	m.stampLatchAcquire(s)
+	return s, true
+}
+
+// stampLatchAcquire advances the sampled hold-time stamp under a
+// just-taken shard latch: one-in-stride acquisitions stamp holdT0 for
+// unlockShard to read; every other acquisition clears a stale stamp left
+// by a raw unlock before anything could misread it.
+func (m *Manager) stampLatchAcquire(s *shard) {
 	if m.latchProf != nil {
-		// Sampled hold-time stamp. The tick lives in the shard and
-		// advances under its latch — no shared cache line — and a stale
-		// stamp left by a raw unlock is cleared here before any
-		// unlockShard could read it.
+		// The tick lives in the shard and advances under its latch — no
+		// shared cache line.
 		s.latchTick++
 		if s.latchTick&m.latchSampleMask == 0 {
 			s.holdT0 = time.Now()
@@ -1335,16 +1385,19 @@ func (m *Manager) lockShard(i int) *shard {
 			s.holdT0 = time.Time{}
 		}
 	}
-	return s
 }
 
-// unlockShard releases a latch taken by lockShard, recording the sampled
-// hold time when this acquisition was the one-in-stride stamped one. The
-// paired form is diagnostics only: raw s.mu.Unlock() remains correct
-// everywhere (the sample is simply dropped).
+// unlockShard releases a latch taken by lockShard or tryLockShard,
+// recording the sampled hold time when this acquisition was the
+// one-in-stride stamped one — into the latch profile and, as the same
+// sample, into the latch's own hold EWMA, which is what its adaptive spin
+// budget retunes from. The paired form is diagnostics only: raw
+// s.mu.Unlock() remains correct everywhere (the sample is simply dropped).
 func (m *Manager) unlockShard(s *shard) {
 	if lp := m.latchProf; lp != nil && !s.holdT0.IsZero() {
-		lp.RecordHold(s.idx, time.Since(s.holdT0).Nanoseconds())
+		ns := time.Since(s.holdT0).Nanoseconds()
+		lp.RecordHold(s.idx, ns)
+		s.mu.NoteHold(ns)
 		s.holdT0 = time.Time{}
 	}
 	s.mu.Unlock()

@@ -9,10 +9,15 @@ import (
 // recorded as KindEscalationDoubling so distress intervals are queryable on
 // their own; ordinary passes are KindTuningPass; synchronous overflow
 // growth admitted by the lock manager between passes is KindSyncGrowth.
+// KindLatchTune records a shard latch's adaptive spin-budget change (the
+// self-tuning spin-then-park latch controller); the lock manager appends
+// these while holding the retuned shard's latch, same leaf discipline as
+// sync-growth records.
 const (
 	KindTuningPass         = "tuning-pass"
 	KindEscalationDoubling = "escalation-doubling"
 	KindSyncGrowth         = "sync-growth"
+	KindLatchTune          = "latch-tune"
 )
 
 // Decision is one explainable tuning action: the inputs the tuner saw, the
@@ -55,6 +60,17 @@ type Decision struct {
 	AllowedPages  int `json:"allowed_pages,omitempty"`
 	LMOPages      int `json:"lmo_pages,omitempty"`
 	OverflowPages int `json:"overflow_pages,omitempty"`
+
+	// Latch-tune inputs/outputs (KindLatchTune only): the shard whose
+	// latch retuned, the spin budget before/after, and the evidence the
+	// controller saw — the hold-time EWMA and the last window's spin
+	// attempts/wins.
+	Shard            int   `json:"shard,omitempty"`
+	SpinBudgetBefore int   `json:"spin_budget_before,omitempty"`
+	SpinBudgetAfter  int   `json:"spin_budget_after,omitempty"`
+	HoldEwmaNs       int64 `json:"hold_ewma_ns,omitempty"`
+	SpinTries        int   `json:"spin_tries,omitempty"`
+	SpinWins         int   `json:"spin_wins,omitempty"`
 
 	// Action: what the tuner chose and what actually happened.
 	Action         string  `json:"action"`

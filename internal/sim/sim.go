@@ -147,6 +147,13 @@ func Run(cfg Config) *Result {
 	relBatches := set.Series("release batches", "count")
 	wakesCoalesced := set.Series("wakeups coalesced", "count")
 	flushFollowers := set.Series("flush follower waits", "count")
+	// Spin-then-park latch outcomes advance deterministically for the same
+	// reason: one goroutine never contends a shard latch, so all three
+	// series stay zero under the sim — the determinism test pins that the
+	// latch swap adds no contention of its own to the single-threaded path.
+	latchSpins := set.Series("latch spins", "count")
+	latchParks := set.Series("latch parks", "count")
+	latchHandoffs := set.Series("latch handoffs", "count")
 	globalStall := set.Series("global stall", "µs")
 	// Lock-wait quantiles come from the engine-clock histogram, so they are
 	// deterministic; admission latency is sampled wall clock → volatile.
@@ -247,6 +254,9 @@ func Run(cfg Config) *Result {
 			relBatches.Record(now, float64(snap.LockReleaseBatches))
 			wakesCoalesced.Record(now, float64(snap.LockWakeupsCoalesced))
 			flushFollowers.Record(now, float64(snap.LockFlushFollowerWaits))
+			latchSpins.Record(now, float64(snap.LockLatchSpins))
+			latchParks.Record(now, float64(snap.LockLatchParks))
+			latchHandoffs.Record(now, float64(snap.LockLatchHandoffs))
 			globalStall.Record(now, float64(snap.LockGlobalHoldMax)/1e3)
 			ws := cfg.DB.Locks().WaitHist().Snapshot()
 			waitP95.Record(now, ws.Quantile(0.95)/1e6)

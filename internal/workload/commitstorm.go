@@ -79,7 +79,14 @@ type CommitStormPlan struct {
 // from the live lock manager, so the plan matches whatever shard count the
 // engine was opened with.
 func PlanCommitStorm(db *engine.Database, prof CommitStormProfile, clients int) *CommitStormPlan {
-	m := db.Locks()
+	return PlanCommitStormRows(db.Locks(), prof, clients)
+}
+
+// PlanCommitStormRows is PlanCommitStorm on the bare lock-manager seam, for
+// harnesses (the real-concurrency latch benchmarks) that drive a Manager
+// without an engine around it. The manager must have at least
+// prof.HotShards shards or the scan can never terminate.
+func PlanCommitStormRows(m *lockmgr.Manager, prof CommitStormProfile, clients int) *CommitStormPlan {
 	perShard := clients*prof.RowsPerClient + prof.SharedRows
 	var targets []int
 	byShard := make(map[int][]uint64, prof.HotShards)
@@ -121,6 +128,16 @@ func (p *CommitStormPlan) private(id, k, j int) uint64 {
 	base := p.prof.SharedRows + id*p.prof.RowsPerClient
 	return p.rows[k][base+j%p.prof.RowsPerClient]
 }
+
+// Shared returns the shared hot set in its fixed locking order.
+func (p *CommitStormPlan) Shared() []uint64 { return p.shared }
+
+// PrivateRow exposes private for external harnesses: client id's private
+// row j in hot shard k (k < prof.HotShards; j wraps).
+func (p *CommitStormPlan) PrivateRow(id, k, j int) uint64 { return p.private(id, k, j) }
+
+// Profile returns the profile the plan was built from.
+func (p *CommitStormPlan) Profile() CommitStormProfile { return p.prof }
 
 // CommitStorm is one storm client.
 type CommitStorm struct {
