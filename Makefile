@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-obs-profiler bench-commit bench-read bench-latch bench-diff smoke-read smoke-commit smoke-profile smoke-latch obs-demo verify fmt vet
+.PHONY: all build test race bench bench-lock bench-engine bench-obs bench-obs-profiler bench-commit bench-read bench-latch bench-throttle bench-diff smoke-read smoke-commit smoke-profile smoke-latch smoke-throttle obs-demo verify fmt vet
 
 all: build
 
@@ -99,6 +99,23 @@ bench-latch:
 	BENCH_JSON=BENCH_LATCH_ADAPTIVE.json \
 		$(GO) test -run xxx -bench BenchmarkLatchContention -benchtime 3000000x -count 3 .
 
+# bench-throttle runs the admission-throttle collapse-curve A/B: one hot
+# exclusive lock swept over g=16..256 with the control plane (timeout
+# sweep, deadlock detector, throttle retune) ticking concurrently.
+# BENCH_THROTTLE_BASELINE.json is the throttle-off leg (THROTTLE=0): past
+# the knee, each grant pays FIFO removal, wakeup fan-out, and wait-graph
+# export proportional to the live queue, and throughput collapses.
+# BENCH_THROTTLE_LIMITED.json is the fixed-ceiling leg (THROTTLE=8): the
+# excess parks in the culled set and the curve holds near its peak (the
+# acceptance bound is ≥90% of peak at g=256). Pinned iterations keep both
+# legs work-for-work comparable; benchdiff -pct gates regressions.
+bench-throttle:
+	rm -f BENCH_THROTTLE_BASELINE.json BENCH_THROTTLE_LIMITED.json
+	BENCH_JSON=BENCH_THROTTLE_BASELINE.json THROTTLE=0 \
+		$(GO) test -run xxx -bench BenchmarkHotkeySweep -benchtime 20000x .
+	BENCH_JSON=BENCH_THROTTLE_LIMITED.json THROTTLE=8 \
+		$(GO) test -run xxx -bench BenchmarkHotkeySweep -benchtime 20000x .
+
 # bench-diff compares two BENCH_*.json trajectory files produced by the
 # benchmarks above, printing per-shape deltas (grants/sec, commits/sec,
 # hit rates). Usage: make bench-diff OLD=BENCH_READPATH_FASTPATH.json \
@@ -162,6 +179,15 @@ smoke-latch: build
 	echo "smoke-latch: latch counters OK"; \
 	wait $$pid
 
+# smoke-throttle is the admission throttle's verify gate: a brief hot-lock
+# hammer against a fixed ceiling must actually cull waiters, and at full
+# drain every culled waiter must have been reactivated (culled > 0,
+# reactivated == culled, invariants clean) — proof the culled set loses
+# no one.
+smoke-throttle:
+	$(GO) test -run TestThrottleSmoke -count=1 .
+	@echo "smoke-throttle: cull/reactivate accounting OK"
+
 # obs-demo runs the workbench surge workload with the HTTP surface up and
 # curls it mid-run: /metrics must serve lock-wait histogram buckets and
 # per-shard latch-wait counters; /debug/tuner must serve decision records.
@@ -180,9 +206,10 @@ obs-demo: build
 # verify is the tier-1 gate (see ROADMAP.md): formatting, vet, build, the
 # full test suite, the race-detector pass over the concurrency-sensitive
 # packages, and one-iteration smoke runs of the read-path benches, the
-# group-release commit path, the contention profiler's live endpoints, and
-# the spin-then-park latch counters on /metrics.
-verify: fmt vet build test race smoke-read smoke-commit smoke-profile smoke-latch
+# group-release commit path, the contention profiler's live endpoints,
+# the spin-then-park latch counters on /metrics, and the admission
+# throttle's cull/reactivate accounting.
+verify: fmt vet build test race smoke-read smoke-commit smoke-profile smoke-latch smoke-throttle
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -2,7 +2,11 @@
 // record per line, as emitted by the repo's benchmarks under BENCH_JSON)
 // and prints per-shape deltas.
 //
-//	benchdiff OLD.json NEW.json
+//	benchdiff [-pct N] OLD.json NEW.json
+//
+// With -pct N the diff doubles as a CI gate: if any shape present in both
+// files lost more than N percent of its primary rate, the regressions are
+// listed and the exit status is 1 (file or parse errors stay exit 2).
 //
 // Records are keyed by (bench, workload, locks, goroutines); when a file
 // holds several records for one key — go-bench ramps b.N, and each ramp
@@ -16,6 +20,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -101,12 +106,23 @@ func human(x float64) string {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+	pctLimit := flag.Float64("pct", 0, "fail (exit 1) if any paired shape regressed more than this percent")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-pct N] OLD.json NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, os.Args[1], os.Args[2]); err != nil {
+	regressed, err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *pctLimit)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d shape(s) regressed more than %.1f%%\n", len(regressed), *pctLimit)
 		os.Exit(1)
 	}
 }
@@ -114,19 +130,21 @@ func main() {
 // run diffs the two trajectory files into w: paired keys get a delta row,
 // and keys present in only one file get an explicit one-sided row rather
 // than being dropped — a shape that silently vanished from the comparison
-// is exactly the regression signal a diff must not hide.
-func run(w io.Writer, oldPath, newPath string) error {
+// is exactly the regression signal a diff must not hide. A positive
+// pctLimit turns the diff into a gate: paired shapes whose primary rate
+// fell more than pctLimit percent are returned (and summarized in w).
+func run(w io.Writer, oldPath, newPath string, pctLimit float64) ([]string, error) {
 	oldRecs, oldOrder, err := load(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newRecs, newOrder, err := load(newPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	fmt.Fprintf(w, "%-50s %12s %12s %8s  %s\n", "shape", "old", "new", "delta", "notes")
-	var onlyOld, onlyNew []string
+	var onlyOld, onlyNew, regressed []string
 	for _, k := range oldOrder {
 		o := oldRecs[k]
 		n, ok := newRecs[k]
@@ -138,7 +156,11 @@ func run(w io.Writer, oldPath, newPath string) error {
 		nr, _ := n.rate()
 		delta := "n/a"
 		if or > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(nr/or-1))
+			d := 100 * (nr/or - 1)
+			delta = fmt.Sprintf("%+.1f%%", d)
+			if pctLimit > 0 && d < -pctLimit {
+				regressed = append(regressed, k)
+			}
 		}
 		notes := unit
 		if n.OptHits > 0 {
@@ -169,5 +191,8 @@ func run(w io.Writer, oldPath, newPath string) error {
 		}
 		fmt.Fprintf(w, "%-50s %12s %12s %8s  %s\n", k, "-", human(v), "", notes)
 	}
-	return nil
+	for _, k := range regressed {
+		fmt.Fprintf(w, "REGRESSION %s: worse than -%.1f%%\n", k, pctLimit)
+	}
+	return regressed, nil
 }

@@ -30,7 +30,7 @@ func TestRunOneSidedRows(t *testing.T) {
 	}, "\n")+"\n")
 
 	var out strings.Builder
-	if err := run(&out, oldPath, newPath); err != nil {
+	if _, err := run(&out, oldPath, newPath, 0); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -84,10 +84,49 @@ func TestRunLastRecordWins(t *testing.T) {
 	}, "\n")+"\n")
 
 	var out strings.Builder
-	if err := run(&out, oldPath, newPath); err != nil {
+	if _, err := run(&out, oldPath, newPath, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "+100.0%") {
 		t.Errorf("want delta from last record (+100.0%%), got:\n%s", out.String())
+	}
+}
+
+// TestRunPctGate: with a positive threshold, paired shapes that lost more
+// than that percent are returned (the CI-gate exit path) and summarized;
+// improvements, small dips, and one-sided rows never trip it.
+func TestRunPctGate(t *testing.T) {
+	oldPath := writeFile(t, "old.json", strings.Join([]string{
+		`{"bench":"B","workload":"drop","locks":1,"goroutines":8,"grants_per_sec":1000000}`,
+		`{"bench":"B","workload":"dip","locks":1,"goroutines":8,"grants_per_sec":1000000}`,
+		`{"bench":"B","workload":"gain","locks":1,"goroutines":8,"grants_per_sec":1000000}`,
+		`{"bench":"B","workload":"gone","locks":1,"goroutines":8,"grants_per_sec":1000000}`,
+	}, "\n")+"\n")
+	newPath := writeFile(t, "new.json", strings.Join([]string{
+		`{"bench":"B","workload":"drop","locks":1,"goroutines":8,"grants_per_sec":700000}`,
+		`{"bench":"B","workload":"dip","locks":1,"goroutines":8,"grants_per_sec":960000}`,
+		`{"bench":"B","workload":"gain","locks":1,"goroutines":8,"grants_per_sec":1500000}`,
+	}, "\n")+"\n")
+
+	var out strings.Builder
+	regressed, err := run(&out, oldPath, newPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "B/drop/locks=1/g=8"
+	if len(regressed) != 1 || regressed[0] != want {
+		t.Fatalf("regressed = %v, want [%s]", regressed, want)
+	}
+	if !strings.Contains(out.String(), "REGRESSION "+want) {
+		t.Errorf("output missing regression summary:\n%s", out.String())
+	}
+
+	// Threshold zero disables the gate entirely.
+	regressed, err = run(&strings.Builder{}, oldPath, newPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Fatalf("gate disabled but regressed = %v", regressed)
 	}
 }

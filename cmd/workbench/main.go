@@ -73,6 +73,8 @@ func main() {
 			"exit 1 unless the run coalesced at least this many grant wakeups (-1 disables; smoke-test hook)")
 		latchSpin = flag.Int("latch-spin", -1,
 			"shard-latch spin budget: -1 = adaptive controller, 0 = park immediately, n>0 = fixed budget")
+		throttle = flag.Int("throttle", -1,
+			"admission-throttle concurrency ceiling: -1 = adaptive controller, 0 = disabled, n>0 = fixed ceiling")
 		readonly = flag.Bool("readonly", false,
 			"run dss scans as readonly transactions (optimistic tokens validated at commit; dss workload only)")
 		profile  = flag.Bool("profile", false, "print the contention-profiler report (top-10 hot locks, wait chains, latch profile) in the final summary")
@@ -115,6 +117,15 @@ func main() {
 	case *latchSpin > 0:
 		spinCfg = *latchSpin
 	}
+	// Same convention for the admission throttle: -1 adaptive, 0 off,
+	// n>0 fixed, mapped onto Config.Throttle (0 adaptive, <0 off, >0 fixed).
+	throttleCfg := 0
+	switch {
+	case *throttle == 0:
+		throttleCfg = -1
+	case *throttle > 0:
+		throttleCfg = *throttle
+	}
 
 	clk := clock.NewSim()
 	db, err := engine.Open(engine.Config{
@@ -125,6 +136,7 @@ func main() {
 		Clock:            clk,
 		LockTimeout:      60 * time.Second,
 		LatchSpin:        spinCfg,
+		Throttle:         throttleCfg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workbench: %v\n", err)
@@ -241,6 +253,10 @@ func main() {
 		fmt.Printf("latch contention  %d contended acquires (%.1f%% spin-won), %d parks, %d handoffs\n",
 			contended, 100*float64(snap.LockLatchSpins)/float64(contended),
 			snap.LockLatchParks, snap.LockLatchHandoffs)
+	}
+	if snap.LockThrottleCulled > 0 {
+		fmt.Printf("admission throttle %d waiters culled, %d reactivated, ceiling %d\n",
+			snap.LockThrottleCulled, snap.LockThrottleReactivated, snap.LockThrottleCeiling)
 	}
 	fmt.Printf("MAXLOCKS quota    %.1f%%\n", snap.QuotaPercent)
 	if ws := db.Locks().WaitHist().Snapshot(); ws.Total > 0 {

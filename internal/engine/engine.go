@@ -119,6 +119,10 @@ type Config struct {
 	// lockmgr.Config.LatchSpin (0 = adaptive controller, >0 = fixed spin
 	// budget, <0 = park immediately).
 	LatchSpin int
+	// Throttle configures the saturation-aware admission throttle; see
+	// lockmgr.Config.Throttle (0 = adaptive ceilings retuned on the STMM
+	// cadence, >0 = fixed ceiling, <0 = disabled).
+	Throttle int
 }
 
 func (c *Config) fillDefaults() {
@@ -233,6 +237,7 @@ func Open(cfg Config) (*Database, error) {
 		ObsSampleStride: cfg.ObsSampleStride,
 		ProfileDisabled: cfg.ProfileDisabled,
 		LatchSpin:       cfg.LatchSpin,
+		Throttle:        cfg.Throttle,
 	}
 
 	switch cfg.Policy {
@@ -264,11 +269,13 @@ func Open(cfg Config) (*Database, error) {
 	// Latch spin-budget retunes are tuning decisions like any other: route
 	// them into the same decision log so /debug/tuner can replay them.
 	db.locks.SetLatchDecisionLog(db.decis)
+	db.locks.SetThrottleDecisionLog(db.decis)
 	db.txns = txn.NewManager(db.locks)
 
 	if db.ctl != nil {
 		db.ctl.BindLock(db.locks)
 		db.ctl.BindEscalations(func() int64 { return db.locks.Stats().Escalations })
+		db.ctl.BindThrottle(db.locks)
 		db.ctl.RegisterPMC(bpHeap, db.pool)
 		db.ctl.RegisterPMC(sortHeap, db.sorts)
 		db.comp = NewCompiler(db.ctl.CompilerLockPages(), cfg.CompilerLearning)
@@ -534,15 +541,25 @@ type Snapshot struct {
 	LockLatchSpins    int64
 	LockLatchParks    int64
 	LockLatchHandoffs int64
-	QuotaPercent      float64
-	Overflow          int
-	OverflowGoal      int
-	BufferPoolPages   int
-	SortHeapPages     int
-	Commits, Aborts   int64
-	ActiveTxns        int
-	NumApps           int
-	LMOC              int
+	// LockThrottleCulled counts waiters the saturation-aware admission
+	// throttle diverted into the passive culled set;
+	// LockThrottleReactivated counts culled waiters fed back into the
+	// admission pipeline as the active queue drained (the remainder were
+	// denied in place or are still parked). LockThrottleCeiling is the
+	// highest engaged per-shard concurrency ceiling (0 = fully
+	// disengaged).
+	LockThrottleCulled      int64
+	LockThrottleReactivated int64
+	LockThrottleCeiling     int
+	QuotaPercent            float64
+	Overflow                int
+	OverflowGoal            int
+	BufferPoolPages         int
+	SortHeapPages           int
+	Commits, Aborts         int64
+	ActiveTxns              int
+	NumApps                 int
+	LMOC                    int
 }
 
 // Snapshot captures the current engine state.
@@ -550,32 +567,35 @@ func (db *Database) Snapshot() Snapshot {
 	mem := db.set.Snapshot()
 	commits, aborts, active := db.txns.Stats()
 	s := Snapshot{
-		LockPages:              db.locks.Pages(),
-		UsedStructs:            db.locks.UsedStructs(),
-		CapacityStructs:        db.locks.CapacityStructs(),
-		FreeFraction:           db.locks.FreeFraction(),
-		LockStats:              db.locks.Stats(),
-		LockLatchWaits:         db.locks.LatchWaits(),
-		LockGlobalRuns:         db.locks.GlobalRuns(),
-		LockGlobalHoldMax:      db.locks.GlobalHoldMax(),
-		LockFastPathHits:       db.locks.FastPathHits(),
-		LockFastPathFallbacks:  db.locks.FastPathFallbacks(),
-		LockOptimisticHits:     db.locks.OptimisticHits(),
-		LockOptimisticFailures: db.locks.OptimisticFailures(),
-		LockReleaseBatches:     db.locks.ReleaseBatches(),
-		LockWakeupsCoalesced:   db.locks.WakeupsCoalesced(),
-		LockFlushFollowerWaits: db.locks.FlushFollowerWaits(),
-		LockLatchSpins:         db.locks.LatchSpinHits(),
-		LockLatchParks:         db.locks.LatchParks(),
-		LockLatchHandoffs:      db.locks.LatchHandoffs(),
-		Overflow:               mem.Overflow,
-		OverflowGoal:           mem.OverflowGoal,
-		BufferPoolPages:        mem.HeapPages["bufferpool"],
-		SortHeapPages:          mem.HeapPages["sortheap"],
-		Commits:                commits,
-		Aborts:                 aborts,
-		ActiveTxns:             active,
-		NumApps:                db.locks.NumApps(),
+		LockPages:               db.locks.Pages(),
+		UsedStructs:             db.locks.UsedStructs(),
+		CapacityStructs:         db.locks.CapacityStructs(),
+		FreeFraction:            db.locks.FreeFraction(),
+		LockStats:               db.locks.Stats(),
+		LockLatchWaits:          db.locks.LatchWaits(),
+		LockGlobalRuns:          db.locks.GlobalRuns(),
+		LockGlobalHoldMax:       db.locks.GlobalHoldMax(),
+		LockFastPathHits:        db.locks.FastPathHits(),
+		LockFastPathFallbacks:   db.locks.FastPathFallbacks(),
+		LockOptimisticHits:      db.locks.OptimisticHits(),
+		LockOptimisticFailures:  db.locks.OptimisticFailures(),
+		LockReleaseBatches:      db.locks.ReleaseBatches(),
+		LockWakeupsCoalesced:    db.locks.WakeupsCoalesced(),
+		LockFlushFollowerWaits:  db.locks.FlushFollowerWaits(),
+		LockLatchSpins:          db.locks.LatchSpinHits(),
+		LockLatchParks:          db.locks.LatchParks(),
+		LockLatchHandoffs:       db.locks.LatchHandoffs(),
+		LockThrottleCulled:      db.locks.ThrottleCulled(),
+		LockThrottleReactivated: db.locks.ThrottleReactivated(),
+		LockThrottleCeiling:     db.locks.ThrottleCeilingMax(),
+		Overflow:                mem.Overflow,
+		OverflowGoal:            mem.OverflowGoal,
+		BufferPoolPages:         mem.HeapPages["bufferpool"],
+		SortHeapPages:           mem.HeapPages["sortheap"],
+		Commits:                 commits,
+		Aborts:                  aborts,
+		ActiveTxns:              active,
+		NumApps:                 db.locks.NumApps(),
 	}
 	if db.ctl != nil {
 		s.QuotaPercent = db.ctl.CurrentQuota()

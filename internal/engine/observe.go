@@ -191,6 +191,22 @@ func (db *Database) WriteMetrics(m *obs.MetricWriter) {
 	m.CounterVec("lockmem_flush_follower_waits_total", "commit visits staged for a flush leader", "shard",
 		db.locks.FlushFollowerWaitCounters().Values())
 
+	// Saturation-aware admission throttle: waiters culled into the passive
+	// set, culled waiters reactivated as the active queue drained, and
+	// each shard's live concurrency ceiling (0 = disengaged). Ceiling
+	// changes are replayable from the decision log (kind "throttle-tune").
+	m.CounterVec("lockmem_throttle_culled_total", "waiters culled by the admission throttle", "shard",
+		db.locks.ThrottleCulledValues())
+	m.CounterVec("lockmem_throttle_reactivated_total", "culled waiters reactivated into the admission pipeline", "shard",
+		db.locks.ThrottleReactivatedValues())
+	ceilings := db.locks.ThrottleCeilings()
+	ceil64 := make([]int64, len(ceilings))
+	for i, c := range ceilings {
+		ceil64[i] = int64(c)
+	}
+	m.GaugeVec("lockmem_throttle_ceiling", "per-shard admission concurrency ceiling (0 = disengaged)", "shard",
+		ceil64)
+
 	// Event ring: lifetime per-kind totals (survive eviction) + eviction.
 	m.CounterMap("lockmem_trace_events_total", "diagnostic events by kind", "kind",
 		kindTotalsToStrings(db.events.TotalByKind()))

@@ -90,7 +90,7 @@ type waitEdge struct {
 // stillWaiting reports whether via is still a live queued request. Caller
 // holds via's home shard latch.
 func (m *Manager) stillWaiting(via *request) bool {
-	if via.pending == nil || via.parked {
+	if via.pending == nil || via.parked || via.culled {
 		return false
 	}
 	if st, _ := via.pending.Status(); st != StatusWaiting {
@@ -131,8 +131,12 @@ func (m *Manager) DetectDeadlocks() int {
 		}
 		s := m.lockShard(i)
 		for req := range s.waiting {
-			if req.parked {
-				continue // parked requests hold no queue position
+			if req.parked || req.culled {
+				// Parked and culled requests hold no queue position and
+				// export no wait-graph edges. Culled waiters regain
+				// visibility at reactivation; the SweepTimeouts valve
+				// bounds how long that can take (throttle.go).
+				continue
 			}
 			waitingBy[req.owner] = append(waitingBy[req.owner], req)
 			for _, to := range m.waitEdges(req) {

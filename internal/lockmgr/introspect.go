@@ -142,6 +142,7 @@ func (m *Manager) CheckInvariants() error {
 func (m *Manager) checkInvariantsLocked() error {
 	appStructs := make(map[int]int)
 	inWait := make(map[*Owner]int)
+	liveCulled, reactInFlight := 0, 0
 	for i := range m.shards {
 		s := &m.shards[i]
 		// The latch-free observation mirrors must agree exactly with the
@@ -157,6 +158,7 @@ func (m *Manager) checkInvariantsLocked() error {
 		}
 		fastInUse := 0  // Σ granted fast-leased weights in this shard
 		publishedN := 0 // published headers resident in this shard's table
+		culledHere := 0 // culled requests on this shard's header stacks
 		for name, h := range s.table {
 			if h.published {
 				publishedN++
@@ -261,6 +263,33 @@ func (m *Manager) checkInvariantsLocked() error {
 				}
 				appStructs[w.owner.app.id] += w.handle.Structs()
 			}
+			// Culled-set accounting (throttle.go): every culled request is
+			// flagged, registered in the waiting set (so sweeps find it),
+			// belongs to this header, holds no grant, no conversion, and
+			// no lock structures or fast lease — it was culled before
+			// allocation and reconciles to zero charged weight.
+			for _, c := range h.culled {
+				if !c.culled {
+					return fmt.Errorf("lockmgr: %v unflagged request on culled stack", name)
+				}
+				if _, ok := s.waiting[c]; !ok {
+					return fmt.Errorf("lockmgr: %v culled request missing from waiting set", name)
+				}
+				if c.header != h {
+					return fmt.Errorf("lockmgr: %v culled request headed elsewhere", name)
+				}
+				if c.granted || c.converting {
+					return fmt.Errorf("lockmgr: %v culled request granted/converting", name)
+				}
+				if c.handle.Structs() != 0 || c.fastLeased {
+					return fmt.Errorf("lockmgr: %v culled request holds lock structures", name)
+				}
+				culledHere++
+			}
+			if h.reactInFlight < 0 {
+				return fmt.Errorf("lockmgr: %v negative reactivations in flight", name)
+			}
+			reactInFlight += h.reactInFlight
 			if len(h.converters) == 0 && len(h.waiters) > 0 {
 				if Compatible(h.waiters[0].mode, h.groupMode) {
 					return fmt.Errorf("lockmgr: %v head waiter %v compatible with group %v but not granted",
@@ -272,8 +301,12 @@ func (m *Manager) checkInvariantsLocked() error {
 		// parked requests) counts toward its owner's inWait gauge and must
 		// have its home shard's touched bit set — the bit is set before the
 		// request can reach any queue, and never cleared.
+		waitingCulled := 0
 		for req := range s.waiting {
 			inWait[req.owner]++
+			if req.culled {
+				waitingCulled++
+			}
 			if !req.everQueued {
 				return fmt.Errorf("lockmgr: shard %d waiting request on %v not marked everQueued", i, req.name)
 			}
@@ -281,6 +314,13 @@ func (m *Manager) checkInvariantsLocked() error {
 				return fmt.Errorf("lockmgr: owner %d waits in shard %d without touched bit", req.owner.id, i)
 			}
 		}
+		// No lost culled waiters: every culled request in the waiting set
+		// sits on exactly one header's culled stack, and vice versa.
+		if waitingCulled != culledHere {
+			return fmt.Errorf("lockmgr: shard %d waiting set holds %d culled requests, header stacks hold %d",
+				i, waitingCulled, culledHere)
+		}
+		liveCulled += culledHere
 		// Fast-path slot array: every non-nil slot points at a published
 		// header of this shard's table, and the published population mirror
 		// is exact.
@@ -320,6 +360,22 @@ func (m *Manager) checkInvariantsLocked() error {
 			return fmt.Errorf("lockmgr: shard %d fast credit in use %d, granted fast-leased weight %d",
 				i, s.fastLeaseTotal-free, fastInUse)
 		}
+	}
+
+	// Culled-set lifetime identity (throttle.go): every waiter the
+	// throttle ever culled resolved exactly one way — reactivated into the
+	// admission pipeline, denied in place, or still parked on a stack —
+	// and the latch-free live gauge mirrors the parked population exactly
+	// while the world is stopped. reactInFlight is informational here:
+	// popped waiters are already counted reactivated whether or not their
+	// continuation has run.
+	_ = reactInFlight
+	if culled, react, den := m.throtCulled.Total(), m.throtReact.Total(), m.throtDenied.Total(); culled != react+den+int64(liveCulled) {
+		return fmt.Errorf("lockmgr: culled waiters lost: culled %d != reactivated %d + denied %d + live %d",
+			culled, react, den, liveCulled)
+	}
+	if got := m.throtLive.Load(); got != int64(liveCulled) {
+		return fmt.Errorf("lockmgr: culled live gauge %d, stacks hold %d", got, liveCulled)
 	}
 
 	// Staged-but-unflushed group-release batches (grouprelease.go) are pure

@@ -336,6 +336,16 @@ type Config struct {
 	// spent exactly as configured. A negative value pins the budget to 0
 	// (park immediately, the stock sync.Mutex-like behaviour).
 	LatchSpin int
+	// Throttle configures saturation-aware admission throttling
+	// (throttle.go). 0 (the default) enables the adaptive controller:
+	// per-shard concurrency ceilings engage only when RetuneThrottle —
+	// driven on the STMM cadence — observes a queue-depth high-water
+	// past the saturation knee, so quiet tables never pay anything. A
+	// positive value pins every shard's ceiling to that fixed waiter
+	// count from the start (the experimental control for A/B runs). A
+	// negative value disables throttling entirely: no ceiling ever
+	// engages and the admission path never consults the culled set.
+	Throttle int
 }
 
 // App is a connected application, the unit of quota accounting.
@@ -737,6 +747,18 @@ type request struct {
 	converting bool
 	parked     bool // created but not yet started (escalation in progress)
 
+	// culled marks a waiter held back by the admission throttle
+	// (throttle.go): it is registered in the shard's waiting set (so
+	// timeout, cancel, and abort sweeps find it) and stacked on its
+	// header's culled LIFO, but holds no queue position, no lock
+	// structures, and exports no deadlock-graph edges until reactivated.
+	// culledPass stamps the SweepTimeouts pass at which it was culled;
+	// the sweep's liveness valve force-reactivates stragglers whose
+	// pass age says the active queue stopped draining (see
+	// sweepCulled).
+	culled     bool
+	culledPass uint64
+
 	pending  *Pending
 	deadline time.Time
 	onGrant  func(m *Manager)            // self-latching continuation, drained with no latches held
@@ -803,6 +825,18 @@ type lockHeader struct {
 	groupMode  Mode
 	converters []*request // FIFO, priority over waiters
 	waiters    []*request // FIFO
+
+	// culled is the admission throttle's passive waiter stack (LIFO —
+	// the most recently culled request reactivates first, Dice & Kogan's
+	// cache-warm ordering). Culled requests hold no lock structures and
+	// no FIFO queue position; they re-enter the admission pipeline via
+	// reactivation continuations as the active queue drains (see
+	// throttle.go). reactInFlight counts reactivations popped from the
+	// stack whose continuations have not yet re-run admission, so one
+	// drain cannot over-reactivate past the ceiling. Guarded by the
+	// shard latch.
+	culled        []*request
+	reactInFlight int
 
 	// postPending marks a header already appended to the current shard
 	// visit's deferred posting list (grouprelease.go): when a flush leader
@@ -906,7 +940,8 @@ func (h *lockHeader) recomputeGroupMode() {
 }
 
 func (h *lockHeader) empty() bool {
-	return h.g0 == nil && len(h.gmap) == 0 && len(h.converters) == 0 && len(h.waiters) == 0
+	return h.g0 == nil && len(h.gmap) == 0 && len(h.converters) == 0 &&
+		len(h.waiters) == 0 && len(h.culled) == 0
 }
 
 // Stats is a snapshot of the manager's event counters.
@@ -1032,6 +1067,26 @@ type shard struct {
 	seq      atomic.Uint64
 	nLocks   atomic.Int64
 	nWaiting atomic.Int64
+
+	// Admission-throttle state (throttle.go). throtCeil is the shard's
+	// live concurrency ceiling: 0 means disengaged (the admission path
+	// pays exactly one relaxed atomic load and moves on — the quiet-lock
+	// hysteresis ISSUE demands), > 0 caps any one header's active wait
+	// queue at that many waiters, excess being culled. throtDepthHW is
+	// the queue-depth high-water mark since the last retune window
+	// (updated by enqueueWaiter with a CAS-max, swapped to 0 by
+	// RetuneThrottle). The remaining fields are the controller's
+	// between-window scratch, touched only by RetuneThrottle's single
+	// caller (the STMM cadence): grants seen at the last window edge,
+	// the previous window's throughput delta, and how many consecutive
+	// quiet windows have passed (disengage hysteresis).
+	throtCeil    atomic.Int32
+	throtDepthHW atomic.Int32
+	throtGrants  int64
+	throtDelta   int64
+	throtP99     int64
+	throtDir     int
+	throtQuiet   int
 }
 
 // addWaiting registers a queued request in the shard's waiting set and
@@ -1185,6 +1240,23 @@ type Manager struct {
 	wakesCoalesced *metrics.ShardCounters
 	flushWaits     *metrics.ShardCounters
 
+	// Admission-throttle evidence (throttle.go). throtCulled counts
+	// waiters diverted into the passive culled set; throtReact counts
+	// culled waiters fed back into the admission pipeline as the active
+	// queue drained; throtDenied counts culled waiters denied in place
+	// (timeout, cancel, abort, shutdown). Every culled waiter resolves
+	// exactly one way, so culled == reactivated + denied + live-culled is
+	// an invariant CheckInvariants enforces. throtDL receives one
+	// decision record per ceiling adjustment (kind "throttle-tune");
+	// sweepPass numbers SweepTimeouts passes for the culled-set liveness
+	// valve.
+	throtCulled *metrics.ShardCounters
+	throtReact  *metrics.ShardCounters
+	throtDenied *metrics.ShardCounters
+	throtLive   atomic.Int64 // culled waiters currently parked
+	throtDL     atomic.Pointer[obs.DecisionLog]
+	sweepPass   atomic.Uint64
+
 	// Latency histograms (lock-free; see internal/obs). waitHist records
 	// every wait's duration on the manager's clock — deterministic under
 	// the simulated clock — striped by home-shard index; releaseHist
@@ -1265,6 +1337,9 @@ func New(cfg Config) *Manager {
 		relBatches:     metrics.NewShardCounters("release batches applied", ns),
 		wakesCoalesced: metrics.NewShardCounters("wakeups coalesced", ns),
 		flushWaits:     metrics.NewShardCounters("flush follower waits", ns),
+		throtCulled:    metrics.NewShardCounters("throttle culled waiters", ns),
+		throtReact:     metrics.NewShardCounters("throttle reactivated waiters", ns),
+		throtDenied:    metrics.NewShardCounters("throttle culled denials", ns),
 	}
 	stripes := ns
 	if stripes > 64 {
@@ -1302,6 +1377,9 @@ func New(cfg Config) *Manager {
 		s.waiting = make(map[*request]struct{})
 		s.pool = m.chain.NewPool(cfg.LeaseChunk)
 		s.relCond = sync.NewCond(&s.relMu)
+		if cfg.Throttle > 0 {
+			s.throtCeil.Store(int32(min(cfg.Throttle, throttleCeilMax)))
+		}
 	}
 	m.initProfiler(cfg, ns, stride)
 	return m
@@ -1773,6 +1851,19 @@ func (m *Manager) startRequest(s *shard, si int, req *request, global bool) bool
 		return true
 	}
 
+	// Saturation throttle (throttle.go): when the shard's concurrency
+	// ceiling is engaged and this name's active wait queue has reached it,
+	// divert the new waiter into the header's culled set instead of the
+	// admission pipeline — it takes no quota, no structures, and no queue
+	// position until the active queue drains. Checked before allocation so
+	// a culled waiter is free to hold back; never applied to conversions
+	// (they hold a grant the queue may be waiting behind). One atomic load
+	// when the ceiling is disengaged.
+	if !isHeld && s.throtCeil.Load() > 0 && m.maybeCull(s, si, req) {
+		o.mu.Unlock()
+		return true
+	}
+
 	if global {
 		// The full admission pipeline may escalate, which re-enters this
 		// owner's state (releaseGranted takes o.mu); drop o.mu first.
@@ -1874,6 +1965,9 @@ func (m *Manager) enqueueWaiter(s *shard, si int, h *lockHeader, req *request) {
 	// depth high-water, then log the wait in the shard's flight ring. The
 	// requester is about to park, so the Sprintf is off every fast path.
 	depth := len(h.converters) + len(h.waiters)
+	// The throttle controller's engage signal: track the deepest active
+	// queue this shard saw since the last retune window (throttle.go).
+	throtDepthMax(s, int32(depth))
 	m.hot.Observe(si, h.name, hotEventBlameNs, obs.HotQueueMax, int64(depth))
 	if m.flight != nil {
 		m.flightAdd(si, trace.KindWait, req.owner.app.id,
@@ -2256,6 +2350,18 @@ func (m *Manager) deny(req *request, err error) {
 		// The dead converter may have been the head of the priority
 		// queue, blocking requests that are now grantable.
 		m.post(s, h, nil)
+	} else if req.culled {
+		// Culled waiter (throttle.go): it holds no queue position and no
+		// structures — unlink it from its header's culled stack and count
+		// the denial, so the culled == reactivated + denied + live
+		// identity CheckInvariants enforces stays exact. Removing it
+		// unblocks nothing, but the header may now be empty.
+		h.removeCulled(req)
+		req.culled = false
+		m.throtDenied.Shard(s.idx).Inc()
+		m.throtLive.Add(-1)
+		m.freeRequestStructs(s, req) // defensive: culled requests hold none
+		s.cacheOrEvict(h)
 	} else if h != nil {
 		for i, w := range h.waiters {
 			if w == req {
@@ -2324,12 +2430,16 @@ func (s *shard) cacheOrEvict(h *lockHeader) {
 // was removed. Caller holds the shard latch and must sync the mirror
 // before releasing it.
 func (s *shard) cacheOrEvictDeferred(h *lockHeader) bool {
-	if h == nil || h.published || !h.empty() {
+	if h == nil || h.published || !h.empty() || h.reactInFlight > 0 {
 		// Published headers are never evicted or recycled: a fast op may
 		// hold a slot-loaded pointer to one at any time, and keeping the
 		// empty header resident (with an admitting all-zero grant word) is
 		// exactly what keeps a hot key's grants latch-free across
 		// transactions. Reclamation is deferred to Resize/slot pressure.
+		// A header with reactivations in flight is likewise pinned: the
+		// continuation decrements reactInFlight through req.header under
+		// this latch (throttle.go), so the header must stay resident until
+		// every popped culled waiter has re-entered admission.
 		return false
 	}
 	delete(s.table, h.name)
@@ -2338,6 +2448,7 @@ func (s *shard) cacheOrEvictDeferred(h *lockHeader) bool {
 	h.groupMode = ModeNone
 	h.converters = nil
 	h.waiters = nil
+	h.culled = nil
 	if len(s.hfree) < headerFreelistCap {
 		s.hfree = append(s.hfree, h)
 	}
@@ -2361,6 +2472,20 @@ func (s *shard) syncTableMirror() {
 // accounting — is still applied here, so FIFO order is decided under the
 // latch and the deferred completions merely deliver it.
 func (m *Manager) post(s *shard, h *lockHeader, d *releaseDrain) {
+	m.postQueues(s, h, d)
+	// Refill the active queue from the culled set once the grant pass has
+	// drained what it can: every posting site — direct releases, denials,
+	// and the group-release flush leader's deferred posting pass
+	// (finishShardVisit) — feeds culled waiters back as headroom opens, so
+	// reactivation piggybacks on the latches those paths already hold.
+	if len(h.culled) != 0 {
+		m.reactivateCulled(s, h)
+	}
+}
+
+// postQueues is post's FIFO grant pass over the converter and waiter
+// queues, stopping at the first incompatible request.
+func (m *Manager) postQueues(s *shard, h *lockHeader, d *releaseDrain) {
 	if len(h.converters) == 0 && len(h.waiters) == 0 {
 		return
 	}
@@ -2947,7 +3072,7 @@ func (m *Manager) releaseShardPhase1(s *shard, si int, o *Owner, b *releaseBatch
 			continue
 		}
 		h.recomputeGroupMode()
-		if h.published && len(h.converters) == 0 && len(h.waiters) == 0 {
+		if h.published && len(h.converters) == 0 && len(h.waiters) == 0 && len(h.culled) == 0 {
 			m.settleFast(s, h)
 		} else if !h.postPending {
 			h.postPending = true
@@ -3072,7 +3197,16 @@ func (m *Manager) endWait(req *request) {
 // real-time deployment calls it from a ticker goroutine. Each shard is
 // swept independently.
 func (m *Manager) SweepTimeouts() int {
-	if m.cfg.LockTimeout <= 0 {
+	// The sweep doubles as the culled set's liveness valve (throttle.go):
+	// even with timeouts disabled, a pass must number itself and visit
+	// shards whose culled waiters have stopped draining, so a culled
+	// waiter whose progress depends on the deadlock detector regains its
+	// wait-graph edges within a bounded number of passes.
+	pass := m.sweepPass.Add(1)
+	timeouts := m.cfg.LockTimeout > 0
+	if !timeouts && m.throtLive.Load() == 0 {
+		// Timeouts disabled and no culled waiters parked anywhere: the
+		// sweep has nothing to do and takes no latches.
 		return 0
 	}
 	now := m.clk.Now()
@@ -3083,15 +3217,20 @@ func (m *Manager) SweepTimeouts() int {
 		// waiters at some instant between the previous sweep and this one
 		// — exactly the fuzziness a periodic sweep already tolerates. The
 		// latch is never taken; an idle lock table sweeps with zero latch
-		// acquisitions.
+		// acquisitions. Culled waiters live in the same set, so a shard
+		// with any culled work is never skipped.
 		if m.shards[i].nWaiting.Load() == 0 {
 			continue
 		}
 		s := m.lockShard(i)
 		var victims []*request
+		var stale []*lockHeader
 		for req := range s.waiting {
-			if !req.deadline.IsZero() && now.After(req.deadline) {
+			if timeouts && !req.deadline.IsZero() && now.After(req.deadline) {
 				victims = append(victims, req)
+			}
+			if req.culled && pass-req.culledPass >= 2 && req.header != nil {
+				stale = appendHeaderOnce(stale, req.header)
 			}
 		}
 		for _, req := range victims {
@@ -3109,6 +3248,7 @@ func (m *Manager) SweepTimeouts() int {
 			m.deny(req, ErrTimeout)
 			denied++
 		}
+		m.sweepCulled(s, stale)
 		m.unlockShard(s)
 	}
 	m.flushConts()

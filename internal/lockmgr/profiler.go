@@ -177,8 +177,8 @@ func (m *Manager) DumpWaiters() obs.BlameReport {
 		}
 		s := m.lockShard(i)
 		for req := range s.waiting {
-			if req.parked {
-				continue // parked requests hold no queue position
+			if req.parked || req.culled {
+				continue // parked/culled requests hold no queue position
 			}
 			for _, to := range m.waitEdges(req) {
 				edges = append(edges, obs.BlameEdge{

@@ -13,11 +13,16 @@ import (
 // self-tuning spin-then-park latch controller); the lock manager appends
 // these while holding the retuned shard's latch, same leaf discipline as
 // sync-growth records.
+// KindThrottleTune records a shard's admission-throttle ceiling change
+// (the saturation-aware concurrency limiter): engage, hill-climb step,
+// reverse, latency relief, or disengage, with the queue-depth high-water
+// mark, grant-throughput delta, and lock-wait p99 the controller saw.
 const (
 	KindTuningPass         = "tuning-pass"
 	KindEscalationDoubling = "escalation-doubling"
 	KindSyncGrowth         = "sync-growth"
 	KindLatchTune          = "latch-tune"
+	KindThrottleTune       = "throttle-tune"
 )
 
 // Decision is one explainable tuning action: the inputs the tuner saw, the
@@ -71,6 +76,17 @@ type Decision struct {
 	HoldEwmaNs       int64 `json:"hold_ewma_ns,omitempty"`
 	SpinTries        int   `json:"spin_tries,omitempty"`
 	SpinWins         int   `json:"spin_wins,omitempty"`
+
+	// Throttle-tune inputs/outputs (KindThrottleTune only; Shard is
+	// shared with latch-tune): the concurrency ceiling before/after (0 =
+	// disengaged) and the window signals the controller decided from —
+	// the queue-depth high-water mark, the grant-throughput delta, and
+	// the lock-wait p99.
+	CeilingBefore int   `json:"ceiling_before,omitempty"`
+	CeilingAfter  int   `json:"ceiling_after,omitempty"`
+	QueueDepthHW  int64 `json:"queue_depth_hw,omitempty"`
+	GrantsDelta   int64 `json:"grants_delta,omitempty"`
+	WaitP99Ns     int64 `json:"wait_p99_ns,omitempty"`
 
 	// Action: what the tuner chose and what actually happened.
 	Action         string  `json:"action"`

@@ -57,6 +57,16 @@ func (m *MetricWriter) CounterMap(name, help, label string, vals map[string]int6
 	}
 }
 
+// GaugeVec emits one gauge per element of vals, labelled {label="index"}.
+// The per-shard throttle-ceiling exposition uses this: a ceiling is live
+// controller state that can fall back to zero, not a monotone counter.
+func (m *MetricWriter) GaugeVec(name, help, label string, vals []int64) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	for i, v := range vals {
+		fmt.Fprintf(m.w, "%s{%s=%q} %d\n", name, label, strconv.Itoa(i), v)
+	}
+}
+
 // GaugeMap emits one gauge per key, labelled {label="key"}, keys in
 // sorted order so output is deterministic. The hot-lock top-K exposition
 // uses this: a lock's blame is a decayed score, not a monotone counter.

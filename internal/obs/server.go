@@ -99,7 +99,11 @@ func NewMux(h Handlers) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		writeJSON(w, h.Hotlocks(intParam(r, "n", 10)))
+		n, ok := posIntParam(w, r, "n", 10)
+		if !ok {
+			return
+		}
+		writeJSON(w, h.Hotlocks(n))
 	})
 
 	mux.HandleFunc("/debug/waiters", func(w http.ResponseWriter, r *http.Request) {
@@ -115,7 +119,11 @@ func NewMux(h Handlers) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		q := FlightQuery{Shard: intParam(r, "shard", -1), Last: intParam(r, "last", 0)}
+		last, ok := posIntParam(w, r, "last", 0)
+		if !ok {
+			return
+		}
+		q := FlightQuery{Shard: intParam(r, "shard", -1), Last: last}
 		writeJSON(w, h.Flight(q))
 	})
 
@@ -179,6 +187,25 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// posIntParam parses a query parameter that, when present, must be a
+// positive integer. Absent → (def, true). Garbage or a non-positive value
+// → a 400 with the parameter name and (0, false); a silently-swallowed
+// typo ("?n=ten", "?last=-5") used to fall back to the default, which
+// reads as "the limit worked" when it did not.
+func posIntParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		http.Error(w, fmt.Sprintf("bad %s=%q: want a positive integer", name, s),
+			http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
 }
 
 func intParam(r *http.Request, name string, def int) int {

@@ -166,6 +166,56 @@ func TestMuxEndpoints(t *testing.T) {
 	}
 }
 
+// TestMuxBadParams pins the strict query validation: a present-but-broken
+// limit parameter is a 400, never a silent fall-back to the default.
+func TestMuxBadParams(t *testing.T) {
+	called := false
+	mux := NewMux(Handlers{
+		Hotlocks: func(n int) any { called = true; return n },
+		Flight:   func(q FlightQuery) any { called = true; return q },
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, path := range []string{
+		"/debug/hotlocks?n=0",
+		"/debug/hotlocks?n=-3",
+		"/debug/hotlocks?n=ten",
+		"/debug/hotlocks?n=1e3",
+		"/debug/flight?last=0",
+		"/debug/flight?last=-5",
+		"/debug/flight?last=garbage",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "positive integer") {
+			t.Errorf("%s body %q does not name the problem", path, body)
+		}
+		if called {
+			t.Fatalf("%s reached the handler despite the bad parameter", path)
+		}
+	}
+
+	// The boundary value and absence still work.
+	for _, path := range []string{"/debug/hotlocks?n=1", "/debug/hotlocks", "/debug/flight?last=1", "/debug/flight"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
 func TestMuxNilHandlers(t *testing.T) {
 	srv := httptest.NewServer(NewMux(Handlers{}))
 	defer srv.Close()

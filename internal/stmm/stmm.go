@@ -133,6 +133,11 @@ type Controller struct {
 	lock  LockMemory
 	esc   EscalationSource
 	pmcs  []pmcEntry
+	// throttle, when bound, retunes the lock manager's saturation-aware
+	// admission ceilings at the end of every tuning pass — the same
+	// cadence as lock-memory tuning, so its windows align with the
+	// tuner's throughput deltas.
+	throttle ThrottleTuner
 
 	interval     time.Duration
 	stablePasses int // consecutive no-change passes (interval adaptation)
@@ -209,6 +214,21 @@ func (c *Controller) BindLock(lock LockMemory) {
 func (c *Controller) BindEscalations(src EscalationSource) {
 	c.mu.Lock()
 	c.esc = src
+	c.mu.Unlock()
+}
+
+// ThrottleTuner is the saturation-throttle view of the lock manager: one
+// retune pass over its per-shard admission ceilings. The controller calls
+// it at the end of every tuning pass, so the concurrency limiter runs on
+// the same cadence as lock-memory tuning (see lockmgr.RetuneThrottle).
+type ThrottleTuner interface {
+	RetuneThrottle()
+}
+
+// BindThrottle attaches the admission-throttle retuner (nil detaches).
+func (c *Controller) BindThrottle(t ThrottleTuner) {
+	c.mu.Lock()
+	c.throttle = t
 	c.mu.Unlock()
 }
 
@@ -422,6 +442,13 @@ func (c *Controller) TuneOnce() Report {
 			DurationNS:      time.Since(started).Nanoseconds(),
 			Reason:          dec.Reason,
 		})
+	}
+	// Retune the admission throttle on the way out: the lock-memory pass
+	// above is the window edge its controller measures throughput deltas
+	// against. RetuneThrottle takes only lock-manager internals (never
+	// this controller's locks), so the nesting is safe under c.mu.
+	if c.throttle != nil {
+		c.throttle.RetuneThrottle()
 	}
 	return rep
 }
